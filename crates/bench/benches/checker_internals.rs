@@ -1,0 +1,73 @@
+//! Benchmark: checker internals — the cost of the building blocks whose
+//! design §3 and §5 discuss (path resolution, per-command dispatch, the
+//! τ-closure used for concurrent calls, and readdir's must/may machinery).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sibylfs_core::commands::{OsCommand, OsLabel};
+use sibylfs_core::flags::FileMode;
+use sibylfs_core::flavor::{Flavor, SpecConfig};
+use sibylfs_core::fs_ops::dispatch;
+use sibylfs_core::os::trans::{os_trans, tau_closure};
+use sibylfs_core::os::OsState;
+use sibylfs_core::path::{resolve, FollowLast, ResolveCtx};
+use sibylfs_core::types::{Gid, Pid, Uid, INITIAL_PID};
+
+/// A model state with a moderately deep directory tree and some symlinks.
+fn populated_state(cfg: &SpecConfig) -> OsState {
+    let mut st = OsState::initial_with_process(cfg, INITIAL_PID);
+    let mut labels = Vec::new();
+    for d in 0..10 {
+        labels.push(OsCommand::Mkdir(format!("/d{d}"), FileMode::new(0o755)));
+        for s in 0..5 {
+            labels.push(OsCommand::Mkdir(format!("/d{d}/s{s}"), FileMode::new(0o755)));
+        }
+    }
+    labels.push(OsCommand::Symlink("/d0/s0".into(), "/link".into()));
+    for cmd in labels {
+        let st1 = os_trans(cfg, &st, &OsLabel::Call(INITIAL_PID, cmd)).remove(0);
+        let outs = sibylfs_core::os::trans::expand_calls(cfg, &st1);
+        // Take the success branch (the last state produced).
+        let pending = outs.into_iter().last().expect("at least one outcome");
+        let (value, next) =
+            sibylfs_core::os::trans::default_completion(&pending, INITIAL_PID).expect("completion");
+        let _ = value;
+        st = next;
+    }
+    st
+}
+
+fn checker_internals(c: &mut Criterion) {
+    let cfg = SpecConfig::standard(Flavor::Linux);
+    let st = populated_state(&cfg);
+
+    c.bench_function("path_resolution_deep", |b| {
+        let ctx = ResolveCtx::new(&st.heap, st.heap.root(), None);
+        b.iter(|| resolve(&ctx, "/d9/s4/../../d0/s0/missing", FollowLast::Follow))
+    });
+
+    c.bench_function("dispatch_rename_checks", |b| {
+        let cmd = OsCommand::Rename("/d0".into(), "/d1".into());
+        b.iter(|| dispatch(&cfg, &st, INITIAL_PID, &cmd).errors.len())
+    });
+
+    c.bench_function("tau_closure_three_processes", |b| {
+        let mut st3 = st.clone();
+        for pid in [2u32, 3] {
+            let next = os_trans(&cfg, &st3, &OsLabel::Create(Pid(pid), Uid(0), Gid(0)));
+            st3 = next.into_iter().next().expect("created");
+        }
+        for (pid, path) in [(1u32, "/a"), (2, "/b"), (3, "/c")] {
+            let next = os_trans(
+                &cfg,
+                &st3,
+                &OsLabel::Call(Pid(pid), OsCommand::Mkdir(path.into(), FileMode::new(0o777))),
+            );
+            st3 = next.into_iter().next().expect("call accepted");
+        }
+        b.iter(|| tau_closure(&cfg, std::slice::from_ref(&st3)).len())
+    });
+}
+
+criterion_group!(benches, checker_internals);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Benchmark: per-trace checking latency (§3).
+//!
+//! The paper contrasts SibylFS with the Netsem TCP work, where checking a
+//! single trace could take CPU-hours of constraint solving; careful isolation
+//! of nondeterminism keeps SibylFS's per-trace cost in the millisecond range.
+//! This benchmark measures the latency of checking representative individual
+//! traces: a short single-call test, the paper's rename example, and a long
+//! sequential I/O script.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sibylfs_bench::{bench_profile, bench_spec};
+use sibylfs_check::{check_trace, CheckOptions};
+use sibylfs_core::commands::OsCommand;
+use sibylfs_core::flags::{FileMode, OpenFlags, SeekWhence};
+use sibylfs_core::types::Fd;
+use sibylfs_exec::{execute_script, ExecOptions};
+use sibylfs_script::Script;
+
+fn rename_example() -> Script {
+    let mut s = Script::new("rename___rename_emptydir___nonemptydir", "rename");
+    s.call(OsCommand::Mkdir("emptydir".into(), FileMode::new(0o777)))
+        .call(OsCommand::Mkdir("nonemptydir".into(), FileMode::new(0o777)))
+        .call(OsCommand::Open(
+            "nonemptydir/f".into(),
+            OpenFlags::O_CREAT | OpenFlags::O_WRONLY,
+            Some(FileMode::new(0o666)),
+        ))
+        .call(OsCommand::Rename("emptydir".into(), "nonemptydir".into()));
+    s
+}
+
+fn long_io_script() -> Script {
+    let mut s = Script::new("io___long_sequence", "write");
+    s.call(OsCommand::Open(
+        "f".into(),
+        OpenFlags::O_CREAT | OpenFlags::O_RDWR,
+        Some(FileMode::new(0o644)),
+    ));
+    for i in 0..100 {
+        s.call(OsCommand::Write(Fd(3), vec![b'a' + (i % 26) as u8; 64]));
+        s.call(OsCommand::Lseek(Fd(3), (i * 7) % 512, SeekWhence::Set));
+        s.call(OsCommand::Read(Fd(3), 48));
+    }
+    s.call(OsCommand::Close(Fd(3)));
+    s
+}
+
+fn per_trace_latency(c: &mut Criterion) {
+    let profile = bench_profile();
+    let cfg = bench_spec();
+    let mut group = c.benchmark_group("per_trace_latency");
+    for (name, script) in [("rename_example", rename_example()), ("long_io_301_calls", long_io_script())] {
+        let trace = execute_script(&profile, &script, ExecOptions::default());
+        group.bench_function(name, |b| {
+            b.iter(|| check_trace(&cfg, &trace, CheckOptions::default()).accepted)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, per_trace_latency);
+criterion_main!(benches);

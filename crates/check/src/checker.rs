@@ -1,0 +1,386 @@
+//! The core trace-checking algorithm.
+
+use serde::{Deserialize, Serialize};
+
+use sibylfs_core::commands::{ErrorOrValue, OsCommand, OsLabel};
+use sibylfs_core::flavor::SpecConfig;
+use sibylfs_core::os::trans::{allowed_returns, default_completion, os_trans, tau_closure};
+use sibylfs_core::os::{OsState, ProcRunState};
+use sibylfs_core::types::{Pid, INITIAL_PID};
+use sibylfs_script::Trace;
+
+/// Options controlling a checking run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckOptions {
+    /// Whether the initial process is assumed to run with root privileges
+    /// (must match how the trace was produced).
+    pub root_user: bool,
+    /// A safety bound on the tracked state-set size; exceeding it aborts the
+    /// trace with a deviation rather than consuming unbounded memory. The
+    /// specification's careful treatment of nondeterminism keeps real sets
+    /// tiny (§3), so hitting this bound indicates a checker bug.
+    pub max_states: usize,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions { root_user: true, max_states: 4096 }
+    }
+}
+
+/// The verdict on a single trace step.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StepVerdict {
+    /// The step is allowed by the model.
+    Ok,
+    /// The step is not allowed; the checker recovered and continued.
+    Deviation {
+        /// What the real system returned (or did).
+        observed: String,
+        /// What the model would have allowed at this point.
+        allowed: Vec<String>,
+        /// The completion the checker assumed in order to continue.
+        continued_with: Option<String>,
+    },
+}
+
+/// A checked trace step: the original label plus the verdict.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckedStep {
+    /// Line number in the original trace.
+    pub lineno: usize,
+    /// The label that was checked (rendered).
+    pub label: String,
+    /// The verdict.
+    pub verdict: StepVerdict,
+}
+
+/// A deviation record extracted from a checked trace, used by the survey and
+/// acceptance reports.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Deviation {
+    /// Line number of the offending return in the trace.
+    pub lineno: usize,
+    /// The libc function involved.
+    pub function: String,
+    /// The full call (rendered), for context.
+    pub call: String,
+    /// What the implementation returned (rendered).
+    pub observed: String,
+    /// What the specification allowed (rendered).
+    pub allowed: Vec<String>,
+}
+
+/// The result of checking one trace against the model.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckedTrace {
+    /// The script/trace name.
+    pub name: String,
+    /// The libc function group of the originating script.
+    pub group: String,
+    /// Whether every step was allowed by the model.
+    pub accepted: bool,
+    /// Per-step verdicts.
+    pub steps: Vec<CheckedStep>,
+    /// The deviations found (empty iff `accepted`).
+    pub deviations: Vec<Deviation>,
+    /// The largest state set tracked while checking (a measure of residual
+    /// nondeterminism; reported by the checker-internals benchmark).
+    pub max_states_tracked: usize,
+}
+
+impl CheckedTrace {
+    /// The number of `OS_CALL` steps checked.
+    pub fn calls_checked(&self) -> usize {
+        self.steps.iter().filter(|s| s.label.contains(": call ")).count()
+    }
+}
+
+/// Check a single trace against the model configured by `cfg`.
+pub fn check_trace(cfg: &SpecConfig, trace: &Trace, opts: CheckOptions) -> CheckedTrace {
+    let mut states: Vec<OsState> = vec![OsState::initial_with_process(
+        &SpecConfig { root_user: opts.root_user, ..*cfg },
+        INITIAL_PID,
+    )];
+    let mut steps = Vec::new();
+    let mut deviations = Vec::new();
+    let mut max_states = states.len();
+    // The last call made by each process, for diagnostics.
+    let mut last_call: Vec<(Pid, OsCommand)> = Vec::new();
+
+    for step in &trace.steps {
+        let label = &step.label;
+        let rendered_label = label.to_string();
+        if let OsLabel::Call(pid, cmd) = label.clone() {
+            last_call.retain(|(p, _)| *p != pid);
+            last_call.push((pid, cmd));
+        }
+
+        let (next, verdict) = apply_label(cfg, &states, label, &last_call, step.lineno);
+        match &verdict {
+            StepVerdict::Ok => {}
+            StepVerdict::Deviation { observed, allowed, .. } => {
+                let (function, call) = label
+                    .pid()
+                    .and_then(|pid| last_call.iter().find(|(p, _)| *p == pid))
+                    .map(|(_, c)| (c.name().to_string(), c.to_string()))
+                    .unwrap_or_else(|| ("<unknown>".to_string(), String::new()));
+                deviations.push(Deviation {
+                    lineno: step.lineno,
+                    function,
+                    call,
+                    observed: observed.clone(),
+                    allowed: allowed.clone(),
+                });
+            }
+        }
+        steps.push(CheckedStep { lineno: step.lineno, label: rendered_label, verdict });
+        states = next;
+        max_states = max_states.max(states.len());
+        if states.len() > opts.max_states {
+            states.truncate(opts.max_states);
+        }
+        if states.is_empty() {
+            // Unrecoverable (should not happen: recovery always yields at
+            // least one state); restart from a fresh state to keep going.
+            states = vec![OsState::initial_with_process(cfg, INITIAL_PID)];
+        }
+    }
+
+    CheckedTrace {
+        name: trace.name.clone(),
+        group: trace.group.clone(),
+        accepted: deviations.is_empty(),
+        steps,
+        deviations,
+        max_states_tracked: max_states,
+    }
+}
+
+/// Apply one label to the tracked state set, producing the next set and the
+/// verdict for this step.
+fn apply_label(
+    cfg: &SpecConfig,
+    states: &[OsState],
+    label: &OsLabel,
+    _last_call: &[(Pid, OsCommand)],
+    _lineno: usize,
+) -> (Vec<OsState>, StepVerdict) {
+    match label {
+        OsLabel::Call(..) | OsLabel::Create(..) | OsLabel::Destroy(..) => {
+            let next = union_trans(cfg, states, label);
+            if next.is_empty() {
+                // e.g. a call from an unknown process, or a call while one is
+                // already in flight: recover by ignoring the label.
+                let verdict = StepVerdict::Deviation {
+                    observed: label.to_string(),
+                    allowed: vec!["<no such transition from any tracked state>".to_string()],
+                    continued_with: None,
+                };
+                (states.to_vec(), verdict)
+            } else {
+                (next, StepVerdict::Ok)
+            }
+        }
+        OsLabel::Tau => (tau_closure(cfg, states), StepVerdict::Ok),
+        OsLabel::Return(pid, observed) => {
+            // Close under internal steps so calls from other processes may be
+            // processed in any order before this return is matched.
+            let closed = tau_closure(cfg, states);
+            let next = union_trans(cfg, &closed, label);
+            if !next.is_empty() {
+                return (next, StepVerdict::Ok);
+            }
+            // Non-conformant: collect the allowed returns for diagnostics and
+            // continue from the model's own completions (Fig. 4).
+            let mut allowed: Vec<String> = Vec::new();
+            for st in &closed {
+                for a in allowed_returns(st, *pid) {
+                    if !allowed.contains(&a) {
+                        allowed.push(a);
+                    }
+                }
+            }
+            let mut recovered: Vec<OsState> = Vec::new();
+            let mut continued_with = None;
+            for st in &closed {
+                if let Some((value, next_st)) = default_completion(st, *pid) {
+                    if continued_with.is_none() {
+                        continued_with = Some(value.to_string());
+                    }
+                    if !recovered.contains(&next_st) {
+                        recovered.push(next_st);
+                    }
+                }
+            }
+            if recovered.is_empty() {
+                // Last resort: mark the process ready again in every state so
+                // subsequent steps can still be checked.
+                recovered = closed
+                    .iter()
+                    .map(|st| {
+                        let mut st = st.clone();
+                        if let Some(p) = st.proc_mut(*pid) {
+                            p.run_state = ProcRunState::Ready;
+                        }
+                        st
+                    })
+                    .collect();
+            }
+            let verdict = StepVerdict::Deviation {
+                observed: render_observed(observed),
+                allowed,
+                continued_with,
+            };
+            (recovered, verdict)
+        }
+    }
+}
+
+fn render_observed(v: &ErrorOrValue) -> String {
+    v.to_string()
+}
+
+fn union_trans(cfg: &SpecConfig, states: &[OsState], label: &OsLabel) -> Vec<OsState> {
+    let mut out: Vec<OsState> = Vec::new();
+    for st in states {
+        for next in os_trans(cfg, st, label) {
+            if !out.contains(&next) {
+                out.push(next);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sibylfs_core::commands::{OsCommand, RetValue};
+    use sibylfs_core::errno::Errno;
+    use sibylfs_core::flags::{FileMode, OpenFlags};
+    use sibylfs_core::flavor::Flavor;
+    use sibylfs_core::types::Fd;
+
+    fn cfg() -> SpecConfig {
+        SpecConfig::standard(Flavor::Linux)
+    }
+
+    fn trace_of(pairs: Vec<(OsCommand, ErrorOrValue)>) -> Trace {
+        let mut t = Trace::new("test", "test");
+        for (cmd, ret) in pairs {
+            t.push_call_return(INITIAL_PID, cmd, ret);
+        }
+        t
+    }
+
+    #[test]
+    fn conformant_trace_is_accepted() {
+        let t = trace_of(vec![
+            (OsCommand::Mkdir("/d".into(), FileMode::new(0o777)), ErrorOrValue::Value(RetValue::None)),
+            (OsCommand::Stat("/missing".into()), ErrorOrValue::Error(Errno::ENOENT)),
+            (
+                OsCommand::Open("/d/f".into(), OpenFlags::O_CREAT | OpenFlags::O_RDWR, Some(FileMode::new(0o644))),
+                ErrorOrValue::Value(RetValue::Fd(Fd(3))),
+            ),
+            (OsCommand::Write(Fd(3), b"hello".to_vec()), ErrorOrValue::Value(RetValue::Num(5))),
+            (OsCommand::Close(Fd(3)), ErrorOrValue::Value(RetValue::None)),
+        ]);
+        let checked = check_trace(&cfg(), &t, CheckOptions::default());
+        assert!(checked.accepted, "{:?}", checked.deviations);
+        assert_eq!(checked.calls_checked(), 5);
+        assert!(checked.max_states_tracked >= 1);
+    }
+
+    #[test]
+    fn wrong_errno_is_flagged_with_diagnostics_and_checking_continues() {
+        let t = trace_of(vec![
+            (OsCommand::Mkdir("/d".into(), FileMode::new(0o777)), ErrorOrValue::Value(RetValue::None)),
+            // EPERM is not allowed for a plain mkdir of a fresh directory…
+            (OsCommand::Mkdir("/e".into(), FileMode::new(0o777)), ErrorOrValue::Error(Errno::EPERM)),
+            // …but checking continues: the recovered state has /e created, so
+            // this stat of /e must be accepted.
+            (OsCommand::Rmdir("/e".into()), ErrorOrValue::Value(RetValue::None)),
+        ]);
+        let checked = check_trace(&cfg(), &t, CheckOptions::default());
+        assert!(!checked.accepted);
+        assert_eq!(checked.deviations.len(), 1);
+        assert_eq!(checked.deviations[0].function, "mkdir");
+        assert_eq!(checked.deviations[0].observed, "EPERM");
+        // The third call is checked against the recovered (successful) state.
+        assert!(matches!(checked.steps[5].verdict, StepVerdict::Ok));
+    }
+
+    #[test]
+    fn wrong_success_value_is_flagged() {
+        let t = trace_of(vec![
+            // umask returns the *previous* mask (0o022), not the new one.
+            (OsCommand::Umask(FileMode::new(0o077)), ErrorOrValue::Value(RetValue::Num(0o077))),
+        ]);
+        let checked = check_trace(&cfg(), &t, CheckOptions::default());
+        assert!(!checked.accepted);
+        assert!(checked.deviations[0].allowed.iter().any(|a| a.contains("18")));
+    }
+
+    #[test]
+    fn flavor_differences_change_acceptance() {
+        // unlink of a directory returning EISDIR: fine on Linux, a deviation
+        // under the OS X model.
+        let t = trace_of(vec![
+            (OsCommand::Mkdir("/d".into(), FileMode::new(0o777)), ErrorOrValue::Value(RetValue::None)),
+            (OsCommand::Unlink("/d".into()), ErrorOrValue::Error(Errno::EISDIR)),
+        ]);
+        let linux = check_trace(&SpecConfig::standard(Flavor::Linux), &t, CheckOptions::default());
+        assert!(linux.accepted);
+        let mac = check_trace(&SpecConfig::standard(Flavor::Mac), &t, CheckOptions::default());
+        assert!(!mac.accepted);
+        // The POSIX envelope accepts both.
+        let posix = check_trace(&SpecConfig::standard(Flavor::Posix), &t, CheckOptions::default());
+        assert!(posix.accepted);
+    }
+
+    #[test]
+    fn multi_process_returns_in_either_order_are_accepted() {
+        let mut t = Trace::new("concurrency", "concurrency");
+        t.push_label(OsLabel::Create(Pid(2), sibylfs_core::types::Uid(0), sibylfs_core::types::Gid(0)));
+        // Both calls are issued before either returns; returns arrive in the
+        // opposite order from the calls.
+        t.push_label(OsLabel::Call(INITIAL_PID, OsCommand::Mkdir("/a".into(), FileMode::new(0o777))));
+        t.push_label(OsLabel::Call(Pid(2), OsCommand::Mkdir("/b".into(), FileMode::new(0o777))));
+        t.push_label(OsLabel::Return(Pid(2), ErrorOrValue::Value(RetValue::None)));
+        t.push_label(OsLabel::Return(INITIAL_PID, ErrorOrValue::Value(RetValue::None)));
+        t.push_label(OsLabel::Call(INITIAL_PID, OsCommand::Stat("/b".into())));
+        let checked = check_trace(&cfg(), &t, CheckOptions::default());
+        // The stat call has no return in the trace; that is fine.
+        assert!(checked.accepted, "{:?}", checked.deviations);
+    }
+
+    #[test]
+    fn readdir_wrong_entry_is_flagged() {
+        let mut t = Trace::new("readdir", "readdir");
+        t.push_call_return(
+            INITIAL_PID,
+            OsCommand::Mkdir("/d".into(), FileMode::new(0o777)),
+            ErrorOrValue::Value(RetValue::None),
+        );
+        t.push_call_return(
+            INITIAL_PID,
+            OsCommand::Mkdir("/d/a".into(), FileMode::new(0o777)),
+            ErrorOrValue::Value(RetValue::None),
+        );
+        t.push_call_return(
+            INITIAL_PID,
+            OsCommand::Opendir("/d".into()),
+            ErrorOrValue::Value(RetValue::DirHandle(sibylfs_core::types::DirHandleId(1))),
+        );
+        // The implementation claims an entry that does not exist.
+        t.push_call_return(
+            INITIAL_PID,
+            OsCommand::Readdir(sibylfs_core::types::DirHandleId(1)),
+            ErrorOrValue::Value(RetValue::ReaddirEntry(Some("ghost".into()))),
+        );
+        let checked = check_trace(&cfg(), &t, CheckOptions::default());
+        assert!(!checked.accepted);
+        assert!(checked.deviations[0].allowed.iter().any(|a| a.contains('a')));
+    }
+}

@@ -1,0 +1,104 @@
+//! Rendering of checked traces in the style of Fig. 4 of the paper.
+
+use std::fmt::Write as _;
+
+use crate::checker::{CheckedTrace, StepVerdict};
+
+/// Render a checked trace as text. Conformant steps appear as in the original
+/// trace; non-conformant steps are annotated with the diagnostic block of
+/// Fig. 4.
+pub fn render_checked_trace(checked: &CheckedTrace) -> String {
+    let mut out = String::new();
+    out.push_str("@type checked-trace\n");
+    let _ = writeln!(out, "# Test {}", checked.name);
+    let _ = writeln!(
+        out,
+        "# Verdict: {}",
+        if checked.accepted { "accepted" } else { "NOT accepted" }
+    );
+    for step in &checked.steps {
+        match &step.verdict {
+            StepVerdict::Ok => {
+                let _ = writeln!(out, "{}", step.label);
+            }
+            StepVerdict::Deviation { observed, allowed, continued_with } => {
+                let _ = writeln!(out, "# Error: {}: {}", step.lineno, observed);
+                let _ = writeln!(out, "# unexpected results: {}", observed);
+                let _ = writeln!(out, "# allowed are only: {}", allowed.join(", "));
+                if let Some(c) = continued_with {
+                    let _ = writeln!(out, "# continuing with {}", c);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A one-line summary used in suite listings.
+pub fn summarize_checked_trace(checked: &CheckedTrace) -> String {
+    if checked.accepted {
+        format!("PASS {}", checked.name)
+    } else {
+        format!(
+            "FAIL {} ({} deviation{})",
+            checked.name,
+            checked.deviations.len(),
+            if checked.deviations.len() == 1 { "" } else { "s" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{CheckedStep, Deviation};
+
+    fn sample() -> CheckedTrace {
+        CheckedTrace {
+            name: "rename___case".into(),
+            group: "rename".into(),
+            accepted: false,
+            steps: vec![
+                CheckedStep {
+                    lineno: 1,
+                    label: "p1: call mkdir \"d\" 0o777".into(),
+                    verdict: StepVerdict::Ok,
+                },
+                CheckedStep {
+                    lineno: 6,
+                    label: "p1: return EPERM".into(),
+                    verdict: StepVerdict::Deviation {
+                        observed: "EPERM".into(),
+                        allowed: vec!["EEXIST".into(), "ENOTEMPTY".into()],
+                        continued_with: Some("EEXIST".into()),
+                    },
+                },
+            ],
+            deviations: vec![Deviation {
+                lineno: 6,
+                function: "rename".into(),
+                call: "rename \"emptydir\" \"nonemptydir\"".into(),
+                observed: "EPERM".into(),
+                allowed: vec!["EEXIST".into(), "ENOTEMPTY".into()],
+            }],
+            max_states_tracked: 2,
+        }
+    }
+
+    #[test]
+    fn rendering_matches_fig4_shape() {
+        let text = render_checked_trace(&sample());
+        assert!(text.contains("# Error: 6: EPERM"));
+        assert!(text.contains("# unexpected results: EPERM"));
+        assert!(text.contains("# allowed are only: EEXIST, ENOTEMPTY"));
+        assert!(text.contains("# continuing with EEXIST"));
+    }
+
+    #[test]
+    fn summary_lines() {
+        let mut t = sample();
+        assert!(summarize_checked_trace(&t).starts_with("FAIL"));
+        t.accepted = true;
+        assert!(summarize_checked_trace(&t).starts_with("PASS"));
+    }
+}

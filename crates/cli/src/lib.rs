@@ -1,0 +1,141 @@
+//! Shared plumbing for the `sibylfs` command-line tool and the experiment
+//! binaries that regenerate the paper's evaluation numbers.
+
+use std::time::Instant;
+
+use sibylfs_check::{check_traces_parallel, CheckOptions, CheckedTrace, SuiteCheckStats};
+use sibylfs_core::flavor::{Flavor, SpecConfig};
+use sibylfs_exec::{execute_suite, ExecOptions, ExecStats};
+use sibylfs_fsimpl::{configs, BehaviorProfile};
+use sibylfs_report::{summarize_run, RunSummary};
+use sibylfs_script::Script;
+use sibylfs_testgen::{generate_suite, SuiteOptions};
+
+/// How many worker threads to use for checking (the paper uses four, §7.1).
+pub const DEFAULT_WORKERS: usize = 4;
+
+/// Parse the common `--full`/`--quick` suite-size flag from the argument
+/// list; the default is the quick suite so experiments finish in seconds.
+pub fn suite_options_from_args(args: &[String]) -> SuiteOptions {
+    if args.iter().any(|a| a == "--full") {
+        SuiteOptions::full()
+    } else {
+        SuiteOptions::quick()
+    }
+}
+
+/// Generate the suite selected by the command-line arguments.
+pub fn suite_from_args(args: &[String]) -> Vec<Script> {
+    generate_suite(suite_options_from_args(args))
+}
+
+/// The result of executing and checking one configuration.
+pub struct ConfigRun {
+    /// The configuration that was tested.
+    pub profile: BehaviorProfile,
+    /// The flavour it was checked against.
+    pub flavor: Flavor,
+    /// Execution statistics.
+    pub exec_stats: ExecStats,
+    /// Wall-clock execution time in seconds.
+    pub exec_secs: f64,
+    /// Checking statistics.
+    pub check_stats: SuiteCheckStats,
+    /// The per-trace results.
+    pub checked: Vec<CheckedTrace>,
+    /// The aggregated summary.
+    pub summary: RunSummary,
+}
+
+/// Execute the suite on a configuration and check the traces against the
+/// given flavour of the specification.
+pub fn run_config(
+    profile: &BehaviorProfile,
+    flavor: Flavor,
+    suite: &[Script],
+    workers: usize,
+) -> ConfigRun {
+    let start = Instant::now();
+    let traces = execute_suite(profile, suite, ExecOptions::default());
+    let exec_secs = start.elapsed().as_secs_f64();
+    let exec_stats = ExecStats {
+        scripts: traces.len(),
+        calls: traces.iter().map(|t| t.call_count()).sum(),
+        trace_bytes: 0,
+    };
+    let cfg = SpecConfig::standard(flavor);
+    let (checked, check_stats) =
+        check_traces_parallel(&cfg, &traces, CheckOptions::default(), workers);
+    let summary = summarize_run(&profile.name, flavor.name(), &checked);
+    ConfigRun {
+        profile: profile.clone(),
+        flavor,
+        exec_stats,
+        exec_secs,
+        check_stats,
+        checked,
+        summary,
+    }
+}
+
+/// Execute and check a configuration against the flavour of its own platform.
+pub fn run_config_native(profile: &BehaviorProfile, suite: &[Script], workers: usize) -> ConfigRun {
+    run_config(profile, profile.platform, suite, workers)
+}
+
+/// Look up a configuration or exit with a helpful message.
+pub fn config_or_exit(name: &str) -> BehaviorProfile {
+    match configs::by_name(name) {
+        Some(c) => c,
+        None => {
+            eprintln!("unknown configuration {name:?}; available configurations:");
+            for n in configs::config_names() {
+                eprintln!("  {n}");
+            }
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Format a floating point number of seconds compactly.
+pub fn fmt_secs(s: f64) -> String {
+    if s < 1.0 {
+        format!("{:.0} ms", s * 1000.0)
+    } else {
+        format!("{s:.2} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_flag_parsing() {
+        let quick = suite_options_from_args(&["--quick".to_string()]);
+        assert!(!quick.full_open_sweep);
+        let full = suite_options_from_args(&["--full".to_string()]);
+        assert!(full.full_open_sweep);
+        let default = suite_options_from_args(&[]);
+        assert!(!default.full_open_sweep);
+    }
+
+    #[test]
+    fn run_config_produces_consistent_counts() {
+        let mut opts = SuiteOptions::quick();
+        opts.random_scripts = 0;
+        let suite: Vec<Script> = generate_suite(opts).into_iter().take(50).collect();
+        let profile = configs::by_name("linux/ext4").unwrap();
+        let run = run_config(&profile, Flavor::Linux, &suite, 2);
+        assert_eq!(run.checked.len(), 50);
+        assert_eq!(run.summary.traces, 50);
+        assert_eq!(run.summary.accepted + run.summary.failing, 50);
+        assert!(run.check_stats.traces_per_sec > 0.0);
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(fmt_secs(0.5), "500 ms");
+        assert_eq!(fmt_secs(2.0), "2.00 s");
+    }
+}

@@ -1,0 +1,165 @@
+//! The `sibylfs` command-line tool: generate test suites, run them against a
+//! simulated configuration, check traces against the model, and survey many
+//! configurations at once (the turnkey black-box test setup of §1 "Use
+//! cases").
+
+use std::fs;
+use std::path::PathBuf;
+
+use sibylfs_check::{check_trace, render_checked_trace, CheckOptions};
+use sibylfs_cli::{config_or_exit, run_config, suite_from_args, DEFAULT_WORKERS};
+use sibylfs_core::flavor::Flavor;
+use sibylfs_exec::{execute_script, ExecOptions};
+use sibylfs_fsimpl::configs;
+use sibylfs_report::{merge_runs, render_merged_markdown, render_run_markdown};
+use sibylfs_script::{parse_script, parse_trace, render_script, render_trace};
+use sibylfs_testgen::summarize_suite;
+
+const USAGE: &str = "sibylfs — oracle-based testing for POSIX and real-world file systems
+
+USAGE:
+    sibylfs gen   [--full|--quick] [--out DIR]       generate the test suite
+    sibylfs run   --config NAME [--full] [--out DIR] execute the suite on a configuration
+    sibylfs check --flavor FLAVOR FILE...            check recorded traces against the model
+    sibylfs exec  --config NAME SCRIPT...            execute script files and print traces
+    sibylfs survey [--full] [--flavor FLAVOR]        run and check every registered configuration
+    sibylfs configs                                  list registered configurations
+
+FLAVOR is one of: posix, linux, mac, freebsd.
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    };
+    match cmd.as_str() {
+        "gen" => cmd_gen(&args[1..]),
+        "run" => cmd_run(&args[1..]),
+        "check" => cmd_check(&args[1..]),
+        "exec" => cmd_exec(&args[1..]),
+        "survey" => cmd_survey(&args[1..]),
+        "configs" => {
+            for c in configs::all_configs() {
+                println!("{:40} {:8} {}", c.name, c.platform.name(), c.description);
+            }
+        }
+        "--help" | "-h" | "help" => print!("{USAGE}"),
+        other => {
+            eprintln!("unknown subcommand {other:?}\n");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn opt_value(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn flavor_from(args: &[String]) -> Flavor {
+    opt_value(args, "--flavor")
+        .map(|f| f.parse().unwrap_or_else(|e| panic!("{e}")))
+        .unwrap_or(Flavor::Posix)
+}
+
+fn cmd_gen(args: &[String]) {
+    let suite = suite_from_args(args);
+    let summary = summarize_suite(&suite);
+    if let Some(dir) = opt_value(args, "--out") {
+        let dir = PathBuf::from(dir);
+        fs::create_dir_all(&dir).expect("create output directory");
+        for script in &suite {
+            let path = dir.join(format!("{}.script", script.name));
+            fs::write(path, render_script(script)).expect("write script file");
+        }
+        println!("wrote {} scripts to disk", summary.total);
+    }
+    println!("generated {} scripts ({} libc calls)", summary.total, summary.calls);
+    for (group, count) in &summary.per_group {
+        println!("  {group:12} {count}");
+    }
+}
+
+fn cmd_run(args: &[String]) {
+    let name = opt_value(args, "--config").unwrap_or_else(|| {
+        eprintln!("--config NAME is required (see `sibylfs configs`)");
+        std::process::exit(2);
+    });
+    let profile = config_or_exit(&name);
+    let suite = suite_from_args(args);
+    let run = run_config(&profile, profile.platform, &suite, DEFAULT_WORKERS);
+    if let Some(dir) = opt_value(args, "--out") {
+        let dir = PathBuf::from(dir);
+        fs::create_dir_all(&dir).expect("create output directory");
+        for checked in &run.checked {
+            let path = dir.join(format!("{}.checked", checked.name));
+            fs::write(path, render_checked_trace(checked)).expect("write checked trace");
+        }
+    }
+    print!("{}", render_run_markdown(&run.summary));
+    println!(
+        "execution: {:.2}s   checking: {:.2}s ({:.0} traces/s, {} workers)",
+        run.exec_secs,
+        run.check_stats.elapsed_secs,
+        run.check_stats.traces_per_sec,
+        run.check_stats.workers
+    );
+}
+
+fn cmd_check(args: &[String]) {
+    let flavor = flavor_from(args);
+    let cfg = sibylfs_core::flavor::SpecConfig::standard(flavor);
+    let files: Vec<&String> =
+        args.iter().filter(|a| !a.starts_with("--") && opt_value(args, "--flavor").as_ref() != Some(a)).collect();
+    if files.is_empty() {
+        eprintln!("no trace files given");
+        std::process::exit(2);
+    }
+    let mut failing = 0usize;
+    for file in files {
+        let text = fs::read_to_string(file).unwrap_or_else(|e| panic!("read {file}: {e}"));
+        let trace = parse_trace(&text).unwrap_or_else(|e| panic!("parse {file}: {e}"));
+        let checked = check_trace(&cfg, &trace, CheckOptions::default());
+        if !checked.accepted {
+            failing += 1;
+        }
+        print!("{}", render_checked_trace(&checked));
+        println!();
+    }
+    if failing > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn cmd_exec(args: &[String]) {
+    let name = opt_value(args, "--config").unwrap_or_else(|| "linux/tmpfs".to_string());
+    let profile = config_or_exit(&name);
+    let files: Vec<&String> =
+        args.iter().filter(|a| !a.starts_with("--") && opt_value(args, "--config").as_ref() != Some(a)).collect();
+    for file in files {
+        let text = fs::read_to_string(file).unwrap_or_else(|e| panic!("read {file}: {e}"));
+        let script = parse_script(&text).unwrap_or_else(|e| panic!("parse {file}: {e}"));
+        let trace = execute_script(&profile, &script, ExecOptions::default());
+        print!("{}", render_trace(&trace));
+        println!();
+    }
+}
+
+fn cmd_survey(args: &[String]) {
+    let suite = suite_from_args(args);
+    let explicit_flavor = opt_value(args, "--flavor").map(|f| f.parse::<Flavor>().expect("flavor"));
+    let mut summaries = Vec::new();
+    for profile in configs::all_configs() {
+        let flavor = explicit_flavor.unwrap_or(profile.platform);
+        let run = run_config(&profile, flavor, &suite, DEFAULT_WORKERS);
+        eprintln!(
+            "checked {:40} {:5}/{:5} accepted",
+            profile.name, run.summary.accepted, run.summary.traces
+        );
+        summaries.push(run.summary);
+    }
+    let merged = merge_runs(summaries);
+    print!("{}", render_merged_markdown(&merged));
+}

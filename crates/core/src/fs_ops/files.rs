@@ -1,0 +1,297 @@
+//! Specification of `unlink`, `truncate`, `stat` and `lstat`.
+
+use crate::commands::RetValue;
+use crate::coverage::spec_point;
+use crate::errno::Errno;
+use crate::fs_ops::{stat_of_dir, stat_of_file, CmdOutcome, SpecCtx};
+use crate::monad::Checks;
+use crate::os::Pending;
+use crate::path::{FollowLast, ResName};
+use crate::perms::Access;
+use crate::types::FileKind;
+
+/// `unlink(path)`: remove a directory entry for a non-directory file.
+pub fn spec_unlink(ctx: &SpecCtx<'_>, path: &str) -> CmdOutcome {
+    let res = ctx.resolve(path, FollowLast::NoFollow);
+    match res {
+        ResName::Err(e) => {
+            spec_point("unlink/resolution_error");
+            CmdOutcome::error(e)
+        }
+        ResName::None { .. } => {
+            spec_point("unlink/target_missing_enoent");
+            CmdOutcome::error(Errno::ENOENT)
+        }
+        ResName::Dir { .. } => {
+            // POSIX says EPERM; the LSB and Linux return EISDIR (§7.3.2).
+            spec_point("unlink/target_is_directory");
+            CmdOutcome::error_any(ctx.cfg.flavor.unlink_dir_errors().iter().copied())
+        }
+        ResName::File { parent, ref name, trailing_slash, is_symlink, .. } => {
+            let mut checks = ctx.parent_write_checks(parent);
+            if trailing_slash {
+                spec_point("unlink/trailing_slash_on_file");
+                checks = checks.par(ctx.trailing_slash_file_checks(true));
+            }
+            if is_symlink {
+                spec_point("unlink/target_is_symlink");
+            }
+            if !checks.allows_success() {
+                return CmdOutcome::from_checks(checks);
+            }
+            spec_point("unlink/success");
+            let mut new_st = ctx.st.clone();
+            new_st.heap.remove_entry(parent, name);
+            new_st.notify_entry_removed(parent, name);
+            CmdOutcome::from_checks(checks).with_value(new_st, RetValue::None)
+        }
+    }
+}
+
+/// `truncate(path, length)`: set the size of a regular file.
+pub fn spec_truncate(ctx: &SpecCtx<'_>, path: &str, len: i64) -> CmdOutcome {
+    if len < 0 {
+        spec_point("truncate/negative_length_einval");
+        return CmdOutcome::error(Errno::EINVAL);
+    }
+    let res = ctx.resolve(path, FollowLast::Follow);
+    match res {
+        ResName::Err(e) => {
+            spec_point("truncate/resolution_error");
+            CmdOutcome::error(e)
+        }
+        ResName::None { .. } => {
+            spec_point("truncate/target_missing_enoent");
+            CmdOutcome::error(Errno::ENOENT)
+        }
+        ResName::Dir { .. } => {
+            spec_point("truncate/target_is_directory_eisdir");
+            CmdOutcome::error(Errno::EISDIR)
+        }
+        ResName::File { fref, trailing_slash, .. } => {
+            let mut checks = Checks::ok();
+            if trailing_slash {
+                spec_point("truncate/trailing_slash_on_file");
+                checks = checks.par(ctx.trailing_slash_file_checks(true));
+            }
+            if !ctx.file_access(fref, Access::Write) {
+                spec_point("truncate/no_write_permission_eacces");
+                checks = checks.par(Checks::fail(Errno::EACCES));
+            }
+            if !checks.allows_success() {
+                return CmdOutcome::from_checks(checks);
+            }
+            spec_point("truncate/success");
+            let mut new_st = ctx.st.clone();
+            new_st.heap.truncate(fref, len as u64);
+            CmdOutcome::from_checks(checks).with_value(new_st, RetValue::None)
+        }
+    }
+}
+
+/// `stat(path)` (follow the final symlink) and `lstat(path)` (do not).
+pub fn spec_stat(ctx: &SpecCtx<'_>, path: &str, follow: FollowLast) -> CmdOutcome {
+    let res = ctx.resolve(path, follow);
+    match res {
+        ResName::Err(e) => {
+            spec_point("stat/resolution_error");
+            CmdOutcome::error(e)
+        }
+        ResName::None { .. } => {
+            spec_point("stat/target_missing_enoent");
+            CmdOutcome::error(Errno::ENOENT)
+        }
+        ResName::Dir { dref, .. } => {
+            spec_point("stat/target_is_directory");
+            let Some(expected) = stat_of_dir(&ctx.st.heap, dref) else {
+                return CmdOutcome::error(Errno::ENOENT);
+            };
+            CmdOutcome::from_checks(Checks::ok()).with_success(
+                ctx.st.clone(),
+                Pending::StatValue {
+                    expected,
+                    check_mode: true,
+                    check_owner: ctx.cfg.permissions,
+                },
+            )
+        }
+        ResName::File { fref, trailing_slash, is_symlink, .. } => {
+            if trailing_slash && !is_symlink {
+                // `stat("f.txt/")` on an existing regular file.
+                spec_point("stat/trailing_slash_on_file_enotdir");
+                return CmdOutcome::error(Errno::ENOTDIR);
+            }
+            let Some(expected) = stat_of_file(&ctx.st.heap, fref) else {
+                return CmdOutcome::error(Errno::ENOENT);
+            };
+            // Symlink permission bits are implementation-defined; in the
+            // POSIX envelope we do not insist on any particular value.
+            let check_mode = if expected.kind == FileKind::Symlink {
+                spec_point("stat/symlink_mode_platform_specific");
+                ctx.cfg.flavor.symlink_default_mode().is_some()
+            } else {
+                spec_point("stat/regular_file");
+                true
+            };
+            CmdOutcome::from_checks(Checks::ok()).with_success(
+                ctx.st.clone(),
+                Pending::StatValue { expected, check_mode, check_owner: ctx.cfg.permissions },
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::OsCommand;
+    use crate::flags::{FileMode, OpenFlags};
+    use crate::flavor::{Flavor, SpecConfig};
+    use crate::fs_ops::dispatch;
+    use crate::os::OsState;
+    use crate::types::INITIAL_PID;
+
+    fn setup(flavor: Flavor) -> (SpecConfig, OsState) {
+        let cfg = SpecConfig::standard(flavor);
+        let st = OsState::initial_with_process(&cfg, INITIAL_PID);
+        (cfg, st)
+    }
+
+    fn run(cfg: &SpecConfig, st: &OsState, cmd: OsCommand) -> CmdOutcome {
+        dispatch(cfg, st, INITIAL_PID, &cmd)
+    }
+
+    fn ok(out: &CmdOutcome) -> OsState {
+        assert!(!out.successes.is_empty(), "expected success, errors: {:?}", out.errors);
+        out.successes[0].0.clone()
+    }
+
+    fn with_file(cfg: &SpecConfig, st: &OsState, path: &str) -> OsState {
+        ok(&run(
+            cfg,
+            st,
+            OsCommand::Open(path.into(), OpenFlags::O_CREAT, Some(FileMode::new(0o644))),
+        ))
+    }
+
+    #[test]
+    fn unlink_file_succeeds() {
+        let (cfg, st) = setup(Flavor::Posix);
+        let st = with_file(&cfg, &st, "/f");
+        let out = run(&cfg, &st, OsCommand::Unlink("/f".into()));
+        let st2 = ok(&out);
+        assert!(st2.heap.lookup(st2.heap.root(), "f").is_none());
+    }
+
+    #[test]
+    fn unlink_missing_is_enoent() {
+        let (cfg, st) = setup(Flavor::Posix);
+        let out = run(&cfg, &st, OsCommand::Unlink("/nope".into()));
+        assert!(out.errors.contains(&Errno::ENOENT));
+    }
+
+    #[test]
+    fn unlink_directory_differs_by_flavor() {
+        let (cfg, st) = setup(Flavor::Linux);
+        let st = ok(&run(&cfg, &st, OsCommand::Mkdir("/d".into(), FileMode::new(0o777))));
+        let out = run(&cfg, &st, OsCommand::Unlink("/d".into()));
+        assert_eq!(out.errors.iter().copied().collect::<Vec<_>>(), vec![Errno::EISDIR]);
+
+        let cfg_mac = SpecConfig::standard(Flavor::Mac);
+        let out = dispatch(&cfg_mac, &st, INITIAL_PID, &OsCommand::Unlink("/d".into()));
+        assert_eq!(out.errors.iter().copied().collect::<Vec<_>>(), vec![Errno::EPERM]);
+
+        let cfg_posix = SpecConfig::standard(Flavor::Posix);
+        let out = dispatch(&cfg_posix, &st, INITIAL_PID, &OsCommand::Unlink("/d".into()));
+        assert!(out.errors.contains(&Errno::EPERM) && out.errors.contains(&Errno::EISDIR));
+    }
+
+    #[test]
+    fn unlink_symlink_removes_link_not_target() {
+        let (cfg, st) = setup(Flavor::Posix);
+        let st = with_file(&cfg, &st, "/f");
+        let st = ok(&run(&cfg, &st, OsCommand::Symlink("/f".into(), "/s".into())));
+        let st = ok(&run(&cfg, &st, OsCommand::Unlink("/s".into())));
+        assert!(st.heap.lookup(st.heap.root(), "s").is_none());
+        assert!(st.heap.lookup(st.heap.root(), "f").is_some());
+    }
+
+    #[test]
+    fn truncate_grows_and_shrinks() {
+        let (cfg, st) = setup(Flavor::Posix);
+        let st = with_file(&cfg, &st, "/f");
+        let st = ok(&run(&cfg, &st, OsCommand::Truncate("/f".into(), 100)));
+        let out = run(&cfg, &st, OsCommand::Stat("/f".into()));
+        match &out.successes[0].1 {
+            Pending::StatValue { expected, .. } => assert_eq!(expected.size, 100),
+            other => panic!("unexpected pending {other:?}"),
+        }
+        let st = ok(&run(&cfg, &st, OsCommand::Truncate("/f".into(), 0)));
+        let out = run(&cfg, &st, OsCommand::Stat("/f".into()));
+        match &out.successes[0].1 {
+            Pending::StatValue { expected, .. } => assert_eq!(expected.size, 0),
+            other => panic!("unexpected pending {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncate_errors() {
+        let (cfg, st) = setup(Flavor::Posix);
+        let out = run(&cfg, &st, OsCommand::Truncate("/f".into(), -1));
+        assert!(out.errors.contains(&Errno::EINVAL));
+        let out = run(&cfg, &st, OsCommand::Truncate("/f".into(), 10));
+        assert!(out.errors.contains(&Errno::ENOENT));
+        let st = ok(&run(&cfg, &st, OsCommand::Mkdir("/d".into(), FileMode::new(0o777))));
+        let out = run(&cfg, &st, OsCommand::Truncate("/d".into(), 10));
+        assert!(out.errors.contains(&Errno::EISDIR));
+    }
+
+    #[test]
+    fn stat_vs_lstat_on_symlink() {
+        let (cfg, st) = setup(Flavor::Linux);
+        let st = with_file(&cfg, &st, "/f");
+        let st = ok(&run(&cfg, &st, OsCommand::Symlink("/f".into(), "/s".into())));
+        let out = run(&cfg, &st, OsCommand::Stat("/s".into()));
+        match &out.successes[0].1 {
+            Pending::StatValue { expected, .. } => assert_eq!(expected.kind, FileKind::Regular),
+            other => panic!("unexpected {other:?}"),
+        }
+        let out = run(&cfg, &st, OsCommand::Lstat("/s".into()));
+        match &out.successes[0].1 {
+            Pending::StatValue { expected, check_mode, .. } => {
+                assert_eq!(expected.kind, FileKind::Symlink);
+                // Linux pins symlink modes to 0777, so the mode is checked.
+                assert!(*check_mode);
+                assert_eq!(expected.mode, FileMode::new(0o777));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // In the POSIX envelope the symlink mode is left unconstrained.
+        let cfg_posix = SpecConfig::standard(Flavor::Posix);
+        let out = dispatch(&cfg_posix, &st, INITIAL_PID, &OsCommand::Lstat("/s".into()));
+        match &out.successes[0].1 {
+            Pending::StatValue { check_mode, .. } => assert!(!*check_mode),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stat_nlink_counts_hard_links() {
+        let (cfg, st) = setup(Flavor::Posix);
+        let st = with_file(&cfg, &st, "/f");
+        let st = ok(&run(&cfg, &st, OsCommand::Link("/f".into(), "/g".into())));
+        let out = run(&cfg, &st, OsCommand::Stat("/f".into()));
+        match &out.successes[0].1 {
+            Pending::StatValue { expected, .. } => assert_eq!(expected.nlink, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stat_trailing_slash_on_file_is_enotdir() {
+        let (cfg, st) = setup(Flavor::Posix);
+        let st = with_file(&cfg, &st, "/f");
+        let out = run(&cfg, &st, OsCommand::Stat("/f/".into()));
+        assert!(out.errors.contains(&Errno::ENOTDIR));
+    }
+}

@@ -1,0 +1,309 @@
+//! Specification of the data-transfer commands: `read`, `pread`, `write`,
+//! `pwrite`.
+//!
+//! These commands exhibit the "short count" nondeterminism discussed in §3:
+//! the number of bytes transferred may be less than requested, so the success
+//! branch carries a *constrained* pending return resolved when the observed
+//! count arrives.
+
+use crate::commands::RetValue;
+use crate::coverage::spec_point;
+use crate::errno::Errno;
+use crate::flags::OpenFlags;
+use crate::fs_ops::{CmdOutcome, SpecCtx};
+use crate::monad::Checks;
+use crate::os::{FidTarget, Pending, WriteAt};
+use crate::types::Fd;
+
+/// `read(fd, count)`: read up to `count` bytes at the current offset.
+pub fn spec_read(ctx: &SpecCtx<'_>, fd: Fd, count: usize) -> CmdOutcome {
+    let Some((_, fid_state)) = ctx.st.fd_entry(ctx.pid, fd) else {
+        spec_point("read/bad_fd_ebadf");
+        return CmdOutcome::error(Errno::EBADF);
+    };
+    let file = match fid_state.target {
+        FidTarget::Dir(_) => {
+            // Reading a descriptor opened on a directory: EISDIR on the
+            // platforms we model.
+            spec_point("read/fd_refers_to_directory_eisdir");
+            return CmdOutcome::error(Errno::EISDIR);
+        }
+        FidTarget::File(f) => f,
+    };
+    let readable = fid_state.flags.access_mode().map(|m| m.readable()).unwrap_or(false);
+    if !readable {
+        spec_point("read/fd_not_open_for_reading_ebadf");
+        return CmdOutcome::error(Errno::EBADF);
+    }
+    let data = ctx.st.heap.read_bytes(file, fid_state.offset, count);
+    spec_point("read/success");
+    CmdOutcome::from_checks(Checks::ok())
+        .with_success(ctx.st.clone(), Pending::ReadData { fd: Some(fd), data })
+}
+
+/// `pread(fd, count, offset)`: read at an explicit offset without moving the
+/// file offset.
+pub fn spec_pread(ctx: &SpecCtx<'_>, fd: Fd, count: usize, offset: i64) -> CmdOutcome {
+    // A negative offset and a bad descriptor may hold simultaneously; neither
+    // error has priority over the other (the parallel-combinator discipline).
+    let neg_offset = Checks::fail_if(offset < 0, Errno::EINVAL);
+    if offset < 0 {
+        spec_point("pread/negative_offset_einval");
+    }
+    let Some((_, fid_state)) = ctx.st.fd_entry(ctx.pid, fd) else {
+        spec_point("pread/bad_fd_ebadf");
+        return CmdOutcome::from_checks(neg_offset.par(Checks::fail(Errno::EBADF)));
+    };
+    if offset < 0 {
+        return CmdOutcome::from_checks(neg_offset);
+    }
+    let file = match fid_state.target {
+        FidTarget::Dir(_) => {
+            spec_point("pread/fd_refers_to_directory_eisdir");
+            return CmdOutcome::error(Errno::EISDIR);
+        }
+        FidTarget::File(f) => f,
+    };
+    let readable = fid_state.flags.access_mode().map(|m| m.readable()).unwrap_or(false);
+    if !readable {
+        spec_point("pread/fd_not_open_for_reading_ebadf");
+        return CmdOutcome::error(Errno::EBADF);
+    }
+    let data = ctx.st.heap.read_bytes(file, offset as u64, count);
+    spec_point("pread/success");
+    CmdOutcome::from_checks(Checks::ok())
+        .with_success(ctx.st.clone(), Pending::ReadData { fd: None, data })
+}
+
+/// `write(fd, data)`: write at the current offset (or at end-of-file under
+/// `O_APPEND`).
+pub fn spec_write(ctx: &SpecCtx<'_>, fd: Fd, data: &[u8]) -> CmdOutcome {
+    let entry = ctx.st.fd_entry(ctx.pid, fd);
+    let Some((_, fid_state)) = entry else {
+        // Writing zero bytes to a bad descriptor is implementation-defined:
+        // some platforms report success (returning 0) without touching the
+        // descriptor (§7.2).
+        if data.is_empty() && ctx.cfg.flavor.zero_write_on_bad_fd_may_succeed() {
+            spec_point("write/zero_bytes_to_bad_fd_impl_defined");
+            return CmdOutcome::from_checks(Checks::may_fail(Errno::EBADF))
+                .with_value(ctx.st.clone(), RetValue::Num(0));
+        }
+        spec_point("write/bad_fd_ebadf");
+        return CmdOutcome::error(Errno::EBADF);
+    };
+    let writable = fid_state.flags.access_mode().map(|m| m.writable()).unwrap_or(false);
+    if !writable || matches!(fid_state.target, FidTarget::Dir(_)) {
+        spec_point("write/fd_not_open_for_writing_ebadf");
+        return CmdOutcome::error(Errno::EBADF);
+    }
+    let at = if fid_state.flags.contains(OpenFlags::O_APPEND) {
+        spec_point("write/append_mode");
+        WriteAt::Append
+    } else {
+        spec_point("write/at_current_offset");
+        WriteAt::Offset(fid_state.offset)
+    };
+    spec_point("write/success");
+    CmdOutcome::from_checks(Checks::ok()).with_success(
+        ctx.st.clone(),
+        Pending::WriteData { fd, data: data.to_vec(), at },
+    )
+}
+
+/// `pwrite(fd, data, offset)`: write at an explicit offset without moving the
+/// file offset.
+///
+/// POSIX requires a negative offset to fail with `EINVAL` (the OS X VFS layer
+/// mishandles this, §7.3.4) and requires the offset to be honoured even when
+/// the descriptor has `O_APPEND`; Linux deliberately ignores the offset and
+/// appends instead, a platform convention captured by the Linux flavour
+/// (§7.3.3).
+pub fn spec_pwrite(ctx: &SpecCtx<'_>, fd: Fd, data: &[u8], offset: i64) -> CmdOutcome {
+    // A negative offset and a bad descriptor may hold simultaneously; neither
+    // error has priority over the other (the parallel-combinator discipline).
+    let neg_offset = Checks::fail_if(offset < 0, Errno::EINVAL);
+    if offset < 0 {
+        spec_point("pwrite/negative_offset_einval");
+    }
+    let Some((_, fid_state)) = ctx.st.fd_entry(ctx.pid, fd) else {
+        if data.is_empty() && ctx.cfg.flavor.zero_write_on_bad_fd_may_succeed() {
+            // Implementation-defined: a zero-byte pwrite on a bad descriptor
+            // may report success without validating either argument.
+            spec_point("pwrite/zero_bytes_to_bad_fd_impl_defined");
+            let mut errs = vec![Errno::EBADF];
+            if offset < 0 {
+                errs.push(Errno::EINVAL);
+            }
+            return CmdOutcome::from_checks(Checks::may_fail_any(errs))
+                .with_value(ctx.st.clone(), RetValue::Num(0));
+        }
+        spec_point("pwrite/bad_fd_ebadf");
+        return CmdOutcome::from_checks(neg_offset.par(Checks::fail(Errno::EBADF)));
+    };
+    if offset < 0 {
+        return CmdOutcome::from_checks(neg_offset);
+    }
+    let writable = fid_state.flags.access_mode().map(|m| m.writable()).unwrap_or(false);
+    if !writable || matches!(fid_state.target, FidTarget::Dir(_)) {
+        spec_point("pwrite/fd_not_open_for_writing_ebadf");
+        return CmdOutcome::error(Errno::EBADF);
+    }
+    let at = if fid_state.flags.contains(OpenFlags::O_APPEND)
+        && ctx.cfg.flavor.pwrite_append_ignores_offset()
+    {
+        spec_point("pwrite/append_overrides_offset_linux_convention");
+        WriteAt::Append
+    } else {
+        spec_point("pwrite/at_explicit_offset");
+        WriteAt::KeepOffset(offset as u64)
+    };
+    spec_point("pwrite/success");
+    CmdOutcome::from_checks(Checks::ok()).with_success(
+        ctx.st.clone(),
+        Pending::WriteData { fd, data: data.to_vec(), at },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::OsCommand;
+    use crate::flags::FileMode;
+    use crate::flavor::{Flavor, SpecConfig};
+    use crate::fs_ops::dispatch;
+    use crate::os::OsState;
+    use crate::types::INITIAL_PID;
+
+    fn setup(flavor: Flavor) -> (SpecConfig, OsState) {
+        let cfg = SpecConfig::standard(flavor);
+        let st = OsState::initial_with_process(&cfg, INITIAL_PID);
+        (cfg, st)
+    }
+
+    fn run(cfg: &SpecConfig, st: &OsState, cmd: OsCommand) -> CmdOutcome {
+        dispatch(cfg, st, INITIAL_PID, &cmd)
+    }
+
+    /// Open a file read-write and bind the new descriptor to `fd`.
+    fn open_rw(cfg: &SpecConfig, st: &OsState, path: &str, fd: i32, extra: OpenFlags) -> OsState {
+        let out = run(
+            cfg,
+            st,
+            OsCommand::Open(
+                path.into(),
+                OpenFlags::O_CREAT | OpenFlags::O_RDWR | extra,
+                Some(FileMode::new(0o644)),
+            ),
+        );
+        assert!(!out.successes.is_empty(), "open failed: {:?}", out.errors);
+        let (st, pending) = &out.successes[0];
+        let mut st = st.clone();
+        if let Pending::NewFd { fid } = pending {
+            st.proc_mut(INITIAL_PID).unwrap().fds.insert(Fd(fd), *fid);
+        }
+        st
+    }
+
+    #[test]
+    fn read_on_bad_fd_is_ebadf() {
+        let (cfg, st) = setup(Flavor::Posix);
+        let out = run(&cfg, &st, OsCommand::Read(Fd(7), 16));
+        assert!(out.errors.contains(&Errno::EBADF));
+    }
+
+    #[test]
+    fn write_then_read_constrains_data() {
+        let (cfg, st) = setup(Flavor::Linux);
+        let st = open_rw(&cfg, &st, "/f", 3, OpenFlags::empty());
+        let out = run(&cfg, &st, OsCommand::Write(Fd(3), b"hello".to_vec()));
+        match &out.successes[0].1 {
+            Pending::WriteData { data, at, .. } => {
+                assert_eq!(data, b"hello");
+                assert_eq!(*at, WriteAt::Offset(0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_on_write_only_fd_is_ebadf() {
+        let (cfg, st) = setup(Flavor::Posix);
+        let out = run(
+            &cfg,
+            &st,
+            OsCommand::Open(
+                "/f".into(),
+                OpenFlags::O_CREAT | OpenFlags::O_WRONLY,
+                Some(FileMode::new(0o644)),
+            ),
+        );
+        let (st0, pending) = &out.successes[0];
+        let mut st = st0.clone();
+        if let Pending::NewFd { fid } = pending {
+            st.proc_mut(INITIAL_PID).unwrap().fds.insert(Fd(3), *fid);
+        }
+        let out = run(&cfg, &st, OsCommand::Read(Fd(3), 4));
+        assert!(out.errors.contains(&Errno::EBADF));
+        // And writes on a read-only fd likewise.
+        let st = open_rw(&cfg, &st, "/g", 4, OpenFlags::empty());
+        let out = run(&cfg, &st, OsCommand::Read(Fd(4), 4));
+        assert!(!out.must_fail);
+    }
+
+    #[test]
+    fn pread_negative_offset_is_einval() {
+        let (cfg, st) = setup(Flavor::Posix);
+        let st = open_rw(&cfg, &st, "/f", 3, OpenFlags::empty());
+        let out = run(&cfg, &st, OsCommand::Pread(Fd(3), 10, -1));
+        assert!(out.errors.contains(&Errno::EINVAL));
+        let out = run(&cfg, &st, OsCommand::Pwrite(Fd(3), b"x".to_vec(), -5));
+        assert!(out.errors.contains(&Errno::EINVAL));
+    }
+
+    #[test]
+    fn pwrite_append_convention_differs_between_posix_and_linux() {
+        let (cfg_linux, st) = setup(Flavor::Linux);
+        let st = open_rw(&cfg_linux, &st, "/f", 3, OpenFlags::O_APPEND);
+        let out = run(&cfg_linux, &st, OsCommand::Pwrite(Fd(3), b"abc".to_vec(), 0));
+        match &out.successes[0].1 {
+            Pending::WriteData { at, .. } => assert_eq!(*at, WriteAt::Append),
+            other => panic!("unexpected {other:?}"),
+        }
+        let cfg_posix = SpecConfig::standard(Flavor::Posix);
+        let out = dispatch(&cfg_posix, &st, INITIAL_PID, &OsCommand::Pwrite(Fd(3), b"abc".to_vec(), 0));
+        match &out.successes[0].1 {
+            Pending::WriteData { at, .. } => assert_eq!(*at, WriteAt::KeepOffset(0)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_byte_write_to_bad_fd_is_loose_on_linux() {
+        let (cfg, st) = setup(Flavor::Linux);
+        let out = run(&cfg, &st, OsCommand::Write(Fd(9), Vec::new()));
+        // Both EBADF and a zero-byte success are allowed.
+        assert!(out.errors.contains(&Errno::EBADF));
+        assert!(!out.successes.is_empty());
+        // FreeBSD flavour insists on EBADF.
+        let cfg_bsd = SpecConfig::standard(Flavor::FreeBsd);
+        let out = dispatch(&cfg_bsd, &st, INITIAL_PID, &OsCommand::Write(Fd(9), Vec::new()));
+        assert!(out.must_fail);
+    }
+
+    #[test]
+    fn reading_a_directory_descriptor_is_eisdir() {
+        let (cfg, st) = setup(Flavor::Linux);
+        let st = {
+            let s = run(&cfg, &st, OsCommand::Mkdir("/d".into(), FileMode::new(0o777)));
+            s.successes[0].0.clone()
+        };
+        let out = run(&cfg, &st, OsCommand::Open("/d".into(), OpenFlags::O_RDONLY, None));
+        let (st0, pending) = &out.successes[0];
+        let mut st = st0.clone();
+        if let Pending::NewFd { fid } = pending {
+            st.proc_mut(INITIAL_PID).unwrap().fds.insert(Fd(3), *fid);
+        }
+        let out = run(&cfg, &st, OsCommand::Read(Fd(3), 16));
+        assert!(out.errors.contains(&Errno::EISDIR));
+    }
+}

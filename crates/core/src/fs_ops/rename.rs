@@ -1,0 +1,409 @@
+//! Specification of `rename` — the command with the richest error envelope.
+//!
+//! The structure mirrors Fig. 6 of the paper: a same-object no-op check
+//! followed by a parallel composition of independent check groups (source and
+//! destination shape, root directory, sub-directory cycles, parent
+//! directories, permissions), none of whose errors takes priority over any
+//! other.
+
+use crate::commands::RetValue;
+use crate::coverage::spec_point;
+use crate::errno::Errno;
+use crate::fs_ops::{CmdOutcome, SpecCtx};
+use crate::monad::Checks;
+use crate::path::{FollowLast, ParsedPath, ResName};
+
+/// `rename(src, dst)`: rename a file or directory.
+pub fn spec_rename(ctx: &SpecCtx<'_>, src: &str, dst: &str) -> CmdOutcome {
+    // POSIX: a final component of "." or ".." shall fail (EINVAL / EBUSY).
+    for p in [src, dst] {
+        if ParsedPath::parse(p).ends_in_dot() {
+            spec_point("rename/path_ends_in_dot_einval");
+            return CmdOutcome::error_any([Errno::EINVAL, Errno::EBUSY]);
+        }
+    }
+
+    let src_res = ctx.resolve(src, FollowLast::NoFollow);
+    let dst_res = ctx.resolve(dst, FollowLast::NoFollow);
+
+    // fsop_rename_same: renaming an object to itself (same underlying file or
+    // directory, via the same or different names) is a successful no-op.
+    if let (
+        ResName::File { fref: sf, .. },
+        ResName::File { fref: df, .. },
+    ) = (&src_res, &dst_res)
+    {
+        if sf == df {
+            spec_point("rename/same_file_noop");
+            return CmdOutcome::from_checks(Checks::ok())
+                .with_value(ctx.st.clone(), RetValue::None);
+        }
+    }
+    if let (ResName::Dir { dref: sd, .. }, ResName::Dir { dref: dd, .. }) = (&src_res, &dst_res) {
+        if sd == dd {
+            spec_point("rename/same_dir_noop");
+            return CmdOutcome::from_checks(Checks::ok())
+                .with_value(ctx.st.clone(), RetValue::None);
+        }
+    }
+
+    match src_res {
+        ResName::Err(e) => {
+            spec_point("rename/source_resolution_error");
+            CmdOutcome::error(e)
+        }
+        ResName::None { .. } => {
+            spec_point("rename/source_missing_enoent");
+            CmdOutcome::error(Errno::ENOENT)
+        }
+        ResName::Dir { dref: src_dir, parent: src_parent, .. } => {
+            rename_dir(ctx, src_dir, src_parent, dst_res)
+        }
+        ResName::File { parent: src_parent, name: src_name, fref: src_file, trailing_slash, .. } => {
+            rename_file(ctx, src_parent, &src_name, src_file, trailing_slash, dst_res)
+        }
+    }
+}
+
+/// Rename where the source is a directory.
+fn rename_dir(
+    ctx: &SpecCtx<'_>,
+    src_dir: crate::state::DirRef,
+    src_parent: Option<(crate::state::DirRef, String)>,
+    dst_res: ResName,
+) -> CmdOutcome {
+    let heap = &ctx.st.heap;
+
+    // fsop_rename_checks_root: the root directory cannot be renamed.
+    if src_dir == heap.root() {
+        spec_point("rename/source_is_root");
+        return CmdOutcome::error_any(ctx.cfg.flavor.rename_root_errors().iter().copied());
+    }
+    let Some((sp, sname)) = src_parent else {
+        spec_point("rename/source_dir_without_parent_entry");
+        return CmdOutcome::error_any([Errno::EINVAL, Errno::EBUSY]);
+    };
+
+    match dst_res {
+        ResName::Err(e) => {
+            spec_point("rename/destination_resolution_error");
+            CmdOutcome::error(e)
+        }
+        ResName::File { .. } => {
+            // A directory cannot replace a non-directory.
+            spec_point("rename/dir_over_file_enotdir");
+            CmdOutcome::error(Errno::ENOTDIR)
+        }
+        ResName::Dir { dref: dst_dir, parent: dst_parent, .. } => {
+            if dst_dir == heap.root() {
+                spec_point("rename/destination_is_root");
+                return CmdOutcome::error_any(
+                    ctx.cfg.flavor.rename_root_errors().iter().copied(),
+                );
+            }
+            let Some((dp, dname)) = dst_parent else {
+                spec_point("rename/destination_dir_without_parent_entry");
+                return CmdOutcome::error_any([Errno::EINVAL, Errno::EBUSY]);
+            };
+            // fsop_rename_checks_subdir: cannot move a directory into itself.
+            let mut checks = Checks::ok();
+            if heap.is_same_or_ancestor(src_dir, dst_dir) {
+                spec_point("rename/destination_inside_source_einval");
+                checks = checks.par(Checks::fail(Errno::EINVAL));
+            }
+            // The paper's worked example (Fig. 2-4): renaming a directory onto
+            // a non-empty directory allows EEXIST or ENOTEMPTY, and nothing
+            // else — SSHFS's EPERM is flagged as a deviation.
+            if !heap.dir_is_empty(dst_dir) {
+                spec_point("rename/destination_dir_not_empty");
+                checks = checks.par(Checks::fail_any([Errno::EEXIST, Errno::ENOTEMPTY]));
+            }
+            checks = checks
+                .par(ctx.parent_write_checks(sp))
+                .par(ctx.parent_write_checks(dp))
+                .par(ctx.connected_dir_checks(dp));
+            if !checks.allows_success() {
+                return CmdOutcome::from_checks(checks);
+            }
+            spec_point("rename/dir_replaces_empty_dir_success");
+            let mut new_st = ctx.st.clone();
+            new_st.heap.remove_entry(dp, &dname);
+            new_st.notify_entry_removed(dp, &dname);
+            new_st.heap.remove_entry(sp, &sname);
+            new_st.notify_entry_removed(sp, &sname);
+            new_st.heap.attach_dir(dp, &dname, src_dir);
+            new_st.notify_entry_added(dp, &dname);
+            CmdOutcome::from_checks(checks).with_value(new_st, RetValue::None)
+        }
+        ResName::None { parent: dp, name: dname, .. } => {
+            let mut checks = Checks::ok();
+            // Moving a directory underneath itself (dst parent inside src).
+            if heap.is_same_or_ancestor(src_dir, dp) {
+                spec_point("rename/destination_parent_inside_source_einval");
+                checks = checks.par(Checks::fail(Errno::EINVAL));
+            }
+            checks = checks
+                .par(ctx.parent_write_checks(sp))
+                .par(ctx.parent_write_checks(dp))
+                .par(ctx.connected_dir_checks(dp));
+            if !checks.allows_success() {
+                return CmdOutcome::from_checks(checks);
+            }
+            spec_point("rename/dir_to_new_name_success");
+            let mut new_st = ctx.st.clone();
+            new_st.heap.remove_entry(sp, &sname);
+            new_st.notify_entry_removed(sp, &sname);
+            new_st.heap.attach_dir(dp, &dname, src_dir);
+            new_st.notify_entry_added(dp, &dname);
+            CmdOutcome::from_checks(checks).with_value(new_st, RetValue::None)
+        }
+    }
+}
+
+/// Rename where the source is a non-directory file.
+fn rename_file(
+    ctx: &SpecCtx<'_>,
+    src_parent: crate::state::DirRef,
+    src_name: &str,
+    src_file: crate::state::FileRef,
+    src_trailing_slash: bool,
+    dst_res: ResName,
+) -> CmdOutcome {
+    let src_checks = ctx.trailing_slash_file_checks(src_trailing_slash);
+    match dst_res {
+        ResName::Err(e) => {
+            spec_point("rename/file_destination_resolution_error");
+            CmdOutcome::from_checks(src_checks.par(Checks::fail(e)))
+        }
+        ResName::Dir { .. } => {
+            // A non-directory cannot replace a directory.
+            spec_point("rename/file_over_dir_eisdir");
+            CmdOutcome::from_checks(src_checks.par(Checks::fail(Errno::EISDIR)))
+        }
+        ResName::File {
+            parent: dp, name: dname, fref: _dst_file, trailing_slash: dst_ts, ..
+        } => {
+            let mut checks = src_checks
+                .par(ctx.trailing_slash_file_checks(dst_ts))
+                .par(ctx.parent_write_checks(src_parent))
+                .par(ctx.parent_write_checks(dp));
+            if dst_ts {
+                spec_point("rename/file_destination_trailing_slash");
+            }
+            if !checks.allows_success() {
+                return CmdOutcome::from_checks(checks);
+            }
+            spec_point("rename/file_replaces_file_success");
+            let mut new_st = ctx.st.clone();
+            new_st.heap.remove_entry(dp, &dname);
+            new_st.notify_entry_removed(dp, &dname);
+            new_st.heap.remove_entry(src_parent, src_name);
+            new_st.notify_entry_removed(src_parent, src_name);
+            new_st.heap.add_link(dp, &dname, src_file);
+            new_st.notify_entry_added(dp, &dname);
+            checks = checks.par(Checks::ok());
+            CmdOutcome::from_checks(checks).with_value(new_st, RetValue::None)
+        }
+        ResName::None { parent: dp, name: dname, trailing_slash: dst_ts } => {
+            let mut checks = src_checks
+                .par(ctx.parent_write_checks(src_parent))
+                .par(ctx.parent_write_checks(dp))
+                .par(ctx.connected_dir_checks(dp));
+            if dst_ts {
+                // Renaming a file to a missing name with a trailing slash.
+                spec_point("rename/file_to_missing_name_with_trailing_slash");
+                checks = checks.par(Checks::fail_any([Errno::ENOTDIR, Errno::ENOENT]));
+            }
+            if !checks.allows_success() {
+                return CmdOutcome::from_checks(checks);
+            }
+            spec_point("rename/file_to_new_name_success");
+            let mut new_st = ctx.st.clone();
+            new_st.heap.remove_entry(src_parent, src_name);
+            new_st.notify_entry_removed(src_parent, src_name);
+            new_st.heap.add_link(dp, &dname, src_file);
+            new_st.notify_entry_added(dp, &dname);
+            CmdOutcome::from_checks(checks).with_value(new_st, RetValue::None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::OsCommand;
+    use crate::flags::{FileMode, OpenFlags};
+    use crate::flavor::{Flavor, SpecConfig};
+    use crate::fs_ops::dispatch;
+    use crate::os::OsState;
+    use crate::state::Entry as HeapEntry;
+    use crate::types::INITIAL_PID;
+
+    fn setup(flavor: Flavor) -> (SpecConfig, OsState) {
+        let cfg = SpecConfig::standard(flavor);
+        let st = OsState::initial_with_process(&cfg, INITIAL_PID);
+        (cfg, st)
+    }
+
+    fn run(cfg: &SpecConfig, st: &OsState, cmd: OsCommand) -> CmdOutcome {
+        dispatch(cfg, st, INITIAL_PID, &cmd)
+    }
+
+    fn ok(out: &CmdOutcome) -> OsState {
+        assert!(!out.successes.is_empty(), "expected success, errors: {:?}", out.errors);
+        out.successes[0].0.clone()
+    }
+
+    fn mkdir(cfg: &SpecConfig, st: &OsState, p: &str) -> OsState {
+        ok(&run(cfg, st, OsCommand::Mkdir(p.into(), FileMode::new(0o777))))
+    }
+
+    fn mkfile(cfg: &SpecConfig, st: &OsState, p: &str) -> OsState {
+        ok(&run(cfg, st, OsCommand::Open(p.into(), OpenFlags::O_CREAT, Some(FileMode::new(0o644)))))
+    }
+
+    #[test]
+    fn paper_example_rename_emptydir_over_nonemptydir() {
+        // Fig. 2-4 of the paper: the model allows only EEXIST or ENOTEMPTY.
+        let (cfg, st) = setup(Flavor::Linux);
+        let st = mkdir(&cfg, &st, "/emptydir");
+        let st = mkdir(&cfg, &st, "/nonemptydir");
+        let st = mkfile(&cfg, &st, "/nonemptydir/f");
+        let out = run(&cfg, &st, OsCommand::Rename("/emptydir".into(), "/nonemptydir".into()));
+        assert!(out.must_fail);
+        assert_eq!(
+            out.errors.iter().copied().collect::<Vec<_>>(),
+            vec![Errno::EEXIST, Errno::ENOTEMPTY]
+        );
+    }
+
+    #[test]
+    fn rename_file_to_new_name() {
+        let (cfg, st) = setup(Flavor::Posix);
+        let st = mkfile(&cfg, &st, "/a");
+        let st2 = ok(&run(&cfg, &st, OsCommand::Rename("/a".into(), "/b".into())));
+        let root = st2.heap.root();
+        assert!(st2.heap.lookup(root, "a").is_none());
+        assert!(st2.heap.lookup(root, "b").is_some());
+        // Link count is preserved across the move.
+        if let Some(HeapEntry::File(f)) = st2.heap.lookup(root, "b") {
+            assert_eq!(st2.heap.file(f).unwrap().nlink, 1);
+        } else {
+            panic!("expected file");
+        }
+    }
+
+    #[test]
+    fn rename_file_replaces_existing_file() {
+        let (cfg, st) = setup(Flavor::Posix);
+        let st = mkfile(&cfg, &st, "/a");
+        let st = mkfile(&cfg, &st, "/b");
+        let st2 = ok(&run(&cfg, &st, OsCommand::Rename("/a".into(), "/b".into())));
+        let root = st2.heap.root();
+        assert!(st2.heap.lookup(root, "a").is_none());
+        assert!(st2.heap.lookup(root, "b").is_some());
+    }
+
+    #[test]
+    fn rename_same_file_is_noop_even_via_hard_links() {
+        let (cfg, st) = setup(Flavor::Posix);
+        let st = mkfile(&cfg, &st, "/a");
+        let st = ok(&run(&cfg, &st, OsCommand::Link("/a".into(), "/b".into())));
+        let out = run(&cfg, &st, OsCommand::Rename("/a".into(), "/b".into()));
+        assert!(!out.must_fail);
+        let st2 = ok(&out);
+        // POSIX: both names still exist after the no-op.
+        let root = st2.heap.root();
+        assert!(st2.heap.lookup(root, "a").is_some());
+        assert!(st2.heap.lookup(root, "b").is_some());
+    }
+
+    #[test]
+    fn rename_dir_to_new_name_and_over_empty_dir() {
+        let (cfg, st) = setup(Flavor::Posix);
+        let st = mkdir(&cfg, &st, "/d1");
+        let st = mkfile(&cfg, &st, "/d1/f");
+        let st = mkdir(&cfg, &st, "/d2");
+        // Over an empty directory: succeeds, the old d2 is replaced.
+        let st2 = ok(&run(&cfg, &st, OsCommand::Rename("/d1".into(), "/d2".into())));
+        let root = st2.heap.root();
+        assert!(st2.heap.lookup(root, "d1").is_none());
+        let d2 = match st2.heap.lookup(root, "d2").unwrap() {
+            HeapEntry::Dir(d) => d,
+            _ => panic!(),
+        };
+        assert!(st2.heap.lookup(d2, "f").is_some());
+    }
+
+    #[test]
+    fn rename_dir_into_its_own_subdir_is_einval() {
+        let (cfg, st) = setup(Flavor::Posix);
+        let st = mkdir(&cfg, &st, "/d");
+        let st = mkdir(&cfg, &st, "/d/sub");
+        let out = run(&cfg, &st, OsCommand::Rename("/d".into(), "/d/sub/x".into()));
+        assert!(out.errors.contains(&Errno::EINVAL));
+        let out = run(&cfg, &st, OsCommand::Rename("/d".into(), "/d/sub".into()));
+        assert!(out.errors.contains(&Errno::EINVAL));
+    }
+
+    #[test]
+    fn rename_shape_mismatches() {
+        let (cfg, st) = setup(Flavor::Posix);
+        let st = mkdir(&cfg, &st, "/d");
+        let st = mkfile(&cfg, &st, "/f");
+        let out = run(&cfg, &st, OsCommand::Rename("/d".into(), "/f".into()));
+        assert!(out.errors.contains(&Errno::ENOTDIR));
+        let out = run(&cfg, &st, OsCommand::Rename("/f".into(), "/d".into()));
+        assert!(out.errors.contains(&Errno::EISDIR));
+    }
+
+    #[test]
+    fn rename_root_is_rejected_with_flavor_specific_errors() {
+        let (cfg, st) = setup(Flavor::Linux);
+        let st = mkdir(&cfg, &st, "/d");
+        let out = run(&cfg, &st, OsCommand::Rename("/".into(), "/d/x".into()));
+        assert!(out.must_fail);
+        assert!(out.errors.contains(&Errno::EBUSY) || out.errors.contains(&Errno::EINVAL));
+        // OS X additionally reports EISDIR (§7.3.2).
+        let cfg_mac = SpecConfig::standard(Flavor::Mac);
+        let out = dispatch(&cfg_mac, &st, INITIAL_PID, &OsCommand::Rename("/".into(), "/d/x".into()));
+        assert!(out.errors.contains(&Errno::EISDIR));
+    }
+
+    #[test]
+    fn rename_missing_source_is_enoent() {
+        let (cfg, st) = setup(Flavor::Posix);
+        let out = run(&cfg, &st, OsCommand::Rename("/missing".into(), "/x".into()));
+        assert!(out.errors.contains(&Errno::ENOENT));
+    }
+
+    #[test]
+    fn rename_path_ending_in_dot_is_einval() {
+        let (cfg, st) = setup(Flavor::Posix);
+        let st = mkdir(&cfg, &st, "/d");
+        let out = run(&cfg, &st, OsCommand::Rename("/d/.".into(), "/e".into()));
+        assert!(out.errors.contains(&Errno::EINVAL));
+        let out = run(&cfg, &st, OsCommand::Rename("/d".into(), "/d/..".into()));
+        assert!(out.errors.contains(&Errno::EINVAL));
+    }
+
+    #[test]
+    fn rename_preserves_dir_contents_under_new_parent() {
+        let (cfg, st) = setup(Flavor::Posix);
+        let st = mkdir(&cfg, &st, "/a");
+        let st = mkdir(&cfg, &st, "/a/inner");
+        let st = mkdir(&cfg, &st, "/b");
+        let st2 = ok(&run(&cfg, &st, OsCommand::Rename("/a".into(), "/b/a".into())));
+        let root = st2.heap.root();
+        let b = match st2.heap.lookup(root, "b").unwrap() {
+            HeapEntry::Dir(d) => d,
+            _ => panic!(),
+        };
+        let a = match st2.heap.lookup(b, "a").unwrap() {
+            HeapEntry::Dir(d) => d,
+            _ => panic!(),
+        };
+        assert!(st2.heap.lookup(a, "inner").is_some());
+        assert_eq!(st2.heap.parent_of(a), Some(b));
+    }
+}

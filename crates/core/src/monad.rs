@@ -1,0 +1,206 @@
+//! Structuring combinators for the specification.
+//!
+//! The Lem model structures the error checks of each command with monads and a
+//! "parallel" combinator `|||` (Fig. 6): the checks of a command are evaluated
+//! conceptually in parallel, none of the errors they raise has priority over
+//! any other, and the command is allowed to fail with *any* of them. This
+//! module provides the Rust equivalent: a [`Checks`] accumulator with a
+//! [`Checks::par`] combinator, together with helpers for mandatory ("shall
+//! fail") and optional ("may fail") errors.
+
+use std::collections::BTreeSet;
+
+use crate::errno::Errno;
+
+/// The result of evaluating the guard checks of a command.
+///
+/// * `errors` is the set of errnos the call is allowed to return.
+/// * `must_fail` records whether at least one *mandatory* error condition
+///   held, in which case the call is not allowed to succeed.
+///
+/// The POSIX invariant that failing calls do not change the file-system state
+/// (§7.3.2 "Invariants") means error branches never need to carry a new
+/// state: the checker simply keeps the pre-call state for them.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Checks {
+    /// Errors the call may return.
+    pub errors: BTreeSet<Errno>,
+    /// Whether the call is required to fail.
+    pub must_fail: bool,
+}
+
+impl Checks {
+    /// No error condition holds: the call must succeed.
+    pub fn ok() -> Checks {
+        Checks { errors: BTreeSet::new(), must_fail: false }
+    }
+
+    /// A mandatory error: the call shall fail, with `e` one allowed errno.
+    pub fn fail(e: Errno) -> Checks {
+        let mut errors = BTreeSet::new();
+        errors.insert(e);
+        Checks { errors, must_fail: true }
+    }
+
+    /// A mandatory error where the specification allows a choice of errno.
+    pub fn fail_any<I: IntoIterator<Item = Errno>>(errs: I) -> Checks {
+        let errors: BTreeSet<Errno> = errs.into_iter().collect();
+        let must_fail = !errors.is_empty();
+        Checks { errors, must_fail }
+    }
+
+    /// An optional error: the call may fail with `e`, or may succeed.
+    pub fn may_fail(e: Errno) -> Checks {
+        let mut errors = BTreeSet::new();
+        errors.insert(e);
+        Checks { errors, must_fail: false }
+    }
+
+    /// An optional error with a choice of errno.
+    pub fn may_fail_any<I: IntoIterator<Item = Errno>>(errs: I) -> Checks {
+        Checks { errors: errs.into_iter().collect(), must_fail: false }
+    }
+
+    /// Evaluate a check only if a condition holds; otherwise no error.
+    pub fn fail_if(cond: bool, e: Errno) -> Checks {
+        if cond {
+            Checks::fail(e)
+        } else {
+            Checks::ok()
+        }
+    }
+
+    /// Evaluate an optional check only if a condition holds.
+    pub fn may_fail_if(cond: bool, e: Errno) -> Checks {
+        if cond {
+            Checks::may_fail(e)
+        } else {
+            Checks::ok()
+        }
+    }
+
+    /// The parallel combinator `|||` of Fig. 6.
+    ///
+    /// Both sets of checks are carried out "in parallel": the resulting error
+    /// set is the union, and the call must fail if either side requires it.
+    /// No error has priority over any other.
+    pub fn par(mut self, other: Checks) -> Checks {
+        self.errors.extend(other.errors);
+        self.must_fail |= other.must_fail;
+        self
+    }
+
+    /// Sequential composition: evaluate `f` only if no mandatory error has
+    /// been raised yet. Used where a later check is only meaningful when an
+    /// earlier one passed (e.g. permission checks on a path that resolved).
+    pub fn and_then<F: FnOnce() -> Checks>(self, f: F) -> Checks {
+        if self.must_fail {
+            self
+        } else {
+            let other = f();
+            self.par(other)
+        }
+    }
+
+    /// Whether the call is allowed to succeed.
+    pub fn allows_success(&self) -> bool {
+        !self.must_fail
+    }
+
+    /// Whether any error (mandatory or optional) may be returned.
+    pub fn allows_error(&self) -> bool {
+        !self.errors.is_empty()
+    }
+}
+
+/// Fold the parallel combinator over a list of checks, mirroring the
+/// `c1 ||| c2 ||| …` chains of the Lem model.
+pub fn par_all<I: IntoIterator<Item = Checks>>(checks: I) -> Checks {
+    checks.into_iter().fold(Checks::ok(), Checks::par)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ok_allows_success_only() {
+        let c = Checks::ok();
+        assert!(c.allows_success());
+        assert!(!c.allows_error());
+    }
+
+    #[test]
+    fn fail_is_mandatory() {
+        let c = Checks::fail(Errno::ENOENT);
+        assert!(!c.allows_success());
+        assert!(c.errors.contains(&Errno::ENOENT));
+    }
+
+    #[test]
+    fn may_fail_allows_both() {
+        let c = Checks::may_fail(Errno::EACCES);
+        assert!(c.allows_success());
+        assert!(c.allows_error());
+    }
+
+    #[test]
+    fn par_unions_errors_without_priority() {
+        // The paper's rename example: EEXIST and ENOTEMPTY both allowed.
+        let c = Checks::fail(Errno::EEXIST).par(Checks::fail(Errno::ENOTEMPTY));
+        assert!(!c.allows_success());
+        assert_eq!(
+            c.errors.iter().copied().collect::<Vec<_>>(),
+            vec![Errno::EEXIST, Errno::ENOTEMPTY]
+        );
+        // par is commutative on the error set.
+        let c2 = Checks::fail(Errno::ENOTEMPTY).par(Checks::fail(Errno::EEXIST));
+        assert_eq!(c.errors, c2.errors);
+    }
+
+    #[test]
+    fn par_with_ok_is_identity() {
+        let c = Checks::fail(Errno::EPERM);
+        assert_eq!(c.clone().par(Checks::ok()), c);
+        assert_eq!(Checks::ok().par(c.clone()), c);
+    }
+
+    #[test]
+    fn and_then_short_circuits_on_mandatory_error() {
+        let evaluated = std::cell::Cell::new(false);
+        let c = Checks::fail(Errno::ENOENT).and_then(|| {
+            evaluated.set(true);
+            Checks::fail(Errno::EACCES)
+        });
+        assert!(!evaluated.get());
+        assert_eq!(c.errors.len(), 1);
+
+        let c = Checks::ok().and_then(|| Checks::fail(Errno::EACCES));
+        assert!(c.errors.contains(&Errno::EACCES));
+    }
+
+    #[test]
+    fn fail_any_empty_is_ok() {
+        let c = Checks::fail_any([]);
+        assert!(c.allows_success());
+    }
+
+    #[test]
+    fn par_all_folds() {
+        let c = par_all([
+            Checks::ok(),
+            Checks::may_fail(Errno::EACCES),
+            Checks::fail(Errno::EISDIR),
+        ]);
+        assert!(!c.allows_success());
+        assert_eq!(c.errors.len(), 2);
+    }
+
+    #[test]
+    fn fail_if_conditions() {
+        assert!(Checks::fail_if(true, Errno::EBUSY).must_fail);
+        assert!(!Checks::fail_if(false, Errno::EBUSY).must_fail);
+        assert!(Checks::may_fail_if(true, Errno::EBUSY).allows_error());
+        assert!(!Checks::may_fail_if(false, Errno::EBUSY).allows_error());
+    }
+}

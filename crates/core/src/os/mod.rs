@@ -1,0 +1,459 @@
+//! The POSIX API module (Fig. 5): processes, file descriptors, directory
+//! handles, and the top-level operating-system state of the model.
+//!
+//! This module defines the *states* of the labelled transition system; the
+//! transition function itself lives in [`trans`].
+
+pub mod trans;
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::commands::{OsCommand, RetValue, Stat};
+use crate::errno::Errno;
+use crate::flags::{FileMode, OpenFlags};
+use crate::flavor::SpecConfig;
+use crate::perms::{Creds, GroupTable};
+use crate::state::{DirHeap, DirRef, FileRef};
+use crate::types::{DirHandleId, Fd, Fid, Gid, Pid, Uid};
+
+/// What an open file description refers to: `open` can open directories as
+/// well as regular files (reads on a directory descriptor then fail).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FidTarget {
+    /// A regular file or symlink object.
+    File(FileRef),
+    /// A directory.
+    Dir(DirRef),
+}
+
+/// An OS-level open file description (the `fid_state` of the Lem model).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FidState {
+    /// The object the description refers to.
+    pub target: FidTarget,
+    /// The current file offset.
+    pub offset: u64,
+    /// The flags the file was opened with (access mode, `O_APPEND`, …).
+    pub flags: OpenFlags,
+}
+
+impl FidState {
+    /// The file reference, if the description is for a non-directory file.
+    pub fn file(&self) -> Option<FileRef> {
+        match self.target {
+            FidTarget::File(f) => Some(f),
+            FidTarget::Dir(_) => None,
+        }
+    }
+}
+
+/// The state of an open directory handle.
+///
+/// `readdir` nondeterminism is handled with explicit *must*/*may* sets (§3
+/// "Directory listing nondeterminism"): entries in `must` have to be returned
+/// exactly once before end-of-directory may be reported; entries in `may` may
+/// or may not be returned (they were added or removed while the handle was
+/// open); `returned` records what has already been handed out so nothing is
+/// returned twice.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirHandleState {
+    /// The directory being listed.
+    pub dir: DirRef,
+    /// Entries that must still be returned.
+    pub must: BTreeSet<String>,
+    /// Entries that may be returned.
+    pub may: BTreeSet<String>,
+    /// Entries already returned.
+    pub returned: BTreeSet<String>,
+}
+
+impl DirHandleState {
+    /// A handle freshly opened on `dir` whose current entries are `entries`.
+    pub fn open(dir: DirRef, entries: impl IntoIterator<Item = String>) -> DirHandleState {
+        DirHandleState {
+            dir,
+            must: entries.into_iter().collect(),
+            may: BTreeSet::new(),
+            returned: BTreeSet::new(),
+        }
+    }
+
+    /// Record that `name` was removed from the directory while this handle is
+    /// open: if it had not yet been returned it may (but need not) still be
+    /// returned.
+    pub fn note_removed(&mut self, name: &str) {
+        if self.must.remove(name) {
+            self.may.insert(name.to_string());
+        }
+        // If it was already returned it stays returned; if it was already in
+        // `may` it stays there.
+    }
+
+    /// Record that `name` was added to the directory while this handle is
+    /// open: it may (but need not) be returned by subsequent reads.
+    pub fn note_added(&mut self, name: &str) {
+        if !self.must.contains(name) {
+            self.may.insert(name.to_string());
+        }
+    }
+
+    /// Record that `name` was returned by `readdir`.
+    pub fn note_returned(&mut self, name: &str) {
+        self.must.remove(name);
+        self.may.remove(name);
+        self.returned.insert(name.to_string());
+    }
+
+    /// Whether end-of-directory may be reported now.
+    pub fn may_finish(&self) -> bool {
+        self.must.is_empty()
+    }
+
+    /// The set of entries that may be returned by the next `readdir`.
+    pub fn candidates(&self) -> BTreeSet<String> {
+        self.must.union(&self.may).cloned().collect()
+    }
+}
+
+/// POSIX "special" behaviour classes (§1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SpecialKind {
+    /// Undefined behaviour: the arguments were invalid according to POSIX.
+    Undefined,
+    /// Unspecified behaviour: valid arguments, but POSIX does not say what
+    /// happens.
+    Unspecified,
+    /// Implementation-defined behaviour.
+    ImplDefined,
+}
+
+/// How a pending write applies its data when the observed byte count arrives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WriteAt {
+    /// Write at the given offset and advance the descriptor offset past the
+    /// written bytes (plain `write`).
+    Offset(u64),
+    /// Write at end of file and advance the offset (`O_APPEND` semantics).
+    Append,
+    /// Write at the given offset but leave the descriptor offset unchanged
+    /// (`pwrite`).
+    KeepOffset(u64),
+}
+
+/// The constraint on the value a pending call is allowed to return, together
+/// with enough information to update the state once the value is observed.
+///
+/// Error returns never change the state (the POSIX invariant), so a single
+/// [`Pending::Errors`] branch represents every allowed error at once; success
+/// branches either carry an exact value or a constrained family of values
+/// (short reads/writes, readdir entries, newly allocated descriptors) that is
+/// resolved when the real system's choice is observed — the strategy of §3.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pending {
+    /// The call must fail with one of these errors.
+    Errors(BTreeSet<Errno>),
+    /// The call succeeds with exactly this value.
+    Value(RetValue),
+    /// The call returns a `stat` structure; mode/ownership comparison is
+    /// configurable so the POSIX envelope can leave symlink modes loose.
+    StatValue {
+        /// The expected structure.
+        expected: Stat,
+        /// Whether the mode bits must match exactly.
+        check_mode: bool,
+        /// Whether uid/gid must match exactly.
+        check_owner: bool,
+    },
+    /// `open` succeeded: any not-yet-used non-negative descriptor is allowed;
+    /// on observation the descriptor is bound to this description.
+    NewFd {
+        /// The file description to bind.
+        fid: Fid,
+    },
+    /// `opendir` succeeded: any unused handle id is allowed.
+    NewDirHandle {
+        /// The handle state to bind.
+        handle: DirHandleState,
+    },
+    /// `read`/`pread` succeeded: any prefix of `data` may be returned
+    /// (non-empty if `data` is non-empty).
+    ReadData {
+        /// The descriptor whose offset advances (None for `pread`).
+        fd: Option<Fd>,
+        /// The bytes available at the read position.
+        data: Vec<u8>,
+    },
+    /// `write`/`pwrite` succeeded: any count `1..=data.len()` may be reported
+    /// (or 0 when `data` is empty); the reported prefix is applied to the file.
+    WriteData {
+        /// The descriptor written through.
+        fd: Fd,
+        /// The bytes the process asked to write.
+        data: Vec<u8>,
+        /// Where the write lands.
+        at: WriteAt,
+    },
+    /// `readdir` succeeded: the allowed entries are drawn from the handle's
+    /// must/may sets, or end-of-directory if every `must` entry has been
+    /// returned.
+    ReaddirEntry {
+        /// The handle being read.
+        dh: DirHandleId,
+    },
+    /// The behaviour is undefined/unspecified/implementation-defined: any
+    /// return is accepted.
+    Special(SpecialKind),
+}
+
+/// The run state of a process.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProcRunState {
+    /// The process is not in a libc call.
+    Ready,
+    /// The process has made a call that the OS has not yet processed.
+    InCall(OsCommand),
+    /// The OS has processed the call; the return value is constrained by the
+    /// `Pending`.
+    Pending(Pending),
+}
+
+/// Per-process state tracked by the operating system
+/// (the `per_process_state` of the Lem model).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PerProcessState {
+    /// Current working directory.
+    pub cwd: DirRef,
+    /// Per-process file descriptor table, mapping descriptors to OS-level
+    /// file descriptions.
+    pub fds: BTreeMap<Fd, Fid>,
+    /// Open directory handles.
+    pub dir_handles: BTreeMap<DirHandleId, DirHandleState>,
+    /// The file-creation mask.
+    pub umask: FileMode,
+    /// Effective user id.
+    pub euid: Uid,
+    /// Effective group id.
+    pub egid: Gid,
+    /// Whether the process is idle, in a call, or awaiting a return.
+    pub run_state: ProcRunState,
+}
+
+impl PerProcessState {
+    /// A fresh process with the given credentials whose cwd is `cwd`.
+    pub fn new(cwd: DirRef, euid: Uid, egid: Gid) -> PerProcessState {
+        PerProcessState {
+            cwd,
+            fds: BTreeMap::new(),
+            dir_handles: BTreeMap::new(),
+            umask: FileMode::new(0o022),
+            euid,
+            egid,
+            run_state: ProcRunState::Ready,
+        }
+    }
+}
+
+/// The top-level state of the model: the `ty_os_state` of the Lem model.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OsState {
+    /// Directory structure and file contents.
+    pub heap: DirHeap,
+    /// OS-level open file descriptions (`oss_fid_table`).
+    pub fids: BTreeMap<Fid, FidState>,
+    /// Group membership (`oss_group_table`).
+    pub groups: GroupTable,
+    /// Per-process state (`oss_pid_table`).
+    pub procs: BTreeMap<Pid, PerProcessState>,
+    next_fid: u64,
+}
+
+impl OsState {
+    /// The initial state: an empty file system and no processes.
+    pub fn initial() -> OsState {
+        OsState {
+            heap: DirHeap::empty(),
+            fids: BTreeMap::new(),
+            groups: GroupTable::new(),
+            procs: BTreeMap::new(),
+            next_fid: 1,
+        }
+    }
+
+    /// The initial state used for checking a test trace: an empty file system
+    /// and a single initial process whose credentials depend on whether the
+    /// configuration runs tests as root.
+    pub fn initial_with_process(cfg: &SpecConfig, pid: Pid) -> OsState {
+        let mut st = OsState::initial();
+        let (uid, gid) =
+            if cfg.root_user { (Uid(0), Gid(0)) } else { (Uid(1000), Gid(1000)) };
+        let root = st.heap.root();
+        st.procs.insert(pid, PerProcessState::new(root, uid, gid));
+        st
+    }
+
+    /// Allocate a fresh OS-level file description id.
+    pub fn fresh_fid(&mut self) -> Fid {
+        let id = self.next_fid;
+        self.next_fid += 1;
+        Fid(id)
+    }
+
+    /// The credentials the given process presents, or `None` when the
+    /// permissions trait is disabled.
+    pub fn creds_of(&self, cfg: &SpecConfig, pid: Pid) -> Option<Creds> {
+        if !cfg.permissions {
+            return None;
+        }
+        let proc = self.procs.get(&pid)?;
+        let mut creds = Creds::user(proc.euid, proc.egid);
+        creds.groups = self.groups.groups_of(proc.euid);
+        Some(creds)
+    }
+
+    /// The per-process state of `pid`.
+    pub fn proc(&self, pid: Pid) -> Option<&PerProcessState> {
+        self.procs.get(&pid)
+    }
+
+    /// The per-process state of `pid`, mutably.
+    pub fn proc_mut(&mut self, pid: Pid) -> Option<&mut PerProcessState> {
+        self.procs.get_mut(&pid)
+    }
+
+    /// Look up the open file description behind a process's descriptor.
+    pub fn fd_entry(&self, pid: Pid, fd: Fd) -> Option<(&Fid, &FidState)> {
+        let fid = self.proc(pid)?.fds.get(&fd)?;
+        let st = self.fids.get(fid)?;
+        Some((fid, st))
+    }
+
+    /// Notify every open directory handle on `dir` that `name` was removed.
+    pub fn notify_entry_removed(&mut self, dir: DirRef, name: &str) {
+        for proc in self.procs.values_mut() {
+            for dh in proc.dir_handles.values_mut() {
+                if dh.dir == dir {
+                    dh.note_removed(name);
+                }
+            }
+        }
+    }
+
+    /// Notify every open directory handle on `dir` that `name` was added.
+    pub fn notify_entry_added(&mut self, dir: DirRef, name: &str) {
+        for proc in self.procs.values_mut() {
+            for dh in proc.dir_handles.values_mut() {
+                if dh.dir == dir {
+                    dh.note_added(name);
+                }
+            }
+        }
+    }
+
+    /// The number of processes currently in a call or awaiting a return.
+    pub fn busy_processes(&self) -> usize {
+        self.procs
+            .values()
+            .filter(|p| !matches!(p.run_state, ProcRunState::Ready))
+            .count()
+    }
+}
+
+impl Default for OsState {
+    fn default() -> Self {
+        OsState::initial()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flavor::Flavor;
+
+    #[test]
+    fn initial_state_with_process() {
+        let cfg = SpecConfig::standard(Flavor::Posix);
+        let st = OsState::initial_with_process(&cfg, Pid(1));
+        assert_eq!(st.procs.len(), 1);
+        let p = st.proc(Pid(1)).unwrap();
+        assert_eq!(p.euid, Uid(0));
+        assert_eq!(p.umask, FileMode::new(0o022));
+        assert!(matches!(p.run_state, ProcRunState::Ready));
+
+        let cfg = SpecConfig::unprivileged(Flavor::Posix);
+        let st = OsState::initial_with_process(&cfg, Pid(1));
+        assert_eq!(st.proc(Pid(1)).unwrap().euid, Uid(1000));
+    }
+
+    #[test]
+    fn creds_respect_permissions_trait() {
+        let cfg = SpecConfig::without_permissions(Flavor::Linux);
+        let st = OsState::initial_with_process(&cfg, Pid(1));
+        assert!(st.creds_of(&cfg, Pid(1)).is_none());
+
+        let cfg = SpecConfig::standard(Flavor::Linux);
+        let st = OsState::initial_with_process(&cfg, Pid(1));
+        let creds = st.creds_of(&cfg, Pid(1)).unwrap();
+        assert!(creds.is_root());
+    }
+
+    #[test]
+    fn fresh_fids_are_distinct() {
+        let mut st = OsState::initial();
+        let a = st.fresh_fid();
+        let b = st.fresh_fid();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn dir_handle_must_may_transitions() {
+        let mut dh = DirHandleState::open(DirRef(1), ["a".to_string(), "b".to_string()]);
+        assert!(!dh.may_finish());
+        assert_eq!(dh.candidates().len(), 2);
+
+        // Deleting an unreturned entry moves it to `may`.
+        dh.note_removed("a");
+        assert!(dh.may.contains("a"));
+        assert!(!dh.must.contains("a"));
+        // It can still be returned — or the directory can finish once `must`
+        // is drained.
+        dh.note_returned("b");
+        assert!(dh.may_finish());
+        assert!(dh.candidates().contains("a"));
+
+        // Once returned, an entry is not offered again.
+        dh.note_returned("a");
+        assert!(dh.candidates().is_empty());
+
+        // A new entry added while open becomes a `may` entry.
+        dh.note_added("c");
+        assert!(dh.candidates().contains("c"));
+        assert!(dh.may_finish());
+    }
+
+    #[test]
+    fn notify_updates_all_matching_handles() {
+        let cfg = SpecConfig::standard(Flavor::Posix);
+        let mut st = OsState::initial_with_process(&cfg, Pid(1));
+        let root = st.heap.root();
+        let dh_state = DirHandleState::open(root, ["x".to_string()]);
+        st.proc_mut(Pid(1)).unwrap().dir_handles.insert(DirHandleId(1), dh_state);
+        st.notify_entry_added(root, "y");
+        st.notify_entry_removed(root, "x");
+        let dh = &st.proc(Pid(1)).unwrap().dir_handles[&DirHandleId(1)];
+        assert!(dh.may.contains("x"));
+        assert!(dh.may.contains("y"));
+        assert!(dh.must.is_empty());
+    }
+
+    #[test]
+    fn busy_process_count() {
+        let cfg = SpecConfig::standard(Flavor::Posix);
+        let mut st = OsState::initial_with_process(&cfg, Pid(1));
+        assert_eq!(st.busy_processes(), 0);
+        st.proc_mut(Pid(1)).unwrap().run_state =
+            ProcRunState::InCall(OsCommand::Stat("/".into()));
+        assert_eq!(st.busy_processes(), 1);
+    }
+}

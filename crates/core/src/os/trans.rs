@@ -1,0 +1,781 @@
+//! The transition function of the labelled transition system:
+//! `os_trans : state → label → finite set of states` (§5).
+//!
+//! Nondeterminism is represented exactly as described in §3: a call first
+//! moves the process into `InCall`, a τ step processes the call and leaves a
+//! *pending return* (an error set, an exact value, or a constrained family of
+//! values), and the `OS_RETURN` label resolves the nondeterminism against the
+//! observed value. No backtracking search is ever required.
+
+use crate::commands::{ErrorOrValue, OsCommand, OsLabel, RetValue};
+use crate::coverage::spec_point;
+use crate::errno::Errno;
+use crate::flavor::SpecConfig;
+use crate::fs_ops;
+use crate::os::{FidTarget, OsState, Pending, PerProcessState, ProcRunState, WriteAt};
+use crate::types::{DirHandleId, Fd, Pid};
+
+/// Apply one label to one state, returning every allowed next state.
+///
+/// An empty result means the label is not allowed from this state.
+pub fn os_trans(cfg: &SpecConfig, st: &OsState, label: &OsLabel) -> Vec<OsState> {
+    match label {
+        OsLabel::Create(pid, uid, gid) => {
+            if st.procs.contains_key(pid) {
+                spec_point("os/create_existing_pid_rejected");
+                return Vec::new();
+            }
+            spec_point("os/create_process");
+            let mut new_st = st.clone();
+            let root = new_st.heap.root();
+            new_st.procs.insert(*pid, PerProcessState::new(root, *uid, *gid));
+            vec![new_st]
+        }
+        OsLabel::Destroy(pid) => {
+            let Some(proc) = st.procs.get(pid) else {
+                spec_point("os/destroy_unknown_pid_rejected");
+                return Vec::new();
+            };
+            if !matches!(proc.run_state, ProcRunState::Ready) {
+                // A process cannot be destroyed in the middle of a call.
+                spec_point("os/destroy_busy_pid_rejected");
+                return Vec::new();
+            }
+            spec_point("os/destroy_process");
+            let mut new_st = st.clone();
+            if let Some(p) = new_st.procs.remove(pid) {
+                for fid in p.fds.values() {
+                    new_st.fids.remove(fid);
+                }
+            }
+            vec![new_st]
+        }
+        OsLabel::Call(pid, cmd) => {
+            let Some(proc) = st.procs.get(pid) else {
+                spec_point("os/call_from_unknown_pid_rejected");
+                return Vec::new();
+            };
+            if !matches!(proc.run_state, ProcRunState::Ready) {
+                // The process is blocked until its previous call returns.
+                spec_point("os/call_while_blocked_rejected");
+                return Vec::new();
+            }
+            spec_point("os/call_accepted");
+            let mut new_st = st.clone();
+            if let Some(p) = new_st.proc_mut(*pid) {
+                p.run_state = ProcRunState::InCall(cmd.clone());
+            }
+            vec![new_st]
+        }
+        OsLabel::Tau => expand_calls(cfg, st),
+        OsLabel::Return(pid, value) => {
+            let Some(proc) = st.procs.get(pid) else {
+                return Vec::new();
+            };
+            match &proc.run_state {
+                ProcRunState::Pending(pending) => {
+                    match_pending(cfg, st, *pid, pending, value).into_iter().collect()
+                }
+                ProcRunState::InCall(_) => {
+                    // Process the call (an implicit τ) and then match.
+                    let mut out = Vec::new();
+                    for mid in process_call(cfg, st, *pid) {
+                        if let ProcRunState::Pending(p) =
+                            &mid.procs.get(pid).expect("pid exists").run_state
+                        {
+                            if let Some(next) = match_pending(cfg, &mid, *pid, p, value) {
+                                out.push(next);
+                            }
+                        }
+                    }
+                    dedup(out)
+                }
+                ProcRunState::Ready => {
+                    spec_point("os/return_without_call_rejected");
+                    Vec::new()
+                }
+            }
+        }
+    }
+}
+
+/// One τ step: for every process currently in a call, process that call and
+/// produce the states with its pending return installed. The union over all
+/// processes models the scheduler's freedom to pick any of them.
+pub fn expand_calls(cfg: &SpecConfig, st: &OsState) -> Vec<OsState> {
+    let mut out = Vec::new();
+    for (pid, proc) in &st.procs {
+        if matches!(proc.run_state, ProcRunState::InCall(_)) {
+            out.extend(process_call(cfg, st, *pid));
+        }
+    }
+    dedup(out)
+}
+
+/// The τ-closure of a set of states: every state reachable by any sequence of
+/// internal steps, including the originals. Used by the trace checker before
+/// matching an `OS_RETURN` when multiple processes have calls in flight.
+pub fn tau_closure(cfg: &SpecConfig, states: &[OsState]) -> Vec<OsState> {
+    let mut all: Vec<OsState> = states.to_vec();
+    let mut frontier: Vec<OsState> = states.to_vec();
+    // Each expansion strictly reduces the number of `InCall` processes, so
+    // the loop terminates after at most (#processes) rounds per state.
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for st in &frontier {
+            for succ in expand_calls(cfg, st) {
+                if !all.contains(&succ) {
+                    all.push(succ.clone());
+                    next.push(succ);
+                }
+            }
+        }
+        frontier = next;
+    }
+    all
+}
+
+/// Process the call a single process has in flight, producing the states with
+/// its pending return installed (one state for the error envelope, one per
+/// success branch, one for "special" behaviour).
+pub fn process_call(cfg: &SpecConfig, st: &OsState, pid: Pid) -> Vec<OsState> {
+    let Some(proc) = st.procs.get(&pid) else { return Vec::new() };
+    let ProcRunState::InCall(cmd) = proc.run_state.clone() else { return Vec::new() };
+    let outcome = fs_ops::dispatch(cfg, st, pid, &cmd);
+    let mut out = Vec::new();
+    if !outcome.errors.is_empty() {
+        let mut err_st = st.clone();
+        if let Some(p) = err_st.proc_mut(pid) {
+            p.run_state = ProcRunState::Pending(Pending::Errors(outcome.errors.clone()));
+        }
+        out.push(err_st);
+    }
+    if !outcome.must_fail {
+        for (succ_st, pending) in outcome.successes {
+            let mut s = succ_st;
+            if let Some(p) = s.proc_mut(pid) {
+                p.run_state = ProcRunState::Pending(pending);
+            }
+            out.push(s);
+        }
+    }
+    if let Some(kind) = outcome.special {
+        let mut sp_st = st.clone();
+        if let Some(p) = sp_st.proc_mut(pid) {
+            p.run_state = ProcRunState::Pending(Pending::Special(kind));
+        }
+        out.push(sp_st);
+    }
+    dedup(out)
+}
+
+/// Check an observed return value against a pending constraint and, when it
+/// matches, apply its state update and mark the process ready again.
+pub fn match_pending(
+    cfg: &SpecConfig,
+    st: &OsState,
+    pid: Pid,
+    pending: &Pending,
+    observed: &ErrorOrValue,
+) -> Option<OsState> {
+    let _ = cfg;
+    let mut new_st = st.clone();
+    let matched = match (pending, observed) {
+        (Pending::Errors(allowed), ErrorOrValue::Error(e)) => allowed.contains(e),
+        (Pending::Errors(_), ErrorOrValue::Value(_)) => false,
+        (Pending::Value(v), ErrorOrValue::Value(ov)) => v == ov,
+        (Pending::Value(_), ErrorOrValue::Error(_)) => false,
+        (
+            Pending::StatValue { expected, check_mode, check_owner },
+            ErrorOrValue::Value(RetValue::Stat(observed_stat)),
+        ) => {
+            let s = observed_stat.as_ref();
+            s.kind == expected.kind
+                && s.size == expected.size
+                && s.nlink == expected.nlink
+                && (!check_mode || s.mode == expected.mode)
+                && (!check_owner || (s.uid == expected.uid && s.gid == expected.gid))
+        }
+        (Pending::StatValue { .. }, _) => false,
+        (Pending::NewFd { fid }, ErrorOrValue::Value(RetValue::Fd(fd))) => {
+            if fd.0 < 0 {
+                false
+            } else {
+                let proc = new_st.proc_mut(pid)?;
+                if proc.fds.contains_key(fd) {
+                    false
+                } else {
+                    proc.fds.insert(*fd, *fid);
+                    true
+                }
+            }
+        }
+        (Pending::NewFd { .. }, _) => false,
+        (Pending::NewDirHandle { handle }, ErrorOrValue::Value(RetValue::DirHandle(dh))) => {
+            if dh.0 < 0 {
+                false
+            } else {
+                let proc = new_st.proc_mut(pid)?;
+                if proc.dir_handles.contains_key(dh) {
+                    false
+                } else {
+                    proc.dir_handles.insert(*dh, handle.clone());
+                    true
+                }
+            }
+        }
+        (Pending::NewDirHandle { .. }, _) => false,
+        (Pending::ReadData { fd, data }, ErrorOrValue::Value(RetValue::Bytes(observed_bytes))) => {
+            let is_prefix = observed_bytes.len() <= data.len()
+                && observed_bytes[..] == data[..observed_bytes.len()];
+            // A read may return fewer bytes than requested, but returns zero
+            // bytes only at end-of-file.
+            let nonempty_ok = data.is_empty() || !observed_bytes.is_empty();
+            if is_prefix && nonempty_ok {
+                if let Some(fd) = fd {
+                    if let Some(fid) = new_st.procs.get(&pid).and_then(|p| p.fds.get(fd)).copied()
+                    {
+                        if let Some(f) = new_st.fids.get_mut(&fid) {
+                            f.offset += observed_bytes.len() as u64;
+                        }
+                    }
+                }
+                true
+            } else {
+                false
+            }
+        }
+        (Pending::ReadData { .. }, _) => false,
+        (Pending::WriteData { fd, data, at }, ErrorOrValue::Value(RetValue::Num(count))) => {
+            let count = *count;
+            let valid = if data.is_empty() {
+                count == 0
+            } else {
+                count >= 1 && (count as usize) <= data.len()
+            };
+            if !valid {
+                false
+            } else {
+                apply_write(&mut new_st, pid, *fd, data, *at, count as usize);
+                true
+            }
+        }
+        (Pending::WriteData { .. }, _) => false,
+        (Pending::ReaddirEntry { dh }, ErrorOrValue::Value(RetValue::ReaddirEntry(entry))) => {
+            let proc = new_st.proc_mut(pid)?;
+            let Some(handle) = proc.dir_handles.get_mut(dh) else { return None };
+            match entry {
+                Some(name) => {
+                    if handle.candidates().contains(name) {
+                        handle.note_returned(name);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                None => handle.may_finish(),
+            }
+        }
+        (Pending::ReaddirEntry { .. }, _) => false,
+        // Undefined/unspecified behaviour: any observation is accepted.
+        (Pending::Special(_), _) => true,
+    };
+    if !matched {
+        return None;
+    }
+    if let Some(p) = new_st.proc_mut(pid) {
+        p.run_state = ProcRunState::Ready;
+    }
+    Some(new_st)
+}
+
+/// Apply the observed prefix of a pending write to the file behind `fd`.
+fn apply_write(st: &mut OsState, pid: Pid, fd: Fd, data: &[u8], at: WriteAt, count: usize) {
+    let Some(fid) = st.procs.get(&pid).and_then(|p| p.fds.get(&fd)).copied() else { return };
+    let Some(fid_state) = st.fids.get(&fid) else { return };
+    let FidTarget::File(file) = fid_state.target else { return };
+    let prefix = &data[..count];
+    match at {
+        WriteAt::Offset(off) => {
+            st.heap.write_bytes(file, off, prefix);
+            if let Some(f) = st.fids.get_mut(&fid) {
+                f.offset = off + count as u64;
+            }
+        }
+        WriteAt::Append => {
+            let end = st.heap.file_size(file);
+            st.heap.write_bytes(file, end, prefix);
+            if let Some(f) = st.fids.get_mut(&fid) {
+                f.offset = end + count as u64;
+            }
+        }
+        WriteAt::KeepOffset(off) => {
+            st.heap.write_bytes(file, off, prefix);
+        }
+    }
+}
+
+/// Human-readable descriptions of the return values a pending constraint
+/// allows — used for checker diagnostics ("allowed are only: …").
+pub fn describe_pending(st: &OsState, pid: Pid, pending: &Pending) -> Vec<String> {
+    match pending {
+        Pending::Errors(errs) => errs.iter().map(|e| e.to_string()).collect(),
+        Pending::Value(v) => vec![v.to_string()],
+        Pending::StatValue { expected, check_mode, check_owner } => {
+            let mut s = format!("RV_stat {expected}");
+            if !check_mode {
+                s.push_str(" (any mode)");
+            }
+            if !check_owner {
+                s.push_str(" (any owner)");
+            }
+            vec![s]
+        }
+        Pending::NewFd { .. } => vec!["RV_fd(<any unused non-negative fd>)".to_string()],
+        Pending::NewDirHandle { .. } => {
+            vec!["RV_dh(<any unused non-negative handle>)".to_string()]
+        }
+        Pending::ReadData { data, .. } => {
+            vec![format!(
+                "RV_bytes(<non-empty prefix of {:?}, up to {} bytes>)",
+                String::from_utf8_lossy(data),
+                data.len()
+            )]
+        }
+        Pending::WriteData { data, .. } => {
+            if data.is_empty() {
+                vec!["RV_num(0)".to_string()]
+            } else {
+                vec![format!("RV_num(1..={})", data.len())]
+            }
+        }
+        Pending::ReaddirEntry { dh } => {
+            let mut out = Vec::new();
+            if let Some(handle) = st.procs.get(&pid).and_then(|p| p.dir_handles.get(dh)) {
+                for c in handle.candidates() {
+                    out.push(format!("RV_readdir({c:?})"));
+                }
+                if handle.may_finish() {
+                    out.push("RV_readdir_end".to_string());
+                }
+            }
+            if out.is_empty() {
+                out.push("RV_readdir_end".to_string());
+            }
+            out
+        }
+        Pending::Special(kind) => vec![format!("<any value: {kind:?} behaviour>")],
+    }
+}
+
+/// The set of return values allowed for `pid` from a set of states (used by
+/// the checker for diagnostics after τ-closure).
+pub fn allowed_returns(st: &OsState, pid: Pid) -> Vec<String> {
+    match st.procs.get(&pid).map(|p| &p.run_state) {
+        Some(ProcRunState::Pending(p)) => describe_pending(st, pid, p),
+        _ => Vec::new(),
+    }
+}
+
+/// A canonical completion for a pending call, used by the checker to continue
+/// after a non-conformant step ("continuing with EEXIST, ENOTEMPTY").
+pub fn default_completion(st: &OsState, pid: Pid) -> Option<(ErrorOrValue, OsState)> {
+    let proc = st.procs.get(&pid)?;
+    let ProcRunState::Pending(pending) = &proc.run_state else { return None };
+    let value = match pending {
+        Pending::Errors(errs) => ErrorOrValue::Error(*errs.iter().next()?),
+        Pending::Value(v) => ErrorOrValue::Value(v.clone()),
+        Pending::StatValue { expected, .. } => {
+            ErrorOrValue::Value(RetValue::Stat(Box::new(*expected)))
+        }
+        Pending::NewFd { .. } => {
+            let fd = (0..).map(Fd).find(|fd| !proc.fds.contains_key(fd))?;
+            ErrorOrValue::Value(RetValue::Fd(fd))
+        }
+        Pending::NewDirHandle { .. } => {
+            let dh = (0..).map(DirHandleId).find(|dh| !proc.dir_handles.contains_key(dh))?;
+            ErrorOrValue::Value(RetValue::DirHandle(dh))
+        }
+        Pending::ReadData { data, .. } => ErrorOrValue::Value(RetValue::Bytes(data.clone())),
+        Pending::WriteData { data, .. } => {
+            ErrorOrValue::Value(RetValue::Num(data.len() as i64))
+        }
+        Pending::ReaddirEntry { dh } => {
+            let handle = proc.dir_handles.get(dh)?;
+            match handle.must.iter().next() {
+                Some(name) => ErrorOrValue::Value(RetValue::ReaddirEntry(Some(name.clone()))),
+                None => ErrorOrValue::Value(RetValue::ReaddirEntry(None)),
+            }
+        }
+        Pending::Special(_) => ErrorOrValue::Value(RetValue::None),
+    };
+    let next = match_pending(&SpecConfig::default(), st, pid, &pending.clone(), &value)?;
+    Some((value, next))
+}
+
+/// Remove duplicate states (the state type is structurally comparable).
+fn dedup(states: Vec<OsState>) -> Vec<OsState> {
+    let mut out: Vec<OsState> = Vec::with_capacity(states.len());
+    for s in states {
+        if !out.contains(&s) {
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// Convenience: the label a script line corresponds to when the call is made.
+pub fn call_label(pid: Pid, cmd: OsCommand) -> OsLabel {
+    OsLabel::Call(pid, cmd)
+}
+
+/// Convenience: the label for an observed return.
+pub fn return_label(pid: Pid, value: ErrorOrValue) -> OsLabel {
+    OsLabel::Return(pid, value)
+}
+
+/// Convenience: the label for an observed error return.
+pub fn error_label(pid: Pid, errno: Errno) -> OsLabel {
+    OsLabel::Return(pid, ErrorOrValue::Error(errno))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flags::{FileMode, OpenFlags};
+    use crate::flavor::Flavor;
+    use crate::types::INITIAL_PID;
+
+    fn cfg() -> SpecConfig {
+        SpecConfig::standard(Flavor::Linux)
+    }
+
+    fn initial() -> OsState {
+        OsState::initial_with_process(&cfg(), INITIAL_PID)
+    }
+
+    /// Drive one call/return pair through os_trans, asserting it is accepted.
+    fn step(cfg: &SpecConfig, st: &OsState, cmd: OsCommand, ret: ErrorOrValue) -> Vec<OsState> {
+        let called = os_trans(cfg, st, &OsLabel::Call(INITIAL_PID, cmd));
+        assert_eq!(called.len(), 1);
+        os_trans(cfg, &called[0], &OsLabel::Return(INITIAL_PID, ret))
+    }
+
+    #[test]
+    fn call_then_matching_return_is_accepted() {
+        let cfg = cfg();
+        let st = initial();
+        let next = step(
+            &cfg,
+            &st,
+            OsCommand::Mkdir("/d".into(), FileMode::new(0o777)),
+            ErrorOrValue::Value(RetValue::None),
+        );
+        assert_eq!(next.len(), 1);
+        assert!(next[0].heap.lookup(next[0].heap.root(), "d").is_some());
+    }
+
+    #[test]
+    fn non_allowed_error_is_rejected() {
+        let cfg = cfg();
+        let st = initial();
+        // mkdir in an empty root cannot return EPERM.
+        let next = step(
+            &cfg,
+            &st,
+            OsCommand::Mkdir("/d".into(), FileMode::new(0o777)),
+            ErrorOrValue::Error(Errno::EPERM),
+        );
+        assert!(next.is_empty());
+    }
+
+    #[test]
+    fn allowed_error_from_envelope_is_accepted_and_leaves_state_unchanged() {
+        let cfg = cfg();
+        let st = initial();
+        let next = step(
+            &cfg,
+            &st,
+            OsCommand::Mkdir("/missing/d".into(), FileMode::new(0o777)),
+            ErrorOrValue::Error(Errno::ENOENT),
+        );
+        assert_eq!(next.len(), 1);
+        assert_eq!(next[0].heap, st.heap);
+    }
+
+    #[test]
+    fn open_binds_whatever_fd_the_implementation_chose() {
+        let cfg = cfg();
+        let st = initial();
+        let cmd = OsCommand::Open(
+            "/f".into(),
+            OpenFlags::O_CREAT | OpenFlags::O_RDWR,
+            Some(FileMode::new(0o644)),
+        );
+        for fd in [3, 17, 0] {
+            let next = step(&cfg, &st, cmd.clone(), ErrorOrValue::Value(RetValue::Fd(Fd(fd))));
+            assert_eq!(next.len(), 1, "fd {fd} should be accepted");
+            assert!(next[0].fd_entry(INITIAL_PID, Fd(fd)).is_some());
+        }
+        // A negative fd is never accepted.
+        let next = step(&cfg, &st, cmd, ErrorOrValue::Value(RetValue::Fd(Fd(-1))));
+        assert!(next.is_empty());
+    }
+
+    #[test]
+    fn write_short_count_is_accepted_and_applied() {
+        let cfg = cfg();
+        let st = initial();
+        let opened = step(
+            &cfg,
+            &st,
+            OsCommand::Open(
+                "/f".into(),
+                OpenFlags::O_CREAT | OpenFlags::O_RDWR,
+                Some(FileMode::new(0o644)),
+            ),
+            ErrorOrValue::Value(RetValue::Fd(Fd(3))),
+        );
+        let st = opened.into_iter().next().unwrap();
+        // The implementation reports a short write of 3 of 5 bytes.
+        let next = step(
+            &cfg,
+            &st,
+            OsCommand::Write(Fd(3), b"hello".to_vec()),
+            ErrorOrValue::Value(RetValue::Num(3)),
+        );
+        assert_eq!(next.len(), 1);
+        let st = &next[0];
+        let f = match st.heap.lookup(st.heap.root(), "f").unwrap() {
+            crate::state::Entry::File(f) => f,
+            _ => panic!(),
+        };
+        assert_eq!(st.heap.read_bytes(f, 0, 10), b"hel");
+        // A count larger than requested is rejected.
+        let next = step(
+            &cfg,
+            &st,
+            OsCommand::Write(Fd(3), b"xy".to_vec()),
+            ErrorOrValue::Value(RetValue::Num(5)),
+        );
+        assert!(next.is_empty());
+    }
+
+    #[test]
+    fn read_accepts_prefixes_only() {
+        let cfg = cfg();
+        let st = initial();
+        let st = step(
+            &cfg,
+            &st,
+            OsCommand::Open(
+                "/f".into(),
+                OpenFlags::O_CREAT | OpenFlags::O_RDWR,
+                Some(FileMode::new(0o644)),
+            ),
+            ErrorOrValue::Value(RetValue::Fd(Fd(3))),
+        )
+        .remove(0);
+        let st = step(
+            &cfg,
+            &st,
+            OsCommand::Write(Fd(3), b"abcdef".to_vec()),
+            ErrorOrValue::Value(RetValue::Num(6)),
+        )
+        .remove(0);
+        let st = step(
+            &cfg,
+            &st,
+            OsCommand::Lseek(Fd(3), 0, crate::flags::SeekWhence::Set),
+            ErrorOrValue::Value(RetValue::Num(0)),
+        )
+        .remove(0);
+        // A strict prefix is fine.
+        let ok = step(
+            &cfg,
+            &st,
+            OsCommand::Read(Fd(3), 6),
+            ErrorOrValue::Value(RetValue::Bytes(b"abc".to_vec())),
+        );
+        assert_eq!(ok.len(), 1);
+        // Wrong data is rejected.
+        let bad = step(
+            &cfg,
+            &st,
+            OsCommand::Read(Fd(3), 6),
+            ErrorOrValue::Value(RetValue::Bytes(b"abX".to_vec())),
+        );
+        assert!(bad.is_empty());
+        // An empty read while data is available is rejected.
+        let bad = step(
+            &cfg,
+            &st,
+            OsCommand::Read(Fd(3), 6),
+            ErrorOrValue::Value(RetValue::Bytes(Vec::new())),
+        );
+        assert!(bad.is_empty());
+    }
+
+    #[test]
+    fn readdir_respects_must_and_may_sets() {
+        let cfg = cfg();
+        let st = initial();
+        let st = step(
+            &cfg,
+            &st,
+            OsCommand::Mkdir("/d".into(), FileMode::new(0o777)),
+            ErrorOrValue::Value(RetValue::None),
+        )
+        .remove(0);
+        let st = step(
+            &cfg,
+            &st,
+            OsCommand::Mkdir("/d/a".into(), FileMode::new(0o777)),
+            ErrorOrValue::Value(RetValue::None),
+        )
+        .remove(0);
+        let st = step(
+            &cfg,
+            &st,
+            OsCommand::Opendir("/d".into()),
+            ErrorOrValue::Value(RetValue::DirHandle(DirHandleId(1))),
+        )
+        .remove(0);
+        // End-of-dir is not allowed while "a" is still unreturned.
+        let bad = step(
+            &cfg,
+            &st,
+            OsCommand::Readdir(DirHandleId(1)),
+            ErrorOrValue::Value(RetValue::ReaddirEntry(None)),
+        );
+        assert!(bad.is_empty());
+        // Returning "a" is allowed; afterwards end-of-dir is allowed and "a"
+        // may not be returned a second time.
+        let st = step(
+            &cfg,
+            &st,
+            OsCommand::Readdir(DirHandleId(1)),
+            ErrorOrValue::Value(RetValue::ReaddirEntry(Some("a".to_string()))),
+        )
+        .remove(0);
+        let again = step(
+            &cfg,
+            &st,
+            OsCommand::Readdir(DirHandleId(1)),
+            ErrorOrValue::Value(RetValue::ReaddirEntry(Some("a".to_string()))),
+        );
+        assert!(again.is_empty());
+        let done = step(
+            &cfg,
+            &st,
+            OsCommand::Readdir(DirHandleId(1)),
+            ErrorOrValue::Value(RetValue::ReaddirEntry(None)),
+        );
+        assert_eq!(done.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_calls_from_two_processes_interleave() {
+        let cfg = cfg();
+        let st = initial();
+        // Create a second process.
+        let st = os_trans(&cfg, &st, &OsLabel::Create(Pid(2), crate::types::Uid(0), crate::types::Gid(0)))
+            .remove(0);
+        // Both processes issue calls before either returns.
+        let st = os_trans(
+            &cfg,
+            &st,
+            &OsLabel::Call(INITIAL_PID, OsCommand::Mkdir("/a".into(), FileMode::new(0o777))),
+        )
+        .remove(0);
+        let st = os_trans(
+            &cfg,
+            &st,
+            &OsLabel::Call(Pid(2), OsCommand::Mkdir("/b".into(), FileMode::new(0o777))),
+        )
+        .remove(0);
+        // Returns can arrive in either order.
+        let st = os_trans(
+            &cfg,
+            &st,
+            &OsLabel::Return(Pid(2), ErrorOrValue::Value(RetValue::None)),
+        );
+        assert!(!st.is_empty());
+        let st = os_trans(
+            &cfg,
+            &st[0],
+            &OsLabel::Return(INITIAL_PID, ErrorOrValue::Value(RetValue::None)),
+        );
+        assert_eq!(st.len(), 1);
+        let root = st[0].heap.root();
+        assert!(st[0].heap.lookup(root, "a").is_some());
+        assert!(st[0].heap.lookup(root, "b").is_some());
+    }
+
+    #[test]
+    fn tau_closure_reaches_pending_states() {
+        let cfg = cfg();
+        let st = initial();
+        let st = os_trans(
+            &cfg,
+            &st,
+            &OsLabel::Call(INITIAL_PID, OsCommand::Stat("/".into())),
+        )
+        .remove(0);
+        let closed = tau_closure(&cfg, &[st]);
+        // Original InCall state plus at least one Pending state.
+        assert!(closed.len() >= 2);
+        assert!(closed.iter().any(|s| matches!(
+            s.procs[&INITIAL_PID].run_state,
+            ProcRunState::Pending(_)
+        )));
+    }
+
+    #[test]
+    fn default_completion_resolves_error_and_success_pendings() {
+        let cfg = cfg();
+        let st = initial();
+        let st = os_trans(
+            &cfg,
+            &st,
+            &OsLabel::Call(INITIAL_PID, OsCommand::Rmdir("/missing".into())),
+        )
+        .remove(0);
+        let pendings = expand_calls(&cfg, &st);
+        assert!(!pendings.is_empty());
+        let (value, next) = default_completion(&pendings[0], INITIAL_PID).unwrap();
+        assert!(matches!(value, ErrorOrValue::Error(_)));
+        assert!(matches!(next.procs[&INITIAL_PID].run_state, ProcRunState::Ready));
+    }
+
+    #[test]
+    fn describe_pending_produces_diagnostics() {
+        let cfg = cfg();
+        let st = initial();
+        let st = os_trans(
+            &cfg,
+            &st,
+            &OsLabel::Call(INITIAL_PID, OsCommand::Rmdir("/missing".into())),
+        )
+        .remove(0);
+        let pendings = expand_calls(&cfg, &st);
+        let descriptions = allowed_returns(&pendings[0], INITIAL_PID);
+        assert!(descriptions.iter().any(|d| d.contains("ENOENT")));
+    }
+
+    #[test]
+    fn process_lifecycle_labels() {
+        let cfg = cfg();
+        let st = initial();
+        // Creating an existing pid is rejected.
+        assert!(os_trans(&cfg, &st, &OsLabel::Create(INITIAL_PID, crate::types::Uid(0), crate::types::Gid(0))).is_empty());
+        // Destroying an unknown pid is rejected.
+        assert!(os_trans(&cfg, &st, &OsLabel::Destroy(Pid(9))).is_empty());
+        // Create then destroy a second process.
+        let st = os_trans(&cfg, &st, &OsLabel::Create(Pid(2), crate::types::Uid(7), crate::types::Gid(7)))
+            .remove(0);
+        assert!(st.procs.contains_key(&Pid(2)));
+        let st = os_trans(&cfg, &st, &OsLabel::Destroy(Pid(2))).remove(0);
+        assert!(!st.procs.contains_key(&Pid(2)));
+    }
+}

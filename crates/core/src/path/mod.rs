@@ -1,0 +1,522 @@
+//! The path-resolution module (Fig. 5).
+//!
+//! Path resolution is kept strictly separate from the per-command semantics:
+//! a command such as `rename p1 p2` first resolves its paths to
+//! [`ResName`] values, and the file-system module then works entirely over
+//! resolved names. All the "tricky details" — trailing slashes, symlink
+//! following, `ELOOP`, permission checks during traversal — are confined to
+//! this module (§4 "Modules", §5 "Path resolution module").
+
+use serde::{Deserialize, Serialize};
+
+use crate::coverage::spec_point;
+use crate::errno::Errno;
+use crate::perms::{access_allowed, Access, Creds};
+use crate::state::{DirHeap, DirRef, Entry, FileRef};
+use crate::types::{NAME_MAX, PATH_MAX, SYMLOOP_MAX};
+
+/// A parsed (but not yet resolved) path.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParsedPath {
+    /// The original string.
+    pub raw: String,
+    /// Whether the path begins with a slash.
+    pub absolute: bool,
+    /// Number of leading slashes (POSIX gives `//` implementation-defined
+    /// meaning; the test generator uses this property for partitioning).
+    pub leading_slashes: usize,
+    /// Path components, with empty components removed but `.` and `..` kept.
+    pub components: Vec<String>,
+    /// Whether the path ends with a slash.
+    pub trailing_slash: bool,
+}
+
+impl ParsedPath {
+    /// Parse a raw path string into components.
+    pub fn parse(raw: &str) -> ParsedPath {
+        let leading_slashes = raw.chars().take_while(|c| *c == '/').count();
+        let absolute = leading_slashes > 0;
+        let trailing_slash = raw.len() > leading_slashes && raw.ends_with('/');
+        let components: Vec<String> =
+            raw.split('/').filter(|c| !c.is_empty()).map(|c| c.to_string()).collect();
+        ParsedPath { raw: raw.to_string(), absolute, leading_slashes, components, trailing_slash }
+    }
+
+    /// Whether the path is the empty string.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// Whether the final component is `.` or `..`.
+    pub fn ends_in_dot(&self) -> bool {
+        matches!(self.components.last().map(|s| s.as_str()), Some(".") | Some(".."))
+    }
+}
+
+/// The result of path resolution (the `res_name` type of the Lem model).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResName {
+    /// The path resolved to a directory.
+    Dir {
+        /// The directory.
+        dref: DirRef,
+        /// The directory's parent and the name under which it was found, when
+        /// the path did not end in `.`, `..` or the root. Needed by commands
+        /// such as `rmdir` and `rename` that must modify the parent.
+        parent: Option<(DirRef, String)>,
+        /// Whether the path carried a trailing slash.
+        trailing_slash: bool,
+    },
+    /// The path resolved to a non-directory file (regular file or, when the
+    /// final symlink was not followed, a symlink).
+    File {
+        /// The directory containing the entry.
+        parent: DirRef,
+        /// The entry name within the parent.
+        name: String,
+        /// The file object.
+        fref: FileRef,
+        /// Whether the final component is a symlink that was *not* followed.
+        is_symlink: bool,
+        /// Whether the path carried a trailing slash (which POSIX intends to
+        /// be an error for non-directories, but which real systems treat
+        /// inconsistently, §7.3.2).
+        trailing_slash: bool,
+    },
+    /// The path resolved to a non-existent entry in an existing directory
+    /// (e.g. the target of `mkdir` or `open(O_CREAT)`).
+    None {
+        /// The directory that would contain the entry.
+        parent: DirRef,
+        /// The name of the missing entry.
+        name: String,
+        /// Whether the path carried a trailing slash.
+        trailing_slash: bool,
+    },
+    /// Resolution failed.
+    Err(Errno),
+}
+
+impl ResName {
+    /// The errno if resolution failed.
+    pub fn errno(&self) -> Option<Errno> {
+        match self {
+            ResName::Err(e) => Some(*e),
+            _ => None,
+        }
+    }
+
+    /// Whether the path resolved to an existing directory.
+    pub fn is_dir(&self) -> bool {
+        matches!(self, ResName::Dir { .. })
+    }
+
+    /// Whether the path resolved to an existing non-directory file.
+    pub fn is_file(&self) -> bool {
+        matches!(self, ResName::File { .. })
+    }
+
+    /// Whether the path resolved to a missing entry.
+    pub fn is_none(&self) -> bool {
+        matches!(self, ResName::None { .. })
+    }
+}
+
+/// Whether the final symlink in a path should be followed, which varies by
+/// libc function (§5 "Path resolution module").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FollowLast {
+    /// Follow a symlink in the final component (`stat`, `open` without
+    /// `O_NOFOLLOW`, `chdir`, `truncate`, `chmod`, `chown`, `opendir`, …).
+    Follow,
+    /// Do not follow (`lstat`, `unlink`, `rename`, `readlink`, `symlink`,
+    /// `mkdir`, `rmdir`, `link` on Linux, `open` with `O_NOFOLLOW`).
+    NoFollow,
+}
+
+/// The context needed to resolve a path.
+#[derive(Debug, Clone, Copy)]
+pub struct ResolveCtx<'a> {
+    /// The file-system state.
+    pub heap: &'a DirHeap,
+    /// The current working directory of the calling process.
+    pub cwd: DirRef,
+    /// The caller's credentials, or `None` when the permissions trait is off.
+    pub creds: Option<&'a Creds>,
+}
+
+impl<'a> ResolveCtx<'a> {
+    /// Construct a resolution context.
+    pub fn new(heap: &'a DirHeap, cwd: DirRef, creds: Option<&'a Creds>) -> ResolveCtx<'a> {
+        ResolveCtx { heap, cwd, creds }
+    }
+
+    fn search_allowed(&self, d: DirRef) -> bool {
+        match self.heap.dir(d) {
+            Some(dir) => access_allowed(self.creds, &dir.meta, Access::Exec),
+            None => false,
+        }
+    }
+}
+
+/// Resolve `raw` relative to the context, following the final symlink
+/// according to `follow_last`.
+pub fn resolve(ctx: &ResolveCtx<'_>, raw: &str, follow_last: FollowLast) -> ResName {
+    let parsed = ParsedPath::parse(raw);
+    if parsed.is_empty() {
+        spec_point("path/empty_path_enoent");
+        return ResName::Err(Errno::ENOENT);
+    }
+    if parsed.raw.len() > PATH_MAX {
+        spec_point("path/path_too_long");
+        return ResName::Err(Errno::ENAMETOOLONG);
+    }
+    let start = if parsed.absolute { ctx.heap.root() } else { ctx.cwd };
+    resolve_from(ctx, start, &parsed.components, parsed.trailing_slash, follow_last, 0)
+}
+
+/// Resolve a component list starting from `start`.
+///
+/// `depth` counts the number of symlinks expanded so far; exceeding
+/// [`SYMLOOP_MAX`] yields `ELOOP`.
+fn resolve_from(
+    ctx: &ResolveCtx<'_>,
+    start: DirRef,
+    components: &[String],
+    trailing_slash: bool,
+    follow_last: FollowLast,
+    depth: usize,
+) -> ResName {
+    if depth > SYMLOOP_MAX {
+        spec_point("path/eloop");
+        return ResName::Err(Errno::ELOOP);
+    }
+    let mut cur = start;
+    let mut came_via: Option<(DirRef, String)> = None;
+
+    let mut idx = 0usize;
+    while idx < components.len() {
+        let comp = &components[idx];
+        let is_last = idx + 1 == components.len();
+
+        if comp.len() > NAME_MAX {
+            spec_point("path/name_too_long");
+            return ResName::Err(Errno::ENAMETOOLONG);
+        }
+        // Search permission is required on every directory traversed.
+        if !ctx.search_allowed(cur) {
+            spec_point("path/search_permission_denied");
+            return ResName::Err(Errno::EACCES);
+        }
+        if comp == "." {
+            spec_point("path/dot_component");
+            came_via = None;
+            idx += 1;
+            continue;
+        }
+        if comp == ".." {
+            spec_point("path/dotdot_component");
+            // `..` of the root is the root; `..` of a disconnected directory
+            // has no parent and resolution fails with ENOENT.
+            if cur == ctx.heap.root() {
+                // Stay at the root.
+            } else {
+                match ctx.heap.parent_of(cur) {
+                    Some(p) => cur = p,
+                    None => {
+                        spec_point("path/dotdot_of_disconnected_dir");
+                        return ResName::Err(Errno::ENOENT);
+                    }
+                }
+            }
+            came_via = None;
+            idx += 1;
+            continue;
+        }
+
+        match ctx.heap.lookup(cur, comp) {
+            None => {
+                if is_last {
+                    spec_point("path/last_component_missing");
+                    return ResName::None {
+                        parent: cur,
+                        name: comp.clone(),
+                        trailing_slash,
+                    };
+                }
+                spec_point("path/intermediate_component_missing");
+                return ResName::Err(Errno::ENOENT);
+            }
+            Some(Entry::Dir(d)) => {
+                came_via = Some((cur, comp.clone()));
+                cur = d;
+                idx += 1;
+                if is_last {
+                    spec_point("path/resolved_to_dir");
+                    return ResName::Dir { dref: d, parent: came_via, trailing_slash };
+                }
+            }
+            Some(Entry::File(f)) => {
+                let is_symlink = ctx.heap.symlink_target(f).is_some();
+                if is_symlink {
+                    let follow = !is_last
+                        || matches!(follow_last, FollowLast::Follow)
+                        || trailing_slash;
+                    if follow {
+                        spec_point("path/symlink_followed");
+                        let target = ctx.heap.symlink_target(f).unwrap_or("").to_string();
+                        if target.is_empty() {
+                            spec_point("path/empty_symlink_target");
+                            return ResName::Err(Errno::ENOENT);
+                        }
+                        let tparsed = ParsedPath::parse(&target);
+                        let tstart = if tparsed.absolute { ctx.heap.root() } else { cur };
+                        // Splice: resolve the target, then continue with the
+                        // remaining components of the original path.
+                        let rest = &components[idx + 1..];
+                        let mut spliced: Vec<String> = tparsed.components.clone();
+                        spliced.extend(rest.iter().cloned());
+                        let new_trailing = if rest.is_empty() {
+                            trailing_slash || tparsed.trailing_slash
+                        } else {
+                            trailing_slash
+                        };
+                        return resolve_from(
+                            ctx,
+                            tstart,
+                            &spliced,
+                            new_trailing,
+                            follow_last,
+                            depth + 1,
+                        );
+                    }
+                    // Unfollowed final symlink.
+                    spec_point("path/final_symlink_not_followed");
+                    return ResName::File {
+                        parent: cur,
+                        name: comp.clone(),
+                        fref: f,
+                        is_symlink: true,
+                        trailing_slash,
+                    };
+                }
+                // Regular file.
+                if !is_last {
+                    spec_point("path/intermediate_component_not_a_dir");
+                    return ResName::Err(Errno::ENOTDIR);
+                }
+                spec_point("path/resolved_to_file");
+                return ResName::File {
+                    parent: cur,
+                    name: comp.clone(),
+                    fref: f,
+                    is_symlink: false,
+                    trailing_slash,
+                };
+            }
+        }
+    }
+
+    // No components (the path was "/", ".", "..", or collapsed to nothing).
+    spec_point("path/resolved_to_start_dir");
+    ResName::Dir { dref: cur, parent: came_via, trailing_slash }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flags::FileMode;
+    use crate::state::Meta;
+    use crate::types::{Gid, Uid};
+
+    fn meta() -> Meta {
+        Meta::new(FileMode::new(0o755), Uid(0), Gid(0), 1)
+    }
+
+    /// Build the standard fixture:
+    /// `/d1` (dir), `/d1/f1` (file), `/s_d1 -> d1`, `/s_f1 -> d1/f1`,
+    /// `/broken -> nowhere`, `/loop -> loop`.
+    fn fixture() -> (DirHeap, DirRef) {
+        let mut h = DirHeap::empty();
+        let root = h.root();
+        let d1 = h.create_dir(root, "d1", meta()).unwrap();
+        h.create_file(d1, "f1", meta()).unwrap();
+        h.create_symlink(root, "s_d1", "d1", meta()).unwrap();
+        h.create_symlink(root, "s_f1", "d1/f1", meta()).unwrap();
+        h.create_symlink(root, "broken", "nowhere", meta()).unwrap();
+        h.create_symlink(root, "loop", "loop", meta()).unwrap();
+        (h, root)
+    }
+
+    fn ctx<'a>(h: &'a DirHeap, cwd: DirRef) -> ResolveCtx<'a> {
+        ResolveCtx::new(h, cwd, None)
+    }
+
+    #[test]
+    fn parse_basic_paths() {
+        let p = ParsedPath::parse("/a/b/c");
+        assert!(p.absolute);
+        assert_eq!(p.components, vec!["a", "b", "c"]);
+        assert!(!p.trailing_slash);
+
+        let p = ParsedPath::parse("a/b/");
+        assert!(!p.absolute);
+        assert!(p.trailing_slash);
+
+        let p = ParsedPath::parse("///x");
+        assert_eq!(p.leading_slashes, 3);
+        assert_eq!(p.components, vec!["x"]);
+
+        let p = ParsedPath::parse("/");
+        assert!(p.absolute);
+        assert!(p.components.is_empty());
+        assert!(!p.trailing_slash, "a bare slash is not counted as trailing");
+
+        assert!(ParsedPath::parse("").is_empty());
+        assert!(ParsedPath::parse("a/..").ends_in_dot());
+    }
+
+    #[test]
+    fn empty_path_is_enoent() {
+        let (h, root) = fixture();
+        assert_eq!(resolve(&ctx(&h, root), "", FollowLast::Follow), ResName::Err(Errno::ENOENT));
+    }
+
+    #[test]
+    fn resolve_root_and_dot() {
+        let (h, root) = fixture();
+        let c = ctx(&h, root);
+        assert!(matches!(resolve(&c, "/", FollowLast::Follow), ResName::Dir { dref, .. } if dref == root));
+        assert!(matches!(resolve(&c, ".", FollowLast::Follow), ResName::Dir { dref, .. } if dref == root));
+        assert!(matches!(resolve(&c, "..", FollowLast::Follow), ResName::Dir { dref, .. } if dref == root));
+    }
+
+    #[test]
+    fn resolve_file_and_missing() {
+        let (h, root) = fixture();
+        let c = ctx(&h, root);
+        assert!(matches!(
+            resolve(&c, "/d1/f1", FollowLast::Follow),
+            ResName::File { is_symlink: false, .. }
+        ));
+        assert!(matches!(
+            resolve(&c, "/d1/nope", FollowLast::Follow),
+            ResName::None { name, .. } if name == "nope"
+        ));
+        assert_eq!(
+            resolve(&c, "/nope/nope2", FollowLast::Follow),
+            ResName::Err(Errno::ENOENT)
+        );
+        assert_eq!(
+            resolve(&c, "/d1/f1/x", FollowLast::Follow),
+            ResName::Err(Errno::ENOTDIR)
+        );
+    }
+
+    #[test]
+    fn relative_resolution_uses_cwd() {
+        let (h, root) = fixture();
+        let d1 = match h.lookup(root, "d1") {
+            Some(Entry::Dir(d)) => d,
+            _ => panic!(),
+        };
+        let c = ctx(&h, d1);
+        assert!(matches!(resolve(&c, "f1", FollowLast::Follow), ResName::File { .. }));
+        assert!(matches!(resolve(&c, "../d1/f1", FollowLast::Follow), ResName::File { .. }));
+    }
+
+    #[test]
+    fn symlink_following_modes() {
+        let (h, root) = fixture();
+        let c = ctx(&h, root);
+        // Followed: resolves to the directory / file target.
+        assert!(resolve(&c, "/s_d1", FollowLast::Follow).is_dir());
+        assert!(matches!(
+            resolve(&c, "/s_f1", FollowLast::Follow),
+            ResName::File { is_symlink: false, .. }
+        ));
+        // Not followed: resolves to the symlink object itself.
+        assert!(matches!(
+            resolve(&c, "/s_d1", FollowLast::NoFollow),
+            ResName::File { is_symlink: true, .. }
+        ));
+        // Intermediate symlinks are always followed.
+        assert!(matches!(
+            resolve(&c, "/s_d1/f1", FollowLast::NoFollow),
+            ResName::File { is_symlink: false, .. }
+        ));
+    }
+
+    #[test]
+    fn trailing_slash_forces_following() {
+        let (h, root) = fixture();
+        let c = ctx(&h, root);
+        // A trailing slash on a symlink to a directory forces resolution to
+        // the directory even under NoFollow.
+        assert!(resolve(&c, "/s_d1/", FollowLast::NoFollow).is_dir());
+        // Trailing slash on a regular file is reported with the flag set.
+        assert!(matches!(
+            resolve(&c, "/d1/f1/", FollowLast::Follow),
+            ResName::File { trailing_slash: true, .. }
+        ));
+    }
+
+    #[test]
+    fn broken_and_looping_symlinks() {
+        let (h, root) = fixture();
+        let c = ctx(&h, root);
+        assert!(matches!(
+            resolve(&c, "/broken", FollowLast::Follow),
+            ResName::None { name, .. } if name == "nowhere"
+        ));
+        assert!(matches!(
+            resolve(&c, "/broken", FollowLast::NoFollow),
+            ResName::File { is_symlink: true, .. }
+        ));
+        assert_eq!(resolve(&c, "/loop", FollowLast::Follow), ResName::Err(Errno::ELOOP));
+        assert_eq!(resolve(&c, "/loop/x", FollowLast::NoFollow), ResName::Err(Errno::ELOOP));
+    }
+
+    #[test]
+    fn permission_denied_during_traversal() {
+        let (mut h, root) = fixture();
+        // Lock down /d1 so a non-root user cannot search it.
+        let d1 = match h.lookup(root, "d1") {
+            Some(Entry::Dir(d)) => d,
+            _ => panic!(),
+        };
+        h.dir_mut(d1).unwrap().meta.mode = FileMode::new(0o600);
+        let creds = Creds::user(Uid(1000), Gid(1000));
+        let c = ResolveCtx::new(&h, root, Some(&creds));
+        assert_eq!(resolve(&c, "/d1/f1", FollowLast::Follow), ResName::Err(Errno::EACCES));
+        // Root is unaffected.
+        let root_creds = Creds::root();
+        let c = ResolveCtx::new(&h, root, Some(&root_creds));
+        assert!(resolve(&c, "/d1/f1", FollowLast::Follow).is_file());
+    }
+
+    #[test]
+    fn name_and_path_length_limits() {
+        let (h, root) = fixture();
+        let c = ctx(&h, root);
+        let long_name = "x".repeat(NAME_MAX + 1);
+        assert_eq!(
+            resolve(&c, &format!("/{long_name}"), FollowLast::Follow),
+            ResName::Err(Errno::ENAMETOOLONG)
+        );
+        let long_path = format!("/{}", "a/".repeat(PATH_MAX));
+        assert_eq!(
+            resolve(&c, &long_path, FollowLast::Follow),
+            ResName::Err(Errno::ENAMETOOLONG)
+        );
+    }
+
+    #[test]
+    fn dotdot_of_disconnected_dir_fails() {
+        let (mut h, root) = fixture();
+        let d = h.create_dir(root, "gone", meta()).unwrap();
+        h.remove_entry(root, "gone");
+        let c = ctx(&h, d);
+        assert_eq!(resolve(&c, "../anything", FollowLast::Follow), ResName::Err(Errno::ENOENT));
+    }
+}

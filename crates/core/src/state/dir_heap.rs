@@ -1,0 +1,566 @@
+//! The directory-heap state: an abstract store of directories and files.
+//!
+//! This is the model's equivalent of the paper's `dir_heap_state_fs` record: a
+//! finite map from directory references to directories and a finite map from
+//! file references to files. The interface is expressed purely in terms of
+//! references; arbitrary linking and unlinking is permitted, so disconnected
+//! files and directories (objects not reachable from the root) can be
+//! represented, which is required to model files that remain readable through
+//! open descriptors after being unlinked, and the OpenZFS "disconnected
+//! directory" defect scenario of Fig. 8.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::flags::FileMode;
+use crate::state::meta::Meta;
+use crate::types::{FileKind, Gid, Uid};
+
+/// An abstract reference to a directory (the `'dir_ref` of the Lem model).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct DirRef(pub u64);
+
+/// An abstract reference to a non-directory file (regular file or symlink).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct FileRef(pub u64);
+
+/// A directory entry: either a subdirectory or a (regular or symlink) file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Entry {
+    /// A subdirectory.
+    Dir(DirRef),
+    /// A non-directory file.
+    File(FileRef),
+}
+
+impl Entry {
+    /// Whether the entry is a directory.
+    pub fn is_dir(self) -> bool {
+        matches!(self, Entry::Dir(_))
+    }
+}
+
+/// The content of a non-directory file.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FileContent {
+    /// A regular file with byte contents.
+    Regular(Vec<u8>),
+    /// A symbolic link with a target path.
+    Symlink(String),
+}
+
+impl FileContent {
+    /// The object kind corresponding to this content.
+    pub fn kind(&self) -> FileKind {
+        match self {
+            FileContent::Regular(_) => FileKind::Regular,
+            FileContent::Symlink(_) => FileKind::Symlink,
+        }
+    }
+
+    /// The size in bytes as reported by `stat` (for symlinks, the target length).
+    pub fn size(&self) -> u64 {
+        match self {
+            FileContent::Regular(data) => data.len() as u64,
+            FileContent::Symlink(target) => target.len() as u64,
+        }
+    }
+}
+
+/// A directory object.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Dir {
+    /// Named entries (excluding the implicit `.` and `..`).
+    pub entries: BTreeMap<String, Entry>,
+    /// The parent directory, or `None` for the root and for disconnected
+    /// directories.
+    pub parent: Option<DirRef>,
+    /// Ownership, permissions, timestamps.
+    pub meta: Meta,
+}
+
+/// A non-directory file object.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct File {
+    /// Regular data or symlink target.
+    pub content: FileContent,
+    /// Ownership, permissions, timestamps.
+    pub meta: Meta,
+    /// The hard-link count (number of directory entries referring to this
+    /// file). A value of zero means the file is disconnected but may still be
+    /// readable through open file descriptions.
+    pub nlink: u32,
+}
+
+/// The directory-heap file-system state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirHeap {
+    dirs: BTreeMap<u64, Dir>,
+    files: BTreeMap<u64, File>,
+    root: DirRef,
+    next_id: u64,
+    /// The logical clock used for timestamps.
+    now: u64,
+}
+
+impl DirHeap {
+    /// Create an empty file system whose root directory is owned by
+    /// `uid:gid` with the given mode.
+    pub fn new(root_mode: FileMode, uid: Uid, gid: Gid) -> DirHeap {
+        let mut dirs = BTreeMap::new();
+        let root = DirRef(0);
+        dirs.insert(
+            0,
+            Dir { entries: BTreeMap::new(), parent: None, meta: Meta::new(root_mode, uid, gid, 0) },
+        );
+        DirHeap { dirs, files: BTreeMap::new(), root, next_id: 1, now: 1 }
+    }
+
+    /// An empty file system with conventional root ownership (`root:root`,
+    /// mode 0755), the initial state of every test script.
+    pub fn empty() -> DirHeap {
+        DirHeap::new(FileMode::new(0o755), Uid(0), Gid(0))
+    }
+
+    /// The root directory reference.
+    pub fn root(&self) -> DirRef {
+        self.root
+    }
+
+    /// Advance and return the logical clock.
+    pub fn tick(&mut self) -> u64 {
+        self.now += 1;
+        self.now
+    }
+
+    /// The current logical time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Look up a directory object.
+    pub fn dir(&self, d: DirRef) -> Option<&Dir> {
+        self.dirs.get(&d.0)
+    }
+
+    /// Look up a directory object mutably.
+    pub fn dir_mut(&mut self, d: DirRef) -> Option<&mut Dir> {
+        self.dirs.get_mut(&d.0)
+    }
+
+    /// Look up a file object.
+    pub fn file(&self, f: FileRef) -> Option<&File> {
+        self.files.get(&f.0)
+    }
+
+    /// Look up a file object mutably.
+    pub fn file_mut(&mut self, f: FileRef) -> Option<&mut File> {
+        self.files.get_mut(&f.0)
+    }
+
+    /// Look up a named entry in a directory.
+    pub fn lookup(&self, d: DirRef, name: &str) -> Option<Entry> {
+        self.dir(d).and_then(|dir| dir.entries.get(name).copied())
+    }
+
+    /// The names of the entries in a directory, in sorted order.
+    pub fn entry_names(&self, d: DirRef) -> Vec<String> {
+        self.dir(d).map(|dir| dir.entries.keys().cloned().collect()).unwrap_or_default()
+    }
+
+    /// Whether a directory has no entries.
+    pub fn dir_is_empty(&self, d: DirRef) -> bool {
+        self.dir(d).map(|dir| dir.entries.is_empty()).unwrap_or(true)
+    }
+
+    /// The parent of a directory (`None` for the root or disconnected dirs).
+    pub fn parent_of(&self, d: DirRef) -> Option<DirRef> {
+        self.dir(d).and_then(|dir| dir.parent)
+    }
+
+    /// Whether `ancestor` is `d` itself or a proper ancestor of `d`.
+    ///
+    /// Used by `rename` to reject renaming a directory into a subdirectory of
+    /// itself (`EINVAL`).
+    pub fn is_same_or_ancestor(&self, ancestor: DirRef, d: DirRef) -> bool {
+        let mut cur = Some(d);
+        let mut fuel = self.dirs.len() + 1;
+        while let Some(c) = cur {
+            if c == ancestor {
+                return true;
+            }
+            if fuel == 0 {
+                return false;
+            }
+            fuel -= 1;
+            cur = self.parent_of(c);
+        }
+        false
+    }
+
+    /// The link count of a directory, as reported by `stat`.
+    ///
+    /// A connected directory has `2 + (number of subdirectories)` links
+    /// (its entry in the parent, its own `.`, and each child's `..`); a
+    /// disconnected directory has lost the entry in its parent.
+    pub fn dir_nlink(&self, d: DirRef) -> u32 {
+        let Some(dir) = self.dir(d) else { return 0 };
+        let base: u32 = if dir.parent.is_some() || d == self.root { 2 } else { 1 };
+        let subdirs = dir.entries.values().filter(|e| e.is_dir()).count() as u32;
+        base + subdirs
+    }
+
+    /// Create a new empty directory as `name` within `parent`.
+    ///
+    /// Returns `None` if `parent` does not exist or `name` is already taken.
+    pub fn create_dir(&mut self, parent: DirRef, name: &str, meta: Meta) -> Option<DirRef> {
+        if self.dir(parent)?.entries.contains_key(name) {
+            return None;
+        }
+        let id = self.fresh_id();
+        self.dirs.insert(id, Dir { entries: BTreeMap::new(), parent: Some(parent), meta });
+        let now = self.tick();
+        let pdir = self.dir_mut(parent)?;
+        pdir.entries.insert(name.to_string(), Entry::Dir(DirRef(id)));
+        pdir.meta.times.touch_mtime(now);
+        Some(DirRef(id))
+    }
+
+    /// Create a new regular file as `name` within `parent`.
+    pub fn create_file(&mut self, parent: DirRef, name: &str, meta: Meta) -> Option<FileRef> {
+        self.create_file_with(parent, name, meta, FileContent::Regular(Vec::new()))
+    }
+
+    /// Create a new symlink as `name` within `parent` pointing at `target`.
+    pub fn create_symlink(
+        &mut self,
+        parent: DirRef,
+        name: &str,
+        target: &str,
+        meta: Meta,
+    ) -> Option<FileRef> {
+        self.create_file_with(parent, name, meta, FileContent::Symlink(target.to_string()))
+    }
+
+    fn create_file_with(
+        &mut self,
+        parent: DirRef,
+        name: &str,
+        meta: Meta,
+        content: FileContent,
+    ) -> Option<FileRef> {
+        if self.dir(parent)?.entries.contains_key(name) {
+            return None;
+        }
+        let id = self.fresh_id();
+        self.files.insert(id, File { content, meta, nlink: 1 });
+        let now = self.tick();
+        let pdir = self.dir_mut(parent)?;
+        pdir.entries.insert(name.to_string(), Entry::File(FileRef(id)));
+        pdir.meta.times.touch_mtime(now);
+        Some(FileRef(id))
+    }
+
+    /// Add a hard link: insert `name -> file` into `parent` and bump the link
+    /// count. Returns `false` if the name is taken or anything is missing.
+    pub fn add_link(&mut self, parent: DirRef, name: &str, file: FileRef) -> bool {
+        if self.file(file).is_none() {
+            return false;
+        }
+        match self.dir(parent) {
+            Some(d) if !d.entries.contains_key(name) => {}
+            _ => return false,
+        }
+        let now = self.tick();
+        if let Some(d) = self.dir_mut(parent) {
+            d.entries.insert(name.to_string(), Entry::File(file));
+            d.meta.times.touch_mtime(now);
+        }
+        if let Some(f) = self.file_mut(file) {
+            f.nlink += 1;
+            f.meta.times.touch_ctime(now);
+        }
+        true
+    }
+
+    /// Insert an existing directory as `name` within `parent` (used by
+    /// `rename`). The directory's parent pointer is updated.
+    pub fn attach_dir(&mut self, parent: DirRef, name: &str, d: DirRef) -> bool {
+        match self.dir(parent) {
+            Some(p) if !p.entries.contains_key(name) => {}
+            _ => return false,
+        }
+        if self.dir(d).is_none() {
+            return false;
+        }
+        let now = self.tick();
+        if let Some(p) = self.dir_mut(parent) {
+            p.entries.insert(name.to_string(), Entry::Dir(d));
+            p.meta.times.touch_mtime(now);
+        }
+        if let Some(dd) = self.dir_mut(d) {
+            dd.parent = Some(parent);
+        }
+        true
+    }
+
+    /// Remove the entry `name` from `parent`.
+    ///
+    /// For file entries the link count is decremented (the file object itself
+    /// is retained even at zero links so that open file descriptions keep
+    /// working). For directory entries the directory becomes disconnected
+    /// (its parent pointer is cleared) but is likewise retained.
+    pub fn remove_entry(&mut self, parent: DirRef, name: &str) -> Option<Entry> {
+        let entry = self.dir(parent)?.entries.get(name).copied()?;
+        let now = self.tick();
+        if let Some(p) = self.dir_mut(parent) {
+            p.entries.remove(name);
+            p.meta.times.touch_mtime(now);
+        }
+        match entry {
+            Entry::File(f) => {
+                if let Some(file) = self.file_mut(f) {
+                    file.nlink = file.nlink.saturating_sub(1);
+                    file.meta.times.touch_ctime(now);
+                }
+            }
+            Entry::Dir(d) => {
+                if let Some(dir) = self.dir_mut(d) {
+                    dir.parent = None;
+                }
+            }
+        }
+        Some(entry)
+    }
+
+    /// The size of a regular file (or symlink target length) in bytes.
+    pub fn file_size(&self, f: FileRef) -> u64 {
+        self.file(f).map(|file| file.content.size()).unwrap_or(0)
+    }
+
+    /// The kind (regular/symlink) of a file object.
+    pub fn file_kind(&self, f: FileRef) -> Option<FileKind> {
+        self.file(f).map(|file| file.content.kind())
+    }
+
+    /// The target of a symlink, if `f` is one.
+    pub fn symlink_target(&self, f: FileRef) -> Option<&str> {
+        match self.file(f).map(|file| &file.content) {
+            Some(FileContent::Symlink(t)) => Some(t.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Read up to `count` bytes from a regular file at `offset`.
+    ///
+    /// Returns the bytes actually available (possibly empty at or past EOF).
+    pub fn read_bytes(&self, f: FileRef, offset: u64, count: usize) -> Vec<u8> {
+        match self.file(f).map(|file| &file.content) {
+            Some(FileContent::Regular(data)) => {
+                let start = (offset as usize).min(data.len());
+                let end = start.saturating_add(count).min(data.len());
+                data[start..end].to_vec()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Write `data` into a regular file at `offset`, zero-filling any gap.
+    ///
+    /// Returns the number of bytes written (0 if `f` is not a regular file).
+    pub fn write_bytes(&mut self, f: FileRef, offset: u64, data: &[u8]) -> usize {
+        let now = self.tick();
+        match self.file_mut(f) {
+            Some(file) => match &mut file.content {
+                FileContent::Regular(existing) => {
+                    let off = offset as usize;
+                    if existing.len() < off {
+                        existing.resize(off, 0);
+                    }
+                    let end = off + data.len();
+                    if existing.len() < end {
+                        existing.resize(end, 0);
+                    }
+                    existing[off..end].copy_from_slice(data);
+                    file.meta.times.touch_mtime(now);
+                    data.len()
+                }
+                FileContent::Symlink(_) => 0,
+            },
+            None => 0,
+        }
+    }
+
+    /// Truncate (or extend with zeros) a regular file to `len` bytes.
+    pub fn truncate(&mut self, f: FileRef, len: u64) -> bool {
+        let now = self.tick();
+        match self.file_mut(f) {
+            Some(file) => match &mut file.content {
+                FileContent::Regular(data) => {
+                    data.resize(len as usize, 0);
+                    file.meta.times.touch_mtime(now);
+                    true
+                }
+                FileContent::Symlink(_) => false,
+            },
+            None => false,
+        }
+    }
+
+    /// Number of directory objects currently allocated (reachable or not).
+    pub fn dir_count(&self) -> usize {
+        self.dirs.len()
+    }
+
+    /// Number of file objects currently allocated (reachable or not).
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether a directory is reachable from the root by following entries.
+    pub fn is_connected(&self, d: DirRef) -> bool {
+        self.is_same_or_ancestor(self.root, d)
+            && (d == self.root || self.parent_of(d).is_some())
+    }
+}
+
+impl Default for DirHeap {
+    fn default() -> Self {
+        DirHeap::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> Meta {
+        Meta::new(FileMode::new(0o755), Uid(0), Gid(0), 1)
+    }
+
+    #[test]
+    fn empty_heap_has_root_only() {
+        let h = DirHeap::empty();
+        assert!(h.dir_is_empty(h.root()));
+        assert_eq!(h.dir_count(), 1);
+        assert_eq!(h.file_count(), 0);
+        assert_eq!(h.dir_nlink(h.root()), 2);
+    }
+
+    #[test]
+    fn create_and_lookup() {
+        let mut h = DirHeap::empty();
+        let root = h.root();
+        let d = h.create_dir(root, "d", meta()).unwrap();
+        let f = h.create_file(d, "f", meta()).unwrap();
+        assert_eq!(h.lookup(root, "d"), Some(Entry::Dir(d)));
+        assert_eq!(h.lookup(d, "f"), Some(Entry::File(f)));
+        assert_eq!(h.lookup(root, "missing"), None);
+        assert_eq!(h.dir_nlink(root), 3);
+        assert_eq!(h.dir_nlink(d), 2);
+        assert_eq!(h.file(f).unwrap().nlink, 1);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut h = DirHeap::empty();
+        let root = h.root();
+        assert!(h.create_dir(root, "x", meta()).is_some());
+        assert!(h.create_dir(root, "x", meta()).is_none());
+        assert!(h.create_file(root, "x", meta()).is_none());
+    }
+
+    #[test]
+    fn hard_links_bump_and_drop_nlink() {
+        let mut h = DirHeap::empty();
+        let root = h.root();
+        let f = h.create_file(root, "a", meta()).unwrap();
+        assert!(h.add_link(root, "b", f));
+        assert_eq!(h.file(f).unwrap().nlink, 2);
+        h.remove_entry(root, "a");
+        assert_eq!(h.file(f).unwrap().nlink, 1);
+        h.remove_entry(root, "b");
+        assert_eq!(h.file(f).unwrap().nlink, 0);
+        // The file object is retained while disconnected.
+        assert_eq!(h.file_count(), 1);
+    }
+
+    #[test]
+    fn removing_directory_disconnects_it() {
+        let mut h = DirHeap::empty();
+        let root = h.root();
+        let d = h.create_dir(root, "d", meta()).unwrap();
+        assert!(h.is_connected(d));
+        h.remove_entry(root, "d");
+        assert!(!h.is_connected(d));
+        assert!(h.dir(d).is_some());
+        assert_eq!(h.dir_nlink(d), 1);
+    }
+
+    #[test]
+    fn read_write_truncate_round_trip() {
+        let mut h = DirHeap::empty();
+        let root = h.root();
+        let f = h.create_file(root, "f", meta()).unwrap();
+        assert_eq!(h.write_bytes(f, 0, b"hello world"), 11);
+        assert_eq!(h.read_bytes(f, 0, 5), b"hello");
+        assert_eq!(h.read_bytes(f, 6, 100), b"world");
+        assert_eq!(h.read_bytes(f, 100, 5), b"");
+        // Sparse write zero-fills the gap.
+        assert_eq!(h.write_bytes(f, 14, b"!"), 1);
+        assert_eq!(h.file_size(f), 15);
+        assert_eq!(h.read_bytes(f, 11, 3), &[0, 0, 0]);
+        assert!(h.truncate(f, 5));
+        assert_eq!(h.file_size(f), 5);
+        assert!(h.truncate(f, 8));
+        assert_eq!(h.read_bytes(f, 5, 3), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn symlink_target_and_size() {
+        let mut h = DirHeap::empty();
+        let root = h.root();
+        let s = h.create_symlink(root, "s", "/some/where", meta()).unwrap();
+        assert_eq!(h.symlink_target(s), Some("/some/where"));
+        assert_eq!(h.file_size(s), 11);
+        assert_eq!(h.file_kind(s), Some(FileKind::Symlink));
+        // Writing to a symlink through the data API is a no-op.
+        assert_eq!(h.write_bytes(s, 0, b"x"), 0);
+    }
+
+    #[test]
+    fn ancestor_detection() {
+        let mut h = DirHeap::empty();
+        let root = h.root();
+        let a = h.create_dir(root, "a", meta()).unwrap();
+        let b = h.create_dir(a, "b", meta()).unwrap();
+        assert!(h.is_same_or_ancestor(root, b));
+        assert!(h.is_same_or_ancestor(a, b));
+        assert!(h.is_same_or_ancestor(b, b));
+        assert!(!h.is_same_or_ancestor(b, a));
+    }
+
+    #[test]
+    fn attach_dir_for_rename() {
+        let mut h = DirHeap::empty();
+        let root = h.root();
+        let a = h.create_dir(root, "a", meta()).unwrap();
+        let b = h.create_dir(root, "b", meta()).unwrap();
+        h.remove_entry(root, "a");
+        assert!(h.attach_dir(b, "a2", a));
+        assert_eq!(h.lookup(b, "a2"), Some(Entry::Dir(a)));
+        assert_eq!(h.parent_of(a), Some(b));
+        assert!(h.is_connected(a));
+    }
+}

@@ -1,0 +1,188 @@
+//! # SibylFS test executor
+//!
+//! Runs test scripts against a (simulated) file system under test and records
+//! the resulting traces (the "Test executor" box of Fig. 1).
+//!
+//! The paper's executor forks interpreter and worker processes inside chroot
+//! jails so that every script starts from an empty file-system namespace and
+//! runs with the uid/gid/group memberships the script asks for (§6.2). The
+//! reproduction achieves the same observable effect in-process: every script
+//! execution starts from a fresh [`SimOs`] with an empty root, the initial
+//! process runs as root (or as an unprivileged user when requested), and
+//! additional processes are created with whatever credentials the script
+//! declares.
+
+use serde::{Deserialize, Serialize};
+
+use sibylfs_core::commands::OsLabel;
+use sibylfs_core::types::{Gid, Uid, INITIAL_PID};
+use sibylfs_fsimpl::{BehaviorProfile, SimOs};
+use sibylfs_script::{Script, ScriptStep, Trace};
+
+/// Options controlling script execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecOptions {
+    /// Whether the initial process runs as root (the paper's default; worker
+    /// processes for permission tests are created explicitly by scripts).
+    pub root_user: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { root_user: true }
+    }
+}
+
+/// Execute a single script against a fresh instance of the given
+/// configuration, producing the observed trace.
+pub fn execute_script(profile: &BehaviorProfile, script: &Script, opts: ExecOptions) -> Trace {
+    let mut sim = SimOs::new(profile.clone());
+    let (uid, gid) = if opts.root_user { (Uid(0), Gid(0)) } else { (Uid(1000), Gid(1000)) };
+    sim.create_process(INITIAL_PID, uid, gid);
+
+    let mut trace = Trace::new(script.name.clone(), script.group.clone());
+    for step in &script.steps {
+        match step {
+            ScriptStep::Call { pid, cmd } => {
+                let ret = sim.call(*pid, cmd);
+                trace.push_call_return(*pid, cmd.clone(), ret);
+            }
+            ScriptStep::CreateProcess { pid, uid, gid } => {
+                sim.create_process(*pid, *uid, *gid);
+                trace.push_label(OsLabel::Create(*pid, *uid, *gid));
+            }
+            ScriptStep::DestroyProcess { pid } => {
+                sim.destroy_process(*pid);
+                trace.push_label(OsLabel::Destroy(*pid));
+            }
+        }
+    }
+    trace
+}
+
+/// Execute a whole suite of scripts against one configuration.
+///
+/// Each script runs against its own fresh file system, mirroring the paper's
+/// per-script chroot jails.
+pub fn execute_suite(
+    profile: &BehaviorProfile,
+    scripts: &[Script],
+    opts: ExecOptions,
+) -> Vec<Trace> {
+    scripts.iter().map(|s| execute_script(profile, s, opts)).collect()
+}
+
+/// Summary statistics of a suite execution, reported by the performance
+/// experiment (§7.1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct ExecStats {
+    /// Number of scripts executed.
+    pub scripts: usize,
+    /// Total number of libc calls across all traces.
+    pub calls: usize,
+    /// Total size of the rendered trace data in bytes.
+    pub trace_bytes: usize,
+}
+
+/// Execute a suite and gather statistics alongside the traces.
+pub fn execute_suite_with_stats(
+    profile: &BehaviorProfile,
+    scripts: &[Script],
+    opts: ExecOptions,
+) -> (Vec<Trace>, ExecStats) {
+    let traces = execute_suite(profile, scripts, opts);
+    let stats = ExecStats {
+        scripts: traces.len(),
+        calls: traces.iter().map(|t| t.call_count()).sum(),
+        trace_bytes: traces.iter().map(|t| sibylfs_script::render_trace(t).len()).sum(),
+    };
+    (traces, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sibylfs_core::commands::{ErrorOrValue, OsCommand, RetValue};
+    use sibylfs_core::errno::Errno;
+    use sibylfs_core::flags::{FileMode, OpenFlags};
+    use sibylfs_core::types::Pid;
+    use sibylfs_fsimpl::configs;
+
+    fn paper_rename_script() -> Script {
+        let mut s = Script::new("rename___rename_emptydir___nonemptydir", "rename");
+        s.call(OsCommand::Mkdir("emptydir".into(), FileMode::new(0o777)))
+            .call(OsCommand::Mkdir("nonemptydir".into(), FileMode::new(0o777)))
+            .call(OsCommand::Open(
+                "nonemptydir/f".into(),
+                OpenFlags::O_CREAT | OpenFlags::O_WRONLY,
+                Some(FileMode::new(0o666)),
+            ))
+            .call(OsCommand::Rename("emptydir".into(), "nonemptydir".into()));
+        s
+    }
+
+    #[test]
+    fn executes_the_paper_example_on_ext4() {
+        let profile = configs::by_name("linux/ext4").unwrap();
+        let trace = execute_script(&profile, &paper_rename_script(), ExecOptions::default());
+        assert_eq!(trace.call_count(), 4);
+        // ext4 reports ENOTEMPTY (allowed); the final return is an error.
+        let last = trace.steps.last().unwrap();
+        match &last.label {
+            OsLabel::Return(_, ErrorOrValue::Error(e)) => assert_eq!(*e, Errno::ENOTEMPTY),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sshfs_produces_the_fig4_deviation() {
+        let profile = configs::by_name("linux/sshfs-tmpfs").unwrap();
+        let trace = execute_script(&profile, &paper_rename_script(), ExecOptions::default());
+        let last = trace.steps.last().unwrap();
+        match &last.label {
+            OsLabel::Return(_, ErrorOrValue::Error(e)) => assert_eq!(*e, Errno::EPERM),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn each_script_starts_from_an_empty_file_system() {
+        let profile = configs::by_name("linux/tmpfs").unwrap();
+        let mut s = Script::new("mkdir___simple", "mkdir");
+        s.call(OsCommand::Mkdir("/d".into(), FileMode::new(0o777)));
+        // Running the same script twice must give identical traces: state does
+        // not leak between executions.
+        let t1 = execute_script(&profile, &s, ExecOptions::default());
+        let t2 = execute_script(&profile, &s, ExecOptions::default());
+        assert_eq!(t1, t2);
+        match &t1.steps[1].label {
+            OsLabel::Return(_, ErrorOrValue::Value(RetValue::None)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiprocess_scripts_record_lifecycle_labels() {
+        let profile = configs::by_name("linux/ext4").unwrap();
+        let mut s = Script::new("permissions___two_procs", "permissions");
+        s.call(OsCommand::Mkdir("/shared".into(), FileMode::new(0o777)))
+            .create_process(Pid(2), Uid(1000), Gid(1000))
+            .call_as(Pid(2), OsCommand::Mkdir("/shared/theirs".into(), FileMode::new(0o755)))
+            .destroy_process(Pid(2));
+        let trace = execute_script(&profile, &s, ExecOptions::default());
+        assert!(trace.labels().any(|l| matches!(l, OsLabel::Create(Pid(2), ..))));
+        assert!(trace.labels().any(|l| matches!(l, OsLabel::Destroy(Pid(2)))));
+        assert_eq!(trace.call_count(), 2);
+    }
+
+    #[test]
+    fn suite_stats_add_up() {
+        let profile = configs::by_name("linux/ext4").unwrap();
+        let scripts = vec![paper_rename_script(), paper_rename_script()];
+        let (traces, stats) = execute_suite_with_stats(&profile, &scripts, ExecOptions::default());
+        assert_eq!(traces.len(), 2);
+        assert_eq!(stats.scripts, 2);
+        assert_eq!(stats.calls, 8);
+        assert!(stats.trace_bytes > 0);
+    }
+}

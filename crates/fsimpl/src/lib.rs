@@ -1,0 +1,32 @@
+//! # Simulated file systems under test
+//!
+//! The paper evaluates SibylFS by running its test suite against ~40 real
+//! OS/file-system configurations. This crate provides the substitute used by
+//! the reproduction: a deterministic in-memory kernel/file-system simulation
+//! ([`SimOs`]) whose externally visible choices — error-code selection,
+//! platform conventions, feature limitations, and the specific defects the
+//! paper reports in §7.3 — are controlled by a [`BehaviorProfile`].
+//!
+//! Because the oracle observes implementations only through the libc-level
+//! call/return trace, a simulated implementation that makes the same choices
+//! produces the same traces and exercises the same checker code paths as the
+//! real systems; see DESIGN.md for the substitution argument.
+//!
+//! ```
+//! use sibylfs_fsimpl::{configs, SimOs};
+//! use sibylfs_core::prelude::*;
+//!
+//! let mut sim = SimOs::new(configs::by_name("linux/ext4").unwrap());
+//! sim.create_process(INITIAL_PID, Uid(0), Gid(0));
+//! let ret = sim.call(INITIAL_PID, &OsCommand::Mkdir("/d".into(), FileMode::new(0o777)));
+//! assert_eq!(ret, ErrorOrValue::Value(RetValue::None));
+//! ```
+
+pub mod behavior;
+pub mod configs;
+pub mod memfs;
+pub mod simos;
+
+pub use behavior::{BehaviorProfile, ReaddirOrder};
+pub use memfs::{Ino, MemFs, NodeKind, NodeMeta, SimRes};
+pub use simos::{SimDh, SimFd, SimOs, SimProc};

@@ -1,0 +1,313 @@
+//! # SibylFS result analysis and reporting
+//!
+//! The volume of data produced by a test run (tens of thousands of checked
+//! traces per platform, §2) makes manual analysis impractical; this crate
+//! reproduces the paper's analysis tooling: per-run summaries, aggregation of
+//! deviations by libc function and by error signature, cross-configuration
+//! merging that highlights behaviour common to many systems versus
+//! configuration-specific deviations, and coverage reports. Output is
+//! markdown/plain text rather than HTML, but the aggregation logic is the
+//! same.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use sibylfs_check::CheckedTrace;
+use sibylfs_core::coverage::CoverageSummary;
+
+/// A single aggregated deviation signature: the libc function, what was
+/// observed, and what the specification allowed.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DeviationKey {
+    /// The libc function involved.
+    pub function: String,
+    /// What the implementation did.
+    pub observed: String,
+    /// What the model allowed (joined for readability).
+    pub allowed: String,
+}
+
+/// The summary of checking one configuration's traces against one flavour of
+/// the specification.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct RunSummary {
+    /// The configuration name (e.g. `linux/ext4`).
+    pub config: String,
+    /// The specification flavour used for checking.
+    pub flavor: String,
+    /// Number of traces checked.
+    pub traces: usize,
+    /// Number of traces accepted.
+    pub accepted: usize,
+    /// Number of traces with at least one deviation.
+    pub failing: usize,
+    /// Total deviation count.
+    pub deviations: usize,
+    /// Deviations per libc function.
+    pub by_function: BTreeMap<String, usize>,
+    /// Deviations per (function, observed, allowed) signature.
+    pub by_signature: BTreeMap<DeviationKey, usize>,
+    /// Names of failing traces (capped to keep reports readable).
+    pub failing_traces: Vec<String>,
+}
+
+/// Maximum number of failing trace names retained in a summary.
+const MAX_FAILING_NAMES: usize = 50;
+
+/// Summarise a checked run.
+pub fn summarize_run(config: &str, flavor: &str, checked: &[CheckedTrace]) -> RunSummary {
+    let mut summary = RunSummary {
+        config: config.to_string(),
+        flavor: flavor.to_string(),
+        traces: checked.len(),
+        ..RunSummary::default()
+    };
+    for trace in checked {
+        if trace.accepted {
+            summary.accepted += 1;
+        } else {
+            summary.failing += 1;
+            if summary.failing_traces.len() < MAX_FAILING_NAMES {
+                summary.failing_traces.push(trace.name.clone());
+            }
+        }
+        for d in &trace.deviations {
+            summary.deviations += 1;
+            *summary.by_function.entry(d.function.clone()).or_default() += 1;
+            let key = DeviationKey {
+                function: d.function.clone(),
+                observed: d.observed.clone(),
+                allowed: d.allowed.join(", "),
+            };
+            *summary.by_signature.entry(key).or_default() += 1;
+        }
+    }
+    summary
+}
+
+impl RunSummary {
+    /// The acceptance rate as a percentage.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.traces == 0 {
+            100.0
+        } else {
+            self.accepted as f64 * 100.0 / self.traces as f64
+        }
+    }
+
+    /// The most common deviation signatures, most frequent first.
+    pub fn top_signatures(&self, n: usize) -> Vec<(&DeviationKey, usize)> {
+        let mut v: Vec<(&DeviationKey, usize)> =
+            self.by_signature.iter().map(|(k, c)| (k, *c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        v.into_iter().take(n).collect()
+    }
+}
+
+/// Render a run summary as markdown.
+pub fn render_run_markdown(s: &RunSummary) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {} checked against the `{}` model\n\n", s.config, s.flavor));
+    out.push_str(&format!(
+        "* traces: {}  accepted: {}  failing: {}  ({:.2}% accepted)\n",
+        s.traces,
+        s.accepted,
+        s.failing,
+        s.acceptance_rate()
+    ));
+    out.push_str(&format!("* total deviations: {}\n\n", s.deviations));
+    if !s.by_function.is_empty() {
+        out.push_str("| function | deviations |\n|---|---|\n");
+        for (f, c) in &s.by_function {
+            out.push_str(&format!("| {f} | {c} |\n"));
+        }
+        out.push('\n');
+    }
+    if !s.by_signature.is_empty() {
+        out.push_str("Top deviation signatures:\n\n");
+        for (key, count) in s.top_signatures(10) {
+            out.push_str(&format!(
+                "* `{}`: observed {}, allowed {} — {} occurrence(s)\n",
+                key.function, key.observed, key.allowed, count
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A merged view over many configurations (the paper's merged test runs,
+/// §2/§7): per-configuration acceptance plus the deviation signatures that
+/// are unique to a few configurations (highlighted) versus common to many.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct MergedReport {
+    /// Per-configuration summaries, in input order.
+    pub runs: Vec<RunSummary>,
+    /// For each deviation signature, the configurations that exhibit it.
+    pub signature_configs: BTreeMap<DeviationKey, BTreeSet<String>>,
+}
+
+/// Merge several run summaries.
+pub fn merge_runs(runs: Vec<RunSummary>) -> MergedReport {
+    let mut signature_configs: BTreeMap<DeviationKey, BTreeSet<String>> = BTreeMap::new();
+    for run in &runs {
+        for key in run.by_signature.keys() {
+            signature_configs.entry(key.clone()).or_default().insert(run.config.clone());
+        }
+    }
+    MergedReport { runs, signature_configs }
+}
+
+impl MergedReport {
+    /// Deviation signatures exhibited by at most `threshold` configurations —
+    /// the interesting, configuration-specific behaviours.
+    pub fn distinctive_signatures(
+        &self,
+        threshold: usize,
+    ) -> Vec<(&DeviationKey, &BTreeSet<String>)> {
+        self.signature_configs.iter().filter(|(_, configs)| configs.len() <= threshold).collect()
+    }
+
+    /// Deviation signatures shared by at least `threshold` configurations —
+    /// platform conventions rather than individual bugs.
+    pub fn common_signatures(&self, threshold: usize) -> Vec<(&DeviationKey, &BTreeSet<String>)> {
+        self.signature_configs.iter().filter(|(_, configs)| configs.len() >= threshold).collect()
+    }
+}
+
+/// Render the merged acceptance table (one row per configuration).
+pub fn render_merged_markdown(m: &MergedReport) -> String {
+    let mut out = String::new();
+    out.push_str("| configuration | model | traces | accepted | failing | deviations |\n");
+    out.push_str("|---|---|---|---|---|---|\n");
+    for r in &m.runs {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} |\n",
+            r.config, r.flavor, r.traces, r.accepted, r.failing, r.deviations
+        ));
+    }
+    out.push('\n');
+    let distinctive = m.distinctive_signatures(2);
+    if !distinctive.is_empty() {
+        out.push_str("Configuration-specific deviations (at most 2 configurations):\n\n");
+        for (key, configs) in distinctive.iter().take(25) {
+            out.push_str(&format!(
+                "* `{}`: observed {} (allowed {}) — {}\n",
+                key.function,
+                key.observed,
+                key.allowed,
+                configs.iter().cloned().collect::<Vec<_>>().join(", ")
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a coverage summary (§7.2) as markdown.
+pub fn render_coverage_markdown(c: &CoverageSummary) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Model coverage: {} of {} specification points exercised ({:.1}%)\n\n",
+        c.hit,
+        c.total,
+        c.percent()
+    ));
+    if !c.missed.is_empty() {
+        out.push_str("Uncovered specification points:\n\n");
+        for m in &c.missed {
+            out.push_str(&format!("* `{m}`\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sibylfs_check::{CheckedStep, Deviation, StepVerdict};
+
+    fn fake_trace(name: &str, dev: Option<(&str, &str)>) -> CheckedTrace {
+        let deviations = dev
+            .map(|(f, obs)| {
+                vec![Deviation {
+                    lineno: 4,
+                    function: f.to_string(),
+                    call: format!("{f} \"x\""),
+                    observed: obs.to_string(),
+                    allowed: vec!["ENOENT".to_string()],
+                }]
+            })
+            .unwrap_or_default();
+        CheckedTrace {
+            name: name.to_string(),
+            group: "g".to_string(),
+            accepted: deviations.is_empty(),
+            steps: vec![CheckedStep {
+                lineno: 1,
+                label: "p1: call stat \"x\"".into(),
+                verdict: StepVerdict::Ok,
+            }],
+            deviations,
+            max_states_tracked: 1,
+        }
+    }
+
+    #[test]
+    fn summaries_count_correctly() {
+        let checked = vec![
+            fake_trace("a", None),
+            fake_trace("b", Some(("rename", "EPERM"))),
+            fake_trace("c", Some(("rename", "EPERM"))),
+            fake_trace("d", Some(("open", "EISDIR"))),
+        ];
+        let s = summarize_run("linux/sshfs-tmpfs", "linux", &checked);
+        assert_eq!(s.traces, 4);
+        assert_eq!(s.accepted, 1);
+        assert_eq!(s.failing, 3);
+        assert_eq!(s.deviations, 3);
+        assert_eq!(s.by_function["rename"], 2);
+        assert_eq!(s.by_function["open"], 1);
+        assert!(s.acceptance_rate() > 24.0 && s.acceptance_rate() < 26.0);
+        let top = s.top_signatures(1);
+        assert_eq!(top[0].0.function, "rename");
+        assert_eq!(top[0].1, 2);
+        let md = render_run_markdown(&s);
+        assert!(md.contains("linux/sshfs-tmpfs"));
+        assert!(md.contains("| rename | 2 |"));
+    }
+
+    #[test]
+    fn merged_report_identifies_distinctive_signatures() {
+        let a = summarize_run("linux/ext4", "linux", &[fake_trace("t", None)]);
+        let b = summarize_run(
+            "linux/sshfs-tmpfs",
+            "linux",
+            &[fake_trace("t", Some(("rename", "EPERM")))],
+        );
+        let c = summarize_run(
+            "linux/posixovl-vfat",
+            "linux",
+            &[fake_trace("t", Some(("rename", "EPERM")))],
+        );
+        let merged = merge_runs(vec![a, b, c]);
+        assert_eq!(merged.runs.len(), 3);
+        let distinctive = merged.distinctive_signatures(2);
+        assert_eq!(distinctive.len(), 1);
+        assert_eq!(distinctive[0].1.len(), 2);
+        assert!(merged.common_signatures(3).is_empty());
+        let md = render_merged_markdown(&merged);
+        assert!(md.contains("| linux/ext4 |"));
+        assert!(md.contains("Configuration-specific deviations"));
+    }
+
+    #[test]
+    fn coverage_rendering() {
+        let c = CoverageSummary { hit: 98, total: 100, missed: vec!["x/y".into(), "z/w".into()] };
+        let md = render_coverage_markdown(&c);
+        assert!(md.contains("98 of 100"));
+        assert!(md.contains("98.0%"));
+        assert!(md.contains("`x/y`"));
+    }
+}

@@ -1,0 +1,192 @@
+//! # SibylFS script and trace formats
+//!
+//! Test scripts drive the file system under test; traces record what the
+//! system actually did; checked traces record the oracle's verdict (Figs. 2–4
+//! of the paper). This crate defines the in-memory representations of scripts
+//! and traces and a concrete text syntax with a parser and printer.
+//!
+//! The text syntax follows the paper's examples:
+//!
+//! ```text
+//! @type script
+//! # Test rename___rename_emptydir___nonemptydir
+//! mkdir "emptydir" 0o777
+//! mkdir "nonemptydir" 0o777
+//! open "nonemptydir/f" [O_CREAT;O_WRONLY] 0o666
+//! rename "emptydir" "nonemptydir"
+//! ```
+//!
+//! and for traces every call line is followed by the observed return value
+//! (`RV_none`, `RV_num(3)`, an errno name, …). Multi-process scripts prefix
+//! lines with `[p2]` and use `@process create`/`@process destroy` directives.
+
+pub mod parse;
+pub mod print;
+
+use serde::{Deserialize, Serialize};
+
+use sibylfs_core::commands::{ErrorOrValue, OsCommand, OsLabel};
+use sibylfs_core::types::{Gid, Pid, Uid, INITIAL_PID};
+
+pub use parse::{parse_script, parse_trace, ParseError};
+pub use print::{render_script, render_trace};
+
+/// One step of a test script.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScriptStep {
+    /// A libc call made by a process.
+    Call {
+        /// The calling process.
+        pid: Pid,
+        /// The command and its arguments.
+        cmd: OsCommand,
+    },
+    /// Create a new process with the given credentials.
+    CreateProcess {
+        /// The new process id.
+        pid: Pid,
+        /// The user the process runs as.
+        uid: Uid,
+        /// The group the process runs as.
+        gid: Gid,
+    },
+    /// Destroy a process.
+    DestroyProcess {
+        /// The process to destroy.
+        pid: Pid,
+    },
+}
+
+/// A test script: a named sequence of steps, executed against an initially
+/// empty file system by a default process (`p1`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Script {
+    /// The script name (from the `# Test <name>` header comment).
+    pub name: String,
+    /// The libc function group this script belongs to (e.g. `"rename"`),
+    /// used to organise suites; derived from the name when omitted.
+    pub group: String,
+    /// The steps, in order.
+    pub steps: Vec<ScriptStep>,
+}
+
+impl Script {
+    /// Create an empty script with the given name and group.
+    pub fn new(name: impl Into<String>, group: impl Into<String>) -> Script {
+        Script { name: name.into(), group: group.into(), steps: Vec::new() }
+    }
+
+    /// Append a call by the default process.
+    pub fn call(&mut self, cmd: OsCommand) -> &mut Self {
+        self.steps.push(ScriptStep::Call { pid: INITIAL_PID, cmd });
+        self
+    }
+
+    /// Append a call by a specific process.
+    pub fn call_as(&mut self, pid: Pid, cmd: OsCommand) -> &mut Self {
+        self.steps.push(ScriptStep::Call { pid, cmd });
+        self
+    }
+
+    /// Append a process-creation step.
+    pub fn create_process(&mut self, pid: Pid, uid: Uid, gid: Gid) -> &mut Self {
+        self.steps.push(ScriptStep::CreateProcess { pid, uid, gid });
+        self
+    }
+
+    /// Append a process-destruction step.
+    pub fn destroy_process(&mut self, pid: Pid) -> &mut Self {
+        self.steps.push(ScriptStep::DestroyProcess { pid });
+        self
+    }
+
+    /// The number of libc calls in the script.
+    pub fn call_count(&self) -> usize {
+        self.steps.iter().filter(|s| matches!(s, ScriptStep::Call { .. })).count()
+    }
+}
+
+/// One event of a recorded trace, tagged with the line number of the call in
+/// the trace file (used in diagnostics, as in Fig. 4).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceStep {
+    /// The line number of this step in the rendered trace.
+    pub lineno: usize,
+    /// The observed label.
+    pub label: OsLabel,
+}
+
+/// A recorded trace: the interleaving of calls and observed return values
+/// produced by executing a script against a real (or simulated) file system.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Trace {
+    /// The originating script name.
+    pub name: String,
+    /// The libc function group of the originating script.
+    pub group: String,
+    /// The recorded events in order.
+    pub steps: Vec<TraceStep>,
+}
+
+impl Trace {
+    /// Create an empty trace for the given script name/group.
+    pub fn new(name: impl Into<String>, group: impl Into<String>) -> Trace {
+        Trace { name: name.into(), group: group.into(), steps: Vec::new() }
+    }
+
+    /// Append a call/return pair observed for `pid`.
+    pub fn push_call_return(&mut self, pid: Pid, cmd: OsCommand, ret: ErrorOrValue) {
+        let lineno = self.steps.len() + 1;
+        self.steps.push(TraceStep { lineno, label: OsLabel::Call(pid, cmd) });
+        let lineno = self.steps.len() + 1;
+        self.steps.push(TraceStep { lineno, label: OsLabel::Return(pid, ret) });
+    }
+
+    /// Append a process lifecycle label.
+    pub fn push_label(&mut self, label: OsLabel) {
+        let lineno = self.steps.len() + 1;
+        self.steps.push(TraceStep { lineno, label });
+    }
+
+    /// The labels of the trace in order (without line numbers).
+    pub fn labels(&self) -> impl Iterator<Item = &OsLabel> {
+        self.steps.iter().map(|s| &s.label)
+    }
+
+    /// The number of call labels (i.e. libc invocations) in the trace.
+    pub fn call_count(&self) -> usize {
+        self.steps.iter().filter(|s| matches!(s.label, OsLabel::Call(..))).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sibylfs_core::commands::RetValue;
+    use sibylfs_core::flags::FileMode;
+
+    #[test]
+    fn script_builder_counts_calls() {
+        let mut s = Script::new("t", "mkdir");
+        s.call(OsCommand::Mkdir("/d".into(), FileMode::new(0o777)))
+            .create_process(Pid(2), Uid(1000), Gid(1000))
+            .call_as(Pid(2), OsCommand::Stat("/d".into()))
+            .destroy_process(Pid(2));
+        assert_eq!(s.call_count(), 2);
+        assert_eq!(s.steps.len(), 4);
+    }
+
+    #[test]
+    fn trace_records_call_return_pairs() {
+        let mut t = Trace::new("t", "mkdir");
+        t.push_call_return(
+            INITIAL_PID,
+            OsCommand::Mkdir("/d".into(), FileMode::new(0o777)),
+            ErrorOrValue::Value(RetValue::None),
+        );
+        assert_eq!(t.steps.len(), 2);
+        assert_eq!(t.call_count(), 1);
+        assert_eq!(t.steps[0].lineno, 1);
+        assert_eq!(t.steps[1].lineno, 2);
+    }
+}

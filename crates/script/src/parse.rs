@@ -1,0 +1,681 @@
+//! Parser for the script and trace text formats.
+//!
+//! The grammar is exactly what [`crate::print`] produces, so parsing and
+//! printing round-trip; the property tests in the workspace `tests/`
+//! directory exercise this.
+
+use std::fmt;
+use std::str::FromStr;
+
+use sibylfs_core::commands::{ErrorOrValue, OsCommand, RetValue, Stat};
+use sibylfs_core::errno::Errno;
+use sibylfs_core::flags::{FileMode, OpenFlags, SeekWhence};
+use sibylfs_core::types::{DirHandleId, Fd, FileKind, Gid, Pid, Uid, INITIAL_PID};
+
+use crate::{Script, ScriptStep, Trace};
+
+/// A parse error, with the (1-based) line number at which it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Line number of the offending line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(line: usize, message: impl Into<String>) -> ParseError {
+        ParseError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A cursor over a single line.
+struct Cursor<'a> {
+    s: &'a str,
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(s: &'a str, line: usize) -> Cursor<'a> {
+        Cursor { s, pos: 0, line }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.s[self.pos..]
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(self.line, msg)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.rest().starts_with(' ') || self.rest().starts_with('\t') {
+            self.pos += 1;
+        }
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        self.rest().is_empty()
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), ParseError> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {token:?} at {:?}", self.rest())))
+        }
+    }
+
+    /// A bare word: letters, digits, `_`, `-`.
+    fn word(&mut self) -> Result<&'a str, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        let bytes = self.s.as_bytes();
+        while self.pos < self.s.len() {
+            let c = bytes[self.pos] as char;
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            Err(self.err(format!("expected a word at {:?}", self.rest())))
+        } else {
+            Ok(&self.s[start..self.pos])
+        }
+    }
+
+    /// A signed decimal integer.
+    fn int(&mut self) -> Result<i64, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        let bytes = self.s.as_bytes();
+        if self.pos < self.s.len() && (bytes[self.pos] == b'-' || bytes[self.pos] == b'+') {
+            self.pos += 1;
+        }
+        while self.pos < self.s.len() && bytes[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        self.s[start..self.pos]
+            .parse::<i64>()
+            .map_err(|_| self.err(format!("expected an integer at {:?}", &self.s[start..])))
+    }
+
+    /// An octal mode, `0o777` or plain octal digits.
+    fn mode(&mut self) -> Result<FileMode, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        let bytes = self.s.as_bytes();
+        if self.rest().starts_with("0o") {
+            self.pos += 2;
+        }
+        while self.pos < self.s.len() && (b'0'..=b'7').contains(&bytes[self.pos]) {
+            self.pos += 1;
+        }
+        let text = &self.s[start..self.pos];
+        text.parse::<FileMode>().map_err(|_| self.err(format!("expected an octal mode, got {text:?}")))
+    }
+
+    /// A double-quoted string with `\"`, `\\`, `\n`, `\t`, `\r`, `\0` escapes.
+    fn quoted(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        if !self.rest().starts_with('"') {
+            return Err(self.err(format!("expected a quoted string at {:?}", self.rest())));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        let mut chars = self.rest().char_indices();
+        loop {
+            let Some((i, c)) = chars.next() else {
+                return Err(self.err("unterminated string"));
+            };
+            match c {
+                '"' => {
+                    self.pos += i + 1;
+                    return Ok(out);
+                }
+                '\\' => {
+                    let Some((_, esc)) = chars.next() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    match esc {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        'n' => out.push('\n'),
+                        't' => out.push('\t'),
+                        'r' => out.push('\r'),
+                        '0' => out.push('\0'),
+                        'u' => {
+                            // Rust-style \u{XX} escape produced by {:?}.
+                            let rest = &self.rest()[i + 2..];
+                            let Some(close) = rest.find('}') else {
+                                return Err(self.err("bad unicode escape"));
+                            };
+                            let hex = &rest[1..close];
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad unicode escape"))?;
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                            for _ in 0..close {
+                                chars.next();
+                            }
+                        }
+                        other => {
+                            return Err(self.err(format!("unknown escape \\{other}")));
+                        }
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    /// A `(FD n)` form.
+    fn fd(&mut self) -> Result<Fd, ParseError> {
+        self.expect("(FD")?;
+        let n = self.int()?;
+        self.expect(")")?;
+        Ok(Fd(n as i32))
+    }
+
+    /// A `(DH n)` form.
+    fn dh(&mut self) -> Result<DirHandleId, ParseError> {
+        self.expect("(DH")?;
+        let n = self.int()?;
+        self.expect(")")?;
+        Ok(DirHandleId(n as i32))
+    }
+
+    /// A `[FLAG;FLAG;…]` list.
+    fn flags(&mut self) -> Result<OpenFlags, ParseError> {
+        self.expect("[")?;
+        let mut flags = OpenFlags::empty();
+        loop {
+            let w = self.word()?;
+            let f: OpenFlags =
+                w.parse().map_err(|_| self.err(format!("unknown open flag {w:?}")))?;
+            flags = flags | f;
+            if self.eat(";") {
+                continue;
+            }
+            self.expect("]")?;
+            return Ok(flags);
+        }
+    }
+}
+
+/// Parse a single command line (without any process prefix).
+pub fn parse_command(text: &str, line: usize) -> Result<OsCommand, ParseError> {
+    let mut c = Cursor::new(text, line);
+    let name = c.word()?.to_string();
+    let cmd = match name.as_str() {
+        "chdir" => OsCommand::Chdir(c.quoted()?),
+        "chmod" => OsCommand::Chmod(c.quoted()?, c.mode()?),
+        "chown" => {
+            let p = c.quoted()?;
+            let uid = c.int()? as u32;
+            let gid = c.int()? as u32;
+            OsCommand::Chown(p, Uid(uid), Gid(gid))
+        }
+        "close" => OsCommand::Close(c.fd()?),
+        "closedir" => OsCommand::Closedir(c.dh()?),
+        "link" => OsCommand::Link(c.quoted()?, c.quoted()?),
+        "lseek" => {
+            let fd = c.fd()?;
+            let off = c.int()?;
+            let w = c.word()?;
+            let whence: SeekWhence =
+                w.parse().map_err(|_| c.err(format!("unknown whence {w:?}")))?;
+            OsCommand::Lseek(fd, off, whence)
+        }
+        "lstat" => OsCommand::Lstat(c.quoted()?),
+        "mkdir" => OsCommand::Mkdir(c.quoted()?, c.mode()?),
+        "open" => {
+            let p = c.quoted()?;
+            let flags = c.flags()?;
+            let mode = if c.at_end() { None } else { Some(c.mode()?) };
+            OsCommand::Open(p, flags, mode)
+        }
+        "opendir" => OsCommand::Opendir(c.quoted()?),
+        "pread" => {
+            let fd = c.fd()?;
+            let count = c.int()? as usize;
+            let off = c.int()?;
+            OsCommand::Pread(fd, count, off)
+        }
+        "pwrite" => {
+            let fd = c.fd()?;
+            let data = c.quoted()?.into_bytes();
+            let off = c.int()?;
+            OsCommand::Pwrite(fd, data, off)
+        }
+        "read" => OsCommand::Read(c.fd()?, c.int()? as usize),
+        "readdir" => OsCommand::Readdir(c.dh()?),
+        "readlink" => OsCommand::Readlink(c.quoted()?),
+        "rename" => OsCommand::Rename(c.quoted()?, c.quoted()?),
+        "rewinddir" => OsCommand::Rewinddir(c.dh()?),
+        "rmdir" => OsCommand::Rmdir(c.quoted()?),
+        "stat" => OsCommand::Stat(c.quoted()?),
+        "symlink" => OsCommand::Symlink(c.quoted()?, c.quoted()?),
+        "truncate" => OsCommand::Truncate(c.quoted()?, c.int()?),
+        "umask" => OsCommand::Umask(c.mode()?),
+        "unlink" => OsCommand::Unlink(c.quoted()?),
+        "write" => OsCommand::Write(c.fd()?, c.quoted()?.into_bytes()),
+        "add_user_to_group" => {
+            let uid = c.int()? as u32;
+            let gid = c.int()? as u32;
+            OsCommand::AddUserToGroup(Uid(uid), Gid(gid))
+        }
+        other => return Err(c.err(format!("unknown command {other:?}"))),
+    };
+    if !c.at_end() {
+        return Err(c.err(format!("trailing input: {:?}", c.rest())));
+    }
+    Ok(cmd)
+}
+
+/// Parse a return-value line: an errno name or an `RV_*` form.
+pub fn parse_return(text: &str, line: usize) -> Result<ErrorOrValue, ParseError> {
+    let trimmed = text.trim();
+    if let Ok(e) = Errno::from_str(trimmed) {
+        return Ok(ErrorOrValue::Error(e));
+    }
+    let mut c = Cursor::new(trimmed, line);
+    let head = c.word()?;
+    let value = match head {
+        "RV_none" => RetValue::None,
+        "RV_num" => {
+            c.expect("(")?;
+            let n = c.int()?;
+            c.expect(")")?;
+            RetValue::Num(n)
+        }
+        "RV_fd" => {
+            c.expect("(")?;
+            let n = c.int()?;
+            c.expect(")")?;
+            RetValue::Fd(Fd(n as i32))
+        }
+        "RV_dh" => {
+            c.expect("(")?;
+            let n = c.int()?;
+            c.expect(")")?;
+            RetValue::DirHandle(DirHandleId(n as i32))
+        }
+        "RV_bytes" => {
+            c.expect("(")?;
+            let s = c.quoted()?;
+            c.expect(")")?;
+            RetValue::Bytes(s.into_bytes())
+        }
+        "RV_path" => {
+            c.expect("(")?;
+            let s = c.quoted()?;
+            c.expect(")")?;
+            RetValue::Path(s)
+        }
+        "RV_readdir" => {
+            c.expect("(")?;
+            let s = c.quoted()?;
+            c.expect(")")?;
+            RetValue::ReaddirEntry(Some(s))
+        }
+        "RV_readdir_end" => RetValue::ReaddirEntry(None),
+        "RV_stat" => {
+            c.expect("{")?;
+            c.expect("kind=")?;
+            let kind_word = c.word()?;
+            let kind = match kind_word {
+                "FILE" => FileKind::Regular,
+                "DIR" => FileKind::Directory,
+                "SYMLINK" => FileKind::Symlink,
+                other => return Err(c.err(format!("unknown file kind {other:?}"))),
+            };
+            c.expect(";")?;
+            c.expect("size=")?;
+            let size = c.int()? as u64;
+            c.expect(";")?;
+            c.expect("nlink=")?;
+            let nlink = c.int()? as u32;
+            c.expect(";")?;
+            c.expect("mode=")?;
+            let mode = c.mode()?;
+            c.expect(";")?;
+            c.expect("uid=")?;
+            let uid = c.int()? as u32;
+            c.expect(";")?;
+            c.expect("gid=")?;
+            let gid = c.int()? as u32;
+            c.expect("}")?;
+            RetValue::Stat(Box::new(Stat { kind, size, nlink, mode, uid: Uid(uid), gid: Gid(gid) }))
+        }
+        other => return Err(c.err(format!("unknown return value {other:?}"))),
+    };
+    if !c.at_end() {
+        return Err(c.err(format!("trailing input: {:?}", c.rest())));
+    }
+    Ok(ErrorOrValue::Value(value))
+}
+
+/// Parse an optional `[pN]` process prefix; returns the pid and the rest of
+/// the line.
+fn parse_pid_prefix(text: &str) -> (Pid, &str) {
+    let t = text.trim_start();
+    if let Some(rest) = t.strip_prefix("[p") {
+        if let Some(end) = rest.find(']') {
+            if let Ok(n) = rest[..end].parse::<u32>() {
+                return (Pid(n), rest[end + 1..].trim_start());
+            }
+        }
+    }
+    (INITIAL_PID, t)
+}
+
+fn parse_process_directive(text: &str, line: usize) -> Result<Option<ScriptStep>, ParseError> {
+    let Some(rest) = text.trim().strip_prefix("@process ") else {
+        return Ok(None);
+    };
+    let parts: Vec<&str> = rest.split_whitespace().collect();
+    match parts.as_slice() {
+        ["create", pid, uid, gid] => {
+            let parse =
+                |s: &str| s.parse::<u32>().map_err(|_| ParseError::new(line, "bad number"));
+            Ok(Some(ScriptStep::CreateProcess {
+                pid: Pid(parse(pid)?),
+                uid: Uid(parse(uid)?),
+                gid: Gid(parse(gid)?),
+            }))
+        }
+        ["destroy", pid] => {
+            let pid = pid.parse::<u32>().map_err(|_| ParseError::new(line, "bad pid"))?;
+            Ok(Some(ScriptStep::DestroyProcess { pid: Pid(pid) }))
+        }
+        _ => Err(ParseError::new(line, format!("bad @process directive: {rest:?}"))),
+    }
+}
+
+/// Parse a complete script file.
+pub fn parse_script(text: &str) -> Result<Script, ParseError> {
+    let mut script = Script::default();
+    let mut seen_type = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("@type") {
+            let kind = rest.trim();
+            if kind != "script" {
+                return Err(ParseError::new(lineno, format!("expected '@type script', got {kind:?}")));
+            }
+            seen_type = true;
+            continue;
+        }
+        if let Some(step) = parse_process_directive(line, lineno)? {
+            script.steps.push(step);
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim();
+            if let Some(name) = comment.strip_prefix("Test ") {
+                script.name = name.trim().to_string();
+                if script.group.is_empty() {
+                    script.group =
+                        script.name.split("___").next().unwrap_or("misc").to_string();
+                }
+            }
+            continue;
+        }
+        let (pid, rest) = parse_pid_prefix(line);
+        let cmd = parse_command(rest, lineno)?;
+        script.steps.push(ScriptStep::Call { pid, cmd });
+    }
+    if !seen_type {
+        return Err(ParseError::new(1, "missing '@type script' header"));
+    }
+    Ok(script)
+}
+
+/// Parse a complete trace file.
+pub fn parse_trace(text: &str) -> Result<Trace, ParseError> {
+    let mut trace = Trace::default();
+    let mut seen_type = false;
+    let mut pending_call: Option<Pid> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("@type") {
+            let kind = rest.trim();
+            if kind != "trace" {
+                return Err(ParseError::new(lineno, format!("expected '@type trace', got {kind:?}")));
+            }
+            seen_type = true;
+            continue;
+        }
+        if let Some(step) = parse_process_directive(line, lineno)? {
+            match step {
+                ScriptStep::CreateProcess { pid, uid, gid } => {
+                    trace.push_label(sibylfs_core::commands::OsLabel::Create(pid, uid, gid));
+                }
+                ScriptStep::DestroyProcess { pid } => {
+                    trace.push_label(sibylfs_core::commands::OsLabel::Destroy(pid));
+                }
+                ScriptStep::Call { .. } => unreachable!("directives never produce calls"),
+            }
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim();
+            if let Some(name) = comment.strip_prefix("Test ") {
+                trace.name = name.trim().to_string();
+                if trace.group.is_empty() {
+                    trace.group = trace.name.split("___").next().unwrap_or("misc").to_string();
+                }
+            }
+            continue;
+        }
+        // A call line starts with "<n>:"; a return line is anything else.
+        if let Some(colon) = line.find(':') {
+            if line[..colon].chars().all(|ch| ch.is_ascii_digit()) && !line[..colon].is_empty() {
+                let rest = &line[colon + 1..];
+                let (pid, rest) = parse_pid_prefix(rest);
+                let cmd = parse_command(rest, lineno)?;
+                trace.push_label(sibylfs_core::commands::OsLabel::Call(pid, cmd));
+                pending_call = Some(pid);
+                continue;
+            }
+        }
+        // Return line.
+        let pid = pending_call.take().ok_or_else(|| {
+            ParseError::new(lineno, "return value without a preceding call")
+        })?;
+        let ret = parse_return(line, lineno)?;
+        trace.push_label(sibylfs_core::commands::OsLabel::Return(pid, ret));
+    }
+    if !seen_type {
+        return Err(ParseError::new(1, "missing '@type trace' header"));
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_paper_rename_script() {
+        let text = r#"@type script
+# Test rename___rename_emptydir___nonemptydir
+mkdir "emptydir" 0o777
+mkdir "nonemptydir" 0o777
+open "nonemptydir/f" [O_CREAT;O_WRONLY] 0o666
+rename "emptydir" "nonemptydir"
+"#;
+        let s = parse_script(text).unwrap();
+        assert_eq!(s.name, "rename___rename_emptydir___nonemptydir");
+        assert_eq!(s.group, "rename");
+        assert_eq!(s.call_count(), 4);
+        match &s.steps[2] {
+            ScriptStep::Call { cmd: OsCommand::Open(p, flags, Some(mode)), .. } => {
+                assert_eq!(p, "nonemptydir/f");
+                assert!(flags.contains(OpenFlags::O_CREAT));
+                assert!(flags.contains(OpenFlags::O_WRONLY));
+                assert_eq!(*mode, FileMode::new(0o666));
+            }
+            other => panic!("unexpected step {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_trace_with_error_and_value_returns() {
+        let text = r#"@type trace
+# Test rename___x
+1: mkdir "emptydir" 0o777
+RV_none
+3: rename "emptydir" "nonemptydir"
+EPERM
+"#;
+        let t = parse_trace(text).unwrap();
+        assert_eq!(t.call_count(), 2);
+        assert_eq!(t.steps.len(), 4);
+        match &t.steps[3].label {
+            sibylfs_core::commands::OsLabel::Return(_, ErrorOrValue::Error(e)) => {
+                assert_eq!(*e, Errno::EPERM)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_every_command_form() {
+        let lines = [
+            r#"chdir "/d""#,
+            r#"chmod "/f" 0o644"#,
+            r#"chown "/f" 1000 1000"#,
+            "close (FD 3)",
+            "closedir (DH 1)",
+            r#"link "/a" "/b""#,
+            "lseek (FD 3) -10 SEEK_END",
+            r#"lstat "/f""#,
+            r#"mkdir "/d" 0o777"#,
+            r#"open "/f" [O_CREAT;O_RDWR] 0o644"#,
+            r#"open "/f" [O_RDONLY]"#,
+            r#"opendir "/d""#,
+            "pread (FD 3) 100 5",
+            r#"pwrite (FD 3) "data" 5"#,
+            "read (FD 3) 100",
+            "readdir (DH 1)",
+            r#"readlink "/s""#,
+            r#"rename "/a" "/b""#,
+            "rewinddir (DH 1)",
+            r#"rmdir "/d""#,
+            r#"stat "/f""#,
+            r#"symlink "target" "/s""#,
+            r#"truncate "/f" 100"#,
+            "umask 0o22",
+            r#"unlink "/f""#,
+            r#"write (FD 3) "hello\nworld""#,
+            "add_user_to_group 1000 500",
+        ];
+        for l in lines {
+            let cmd = parse_command(l, 1).unwrap_or_else(|e| panic!("failed on {l:?}: {e}"));
+            // Round trip through Display and back.
+            let printed = cmd.to_string();
+            let reparsed = parse_command(&printed, 1)
+                .unwrap_or_else(|e| panic!("round trip failed on {printed:?}: {e}"));
+            assert_eq!(cmd, reparsed, "round trip mismatch for {l:?}");
+        }
+    }
+
+    #[test]
+    fn parse_return_values() {
+        for (text, expect_err) in [
+            ("RV_none", false),
+            ("RV_num(42)", false),
+            ("RV_num(-1)", false),
+            ("RV_fd(3)", false),
+            ("RV_dh(1)", false),
+            (r#"RV_bytes("abc")"#, false),
+            (r#"RV_path("/x")"#, false),
+            (r#"RV_readdir("f")"#, false),
+            ("RV_readdir_end", false),
+            ("ENOENT", false),
+            ("EWHATEVER", true),
+            ("RV_gibberish", true),
+        ] {
+            let r = parse_return(text, 1);
+            assert_eq!(r.is_err(), expect_err, "case {text:?}: {r:?}");
+        }
+        let stat = parse_return(
+            "RV_stat {kind=DIR; size=0; nlink=2; mode=0o755; uid=0; gid=0}",
+            1,
+        )
+        .unwrap();
+        match stat {
+            ErrorOrValue::Value(RetValue::Stat(s)) => {
+                assert_eq!(s.kind, FileKind::Directory);
+                assert_eq!(s.nlink, 2);
+                assert_eq!(s.mode, FileMode::new(0o755));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let text = "@type script\nmkdir \"/d\" 0o777\nbogus \"/x\"\n";
+        let err = parse_script(text).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("unknown command"));
+    }
+
+    #[test]
+    fn multiprocess_script_round_trip() {
+        let text = r#"@type script
+# Test permissions___multiproc
+add_user_to_group 1000 1000
+@process create 2 1000 1000
+[p2] mkdir "/d" 0o700
+[p2] stat "/d"
+@process destroy 2
+"#;
+        let s = parse_script(text).unwrap();
+        assert_eq!(s.steps.len(), 5);
+        assert!(matches!(s.steps[1], ScriptStep::CreateProcess { pid: Pid(2), .. }));
+        assert!(matches!(
+            s.steps[2],
+            ScriptStep::Call { pid: Pid(2), cmd: OsCommand::Mkdir(..) }
+        ));
+        assert!(matches!(s.steps[4], ScriptStep::DestroyProcess { pid: Pid(2) }));
+    }
+
+    #[test]
+    fn missing_header_is_rejected() {
+        assert!(parse_script("mkdir \"/d\" 0o777\n").is_err());
+        assert!(parse_trace("1: mkdir \"/d\" 0o777\nRV_none\n").is_err());
+    }
+}

@@ -1,0 +1,213 @@
+//! Combinatorial generation of single-call tests: one-path commands, two-path
+//! commands, and the `open` flag sweep.
+
+use sibylfs_core::commands::OsCommand;
+use sibylfs_core::flags::{FileMode, OpenFlags};
+use sibylfs_script::Script;
+
+use crate::fixture::{path_token, script_with_fixture, PATH_POOL};
+
+/// Generate the tests for commands that take a single path argument.
+///
+/// Each pool path is combined with every relevant argument variation of the
+/// command (modes for `mkdir`/`chmod`, lengths for `truncate`, …).
+pub fn single_path_scripts() -> Vec<Script> {
+    let mut out = Vec::new();
+    for p in PATH_POOL {
+        let tok = path_token(p.path);
+        let path = p.path.to_string();
+
+        for (case, cmd) in [
+            ("stat", OsCommand::Stat(path.clone())),
+            ("lstat", OsCommand::Lstat(path.clone())),
+            ("unlink", OsCommand::Unlink(path.clone())),
+            ("rmdir", OsCommand::Rmdir(path.clone())),
+            ("opendir", OsCommand::Opendir(path.clone())),
+            ("readlink", OsCommand::Readlink(path.clone())),
+            ("chdir", OsCommand::Chdir(path.clone())),
+        ] {
+            let mut s = script_with_fixture(case, &tok);
+            s.call(cmd);
+            out.push(s);
+        }
+
+        for mode in [0o777u32, 0o700, 0o000] {
+            let mut s = script_with_fixture("mkdir", &format!("{tok}___mode{mode:o}"));
+            s.call(OsCommand::Mkdir(path.clone(), FileMode::new(mode)));
+            out.push(s);
+        }
+        for mode in [0o644u32, 0o000] {
+            let mut s = script_with_fixture("chmod", &format!("{tok}___mode{mode:o}"));
+            s.call(OsCommand::Chmod(path.clone(), FileMode::new(mode)));
+            out.push(s);
+        }
+        for len in [0i64, 17, -1] {
+            let mut s = script_with_fixture("truncate", &format!("{tok}___len{len}"));
+            s.call(OsCommand::Truncate(path.clone(), len));
+            out.push(s);
+        }
+        {
+            let mut s = script_with_fixture("chown", &tok);
+            s.call(OsCommand::Chown(
+                path.clone(),
+                sibylfs_core::types::Uid(1000),
+                sibylfs_core::types::Gid(1000),
+            ));
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// Generate the tests for commands that take two path arguments
+/// (`rename`, `link`, `symlink`), covering all pairs of pool paths.
+///
+/// Pair-level properties (equal paths, different names for the same file,
+/// one path a prefix of the other) are covered because the pool contains
+/// hard-link aliases and nested paths.
+pub fn two_path_scripts() -> Vec<Script> {
+    let mut out = Vec::new();
+    for a in PATH_POOL {
+        for b in PATH_POOL {
+            let ta = path_token(a.path);
+            let tb = path_token(b.path);
+            let case = format!("{ta}___{tb}");
+
+            let mut s = script_with_fixture("rename", &case);
+            s.call(OsCommand::Rename(a.path.to_string(), b.path.to_string()));
+            out.push(s);
+
+            let mut s = script_with_fixture("link", &case);
+            s.call(OsCommand::Link(a.path.to_string(), b.path.to_string()));
+            out.push(s);
+
+            let mut s = script_with_fixture("symlink", &case);
+            s.call(OsCommand::Symlink(a.path.to_string(), b.path.to_string()));
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// The access-mode portion of the `open` flag sweep.
+const ACCESS_MODES: &[(&str, OpenFlags)] = &[
+    ("rdonly", OpenFlags::O_RDONLY),
+    ("wronly", OpenFlags::O_WRONLY),
+    ("rdwr", OpenFlags::O_RDWR),
+];
+
+/// The optional flags swept combinatorially for `open` (one argument of
+/// `open` is a bitfield, giving it by far the largest test group, §6.1).
+const OPTIONAL_FLAGS: &[(&str, OpenFlags)] = &[
+    ("creat", OpenFlags::O_CREAT),
+    ("excl", OpenFlags::O_EXCL),
+    ("trunc", OpenFlags::O_TRUNC),
+    ("append", OpenFlags::O_APPEND),
+    ("directory", OpenFlags::O_DIRECTORY),
+    ("nofollow", OpenFlags::O_NOFOLLOW),
+];
+
+/// Generate the `open` tests: every pool path × every access mode × every
+/// subset of the optional flags.
+pub fn open_scripts() -> Vec<Script> {
+    let mut out = Vec::new();
+    let subsets = 1usize << OPTIONAL_FLAGS.len();
+    for p in PATH_POOL {
+        let tok = path_token(p.path);
+        for (aname, aflag) in ACCESS_MODES {
+            for subset in 0..subsets {
+                let mut flags = *aflag;
+                let mut names = vec![*aname];
+                for (i, (fname, fflag)) in OPTIONAL_FLAGS.iter().enumerate() {
+                    if subset & (1 << i) != 0 {
+                        flags = flags | *fflag;
+                        names.push(*fname);
+                    }
+                }
+                let case = format!("{tok}___{}", names.join("_"));
+                let mut s = script_with_fixture("open", &case);
+                let mode = if flags.contains(OpenFlags::O_CREAT) {
+                    Some(FileMode::new(0o644))
+                } else {
+                    None
+                };
+                s.call(OsCommand::Open(p.path.to_string(), flags, mode));
+                out.push(s);
+            }
+        }
+    }
+    out
+}
+
+/// A reduced `open` sweep (a handful of representative flag combinations per
+/// path) used by the quick suite.
+pub fn open_scripts_quick() -> Vec<Script> {
+    let combos: &[(&str, OpenFlags)] = &[
+        ("rdonly", OpenFlags::O_RDONLY),
+        ("creat_wronly", OpenFlags::O_CREAT | OpenFlags::O_WRONLY),
+        ("creat_excl_wronly", OpenFlags::O_CREAT | OpenFlags::O_EXCL | OpenFlags::O_WRONLY),
+        ("trunc_rdwr", OpenFlags::O_TRUNC | OpenFlags::O_RDWR),
+        ("directory_rdonly", OpenFlags::O_DIRECTORY),
+        ("nofollow_rdonly", OpenFlags::O_NOFOLLOW),
+        (
+            "creat_excl_directory",
+            OpenFlags::O_CREAT | OpenFlags::O_EXCL | OpenFlags::O_DIRECTORY,
+        ),
+        ("append_wronly", OpenFlags::O_APPEND | OpenFlags::O_WRONLY),
+    ];
+    let mut out = Vec::new();
+    for p in PATH_POOL {
+        let tok = path_token(p.path);
+        for (cname, flags) in combos {
+            let mut s = script_with_fixture("open", &format!("{tok}___{cname}"));
+            let mode = if flags.contains(OpenFlags::O_CREAT) {
+                Some(FileMode::new(0o644))
+            } else {
+                None
+            };
+            s.call(OsCommand::Open(p.path.to_string(), *flags, mode));
+            out.push(s);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn single_path_counts_scale_with_pool_and_variants() {
+        let scripts = single_path_scripts();
+        // 7 plain commands + 3 mkdir + 2 chmod + 3 truncate + 1 chown = 16 per path.
+        assert_eq!(scripts.len(), PATH_POOL.len() * 16);
+        let names: BTreeSet<_> = scripts.iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names.len(), scripts.len(), "script names must be unique");
+    }
+
+    #[test]
+    fn two_path_commands_cover_all_pairs() {
+        let scripts = two_path_scripts();
+        assert_eq!(scripts.len(), PATH_POOL.len() * PATH_POOL.len() * 3);
+        // The paper's motivating case is present: renaming one path onto
+        // another where both are directories.
+        assert!(scripts.iter().any(|s| s.name.starts_with("rename___empty_dir___nonempty_dir")));
+    }
+
+    #[test]
+    fn open_sweep_covers_flag_space() {
+        let scripts = open_scripts();
+        assert_eq!(scripts.len(), PATH_POOL.len() * 3 * 64);
+        let quick = open_scripts_quick();
+        assert!(quick.len() < scripts.len() / 10);
+    }
+
+    #[test]
+    fn every_generated_script_has_exactly_one_test_call_after_the_fixture() {
+        let fixture_calls = script_with_fixture("x", "y").call_count();
+        for s in single_path_scripts().iter().chain(open_scripts_quick().iter()) {
+            assert_eq!(s.call_count(), fixture_calls + 1, "{}", s.name);
+        }
+    }
+}

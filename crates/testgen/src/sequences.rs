@@ -1,0 +1,578 @@
+//! Hand-written test scripts for behaviour that is inherently sequential:
+//! descriptor I/O (`read`/`write`/`pread`/`pwrite`/`lseek`), directory
+//! iteration under modification, permissions with multiple processes, and the
+//! specific defect scenarios reported in §7.3 of the paper.
+//!
+//! Because the oracle binds whatever descriptor number the implementation
+//! returns, these scripts rely on the conventional allocation order (the
+//! first descriptor opened by a fresh process is `(FD 3)`, the first
+//! directory handle `(DH 1)`), which both the simulated implementations and
+//! real systems follow.
+
+use sibylfs_core::commands::OsCommand;
+use sibylfs_core::flags::{FileMode, OpenFlags, SeekWhence};
+use sibylfs_core::types::{DirHandleId, Fd, Gid, Pid, Uid};
+use sibylfs_script::Script;
+
+fn s(name: &str, group: &str) -> Script {
+    Script::new(format!("{group}___{name}"), group)
+}
+
+const FD3: Fd = Fd(3);
+const FD4: Fd = Fd(4);
+const DH1: DirHandleId = DirHandleId(1);
+
+fn mode(m: u32) -> FileMode {
+    FileMode::new(m)
+}
+
+/// Sequential I/O scripts: write/read round trips, offsets, append mode,
+/// short counts, `pread`/`pwrite`, `lseek` edge cases, `O_TRUNC`.
+pub fn io_sequence_scripts() -> Vec<Script> {
+    let mut out = Vec::new();
+
+    {
+        let mut sc = s("write_then_read_roundtrip", "read");
+        sc.call(OsCommand::Open("f".into(), OpenFlags::O_CREAT | OpenFlags::O_RDWR, Some(mode(0o644))))
+            .call(OsCommand::Write(FD3, b"hello world".to_vec()))
+            .call(OsCommand::Lseek(FD3, 0, SeekWhence::Set))
+            .call(OsCommand::Read(FD3, 5))
+            .call(OsCommand::Read(FD3, 100))
+            .call(OsCommand::Read(FD3, 10))
+            .call(OsCommand::Close(FD3));
+        out.push(sc);
+    }
+    {
+        let mut sc = s("read_at_eof_returns_empty", "read");
+        sc.call(OsCommand::Open("f".into(), OpenFlags::O_CREAT | OpenFlags::O_RDWR, Some(mode(0o644))))
+            .call(OsCommand::Read(FD3, 16))
+            .call(OsCommand::Close(FD3));
+        out.push(sc);
+    }
+    {
+        let mut sc = s("read_bad_fd", "read");
+        sc.call(OsCommand::Read(Fd(42), 16));
+        out.push(sc);
+    }
+    {
+        let mut sc = s("read_write_only_fd", "read");
+        sc.call(OsCommand::Open("f".into(), OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Some(mode(0o644))))
+            .call(OsCommand::Read(FD3, 4));
+        out.push(sc);
+    }
+    {
+        let mut sc = s("write_read_only_fd", "write");
+        sc.call(OsCommand::Open("f".into(), OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Some(mode(0o644))))
+            .call(OsCommand::Close(FD3))
+            .call(OsCommand::Open("f".into(), OpenFlags::O_RDONLY, None))
+            .call(OsCommand::Write(FD4, b"nope".to_vec()));
+        out.push(sc);
+    }
+    {
+        let mut sc = s("write_zero_bytes_bad_fd", "write");
+        sc.call(OsCommand::Write(Fd(42), Vec::new()));
+        out.push(sc);
+    }
+    {
+        let mut sc = s("sparse_write_via_lseek", "write");
+        sc.call(OsCommand::Open("f".into(), OpenFlags::O_CREAT | OpenFlags::O_RDWR, Some(mode(0o644))))
+            .call(OsCommand::Lseek(FD3, 100, SeekWhence::Set))
+            .call(OsCommand::Write(FD3, b"tail".to_vec()))
+            .call(OsCommand::Stat("f".into()))
+            .call(OsCommand::Lseek(FD3, 0, SeekWhence::Set))
+            .call(OsCommand::Read(FD3, 4))
+            .call(OsCommand::Close(FD3));
+        out.push(sc);
+    }
+    {
+        let mut sc = s("append_mode_appends", "write");
+        sc.call(OsCommand::Open("f".into(), OpenFlags::O_CREAT | OpenFlags::O_RDWR, Some(mode(0o644))))
+            .call(OsCommand::Write(FD3, b"AAAA".to_vec()))
+            .call(OsCommand::Close(FD3))
+            .call(OsCommand::Open("f".into(), OpenFlags::O_RDWR | OpenFlags::O_APPEND, None))
+            .call(OsCommand::Write(FD3, b"BB".to_vec()))
+            .call(OsCommand::Lseek(FD3, 0, SeekWhence::Set))
+            .call(OsCommand::Read(FD3, 10))
+            .call(OsCommand::Close(FD3));
+        out.push(sc);
+    }
+    {
+        let mut sc = s("pread_pwrite_do_not_move_offset", "pwrite");
+        sc.call(OsCommand::Open("f".into(), OpenFlags::O_CREAT | OpenFlags::O_RDWR, Some(mode(0o644))))
+            .call(OsCommand::Write(FD3, b"0123456789".to_vec()))
+            .call(OsCommand::Pread(FD3, 4, 2))
+            .call(OsCommand::Pwrite(FD3, b"XY".to_vec(), 4))
+            .call(OsCommand::Lseek(FD3, 0, SeekWhence::Cur))
+            .call(OsCommand::Pread(FD3, 10, 0))
+            .call(OsCommand::Close(FD3));
+        out.push(sc);
+    }
+    {
+        // §7.3.3: pwrite on an O_APPEND descriptor — POSIX honours the offset,
+        // Linux appends.
+        let mut sc = s("pwrite_with_o_append", "pwrite");
+        sc.call(OsCommand::Open("f".into(), OpenFlags::O_CREAT | OpenFlags::O_RDWR | OpenFlags::O_APPEND, Some(mode(0o644))))
+            .call(OsCommand::Write(FD3, b"AAAA".to_vec()))
+            .call(OsCommand::Pwrite(FD3, b"BB".to_vec(), 0))
+            .call(OsCommand::Pread(FD3, 10, 0))
+            .call(OsCommand::Close(FD3));
+        out.push(sc);
+    }
+    {
+        // §7.3.4: POSIX requires EINVAL for a negative pwrite offset.
+        let mut sc = s("pwrite_negative_offset", "pwrite");
+        sc.call(OsCommand::Open("f".into(), OpenFlags::O_CREAT | OpenFlags::O_RDWR, Some(mode(0o644))))
+            .call(OsCommand::Pwrite(FD3, b"x".to_vec(), -1))
+            .call(OsCommand::Pread(FD3, 4, -1))
+            .call(OsCommand::Close(FD3));
+        out.push(sc);
+    }
+    {
+        let mut sc = s("lseek_whence_and_errors", "lseek");
+        sc.call(OsCommand::Open("f".into(), OpenFlags::O_CREAT | OpenFlags::O_RDWR, Some(mode(0o644))))
+            .call(OsCommand::Write(FD3, b"0123456789".to_vec()))
+            .call(OsCommand::Lseek(FD3, 0, SeekWhence::Set))
+            .call(OsCommand::Lseek(FD3, 3, SeekWhence::Cur))
+            .call(OsCommand::Lseek(FD3, -2, SeekWhence::End))
+            .call(OsCommand::Lseek(FD3, -100, SeekWhence::Set))
+            .call(OsCommand::Lseek(Fd(42), 0, SeekWhence::Set))
+            .call(OsCommand::Close(FD3));
+        out.push(sc);
+    }
+    {
+        let mut sc = s("o_trunc_discards_contents", "open");
+        sc.call(OsCommand::Open("f".into(), OpenFlags::O_CREAT | OpenFlags::O_RDWR, Some(mode(0o644))))
+            .call(OsCommand::Write(FD3, b"important".to_vec()))
+            .call(OsCommand::Close(FD3))
+            .call(OsCommand::Open("f".into(), OpenFlags::O_RDWR | OpenFlags::O_TRUNC, None))
+            .call(OsCommand::Stat("f".into()))
+            .call(OsCommand::Close(FD4));
+        out.push(sc);
+    }
+    {
+        let mut sc = s("unlinked_file_remains_readable_through_fd", "unlink");
+        sc.call(OsCommand::Open("f".into(), OpenFlags::O_CREAT | OpenFlags::O_RDWR, Some(mode(0o644))))
+            .call(OsCommand::Write(FD3, b"persist".to_vec()))
+            .call(OsCommand::Unlink("f".into()))
+            .call(OsCommand::Stat("f".into()))
+            .call(OsCommand::Lseek(FD3, 0, SeekWhence::Set))
+            .call(OsCommand::Read(FD3, 7))
+            .call(OsCommand::Close(FD3));
+        out.push(sc);
+    }
+    {
+        let mut sc = s("truncate_then_stat_sizes", "truncate");
+        sc.call(OsCommand::Open("f".into(), OpenFlags::O_CREAT | OpenFlags::O_RDWR, Some(mode(0o644))))
+            .call(OsCommand::Write(FD3, b"0123456789".to_vec()))
+            .call(OsCommand::Close(FD3))
+            .call(OsCommand::Truncate("f".into(), 4))
+            .call(OsCommand::Stat("f".into()))
+            .call(OsCommand::Truncate("f".into(), 20))
+            .call(OsCommand::Stat("f".into()));
+        out.push(sc);
+    }
+    out
+}
+
+/// Directory-iteration scripts, including modification of the directory while
+/// a handle is open (the must/may semantics of §3).
+pub fn readdir_scripts() -> Vec<Script> {
+    let mut out = Vec::new();
+    {
+        let mut sc = s("list_all_entries", "readdir");
+        sc.call(OsCommand::Mkdir("d".into(), mode(0o777)))
+            .call(OsCommand::Mkdir("d/a".into(), mode(0o777)))
+            .call(OsCommand::Mkdir("d/b".into(), mode(0o777)))
+            .call(OsCommand::Mkdir("d/c".into(), mode(0o777)))
+            .call(OsCommand::Opendir("d".into()))
+            .call(OsCommand::Readdir(DH1))
+            .call(OsCommand::Readdir(DH1))
+            .call(OsCommand::Readdir(DH1))
+            .call(OsCommand::Readdir(DH1))
+            .call(OsCommand::Closedir(DH1));
+        out.push(sc);
+    }
+    {
+        let mut sc = s("empty_dir_reports_end", "readdir");
+        sc.call(OsCommand::Mkdir("d".into(), mode(0o777)))
+            .call(OsCommand::Opendir("d".into()))
+            .call(OsCommand::Readdir(DH1))
+            .call(OsCommand::Readdir(DH1))
+            .call(OsCommand::Closedir(DH1));
+        out.push(sc);
+    }
+    {
+        let mut sc = s("entry_removed_while_open", "readdir");
+        sc.call(OsCommand::Mkdir("d".into(), mode(0o777)))
+            .call(OsCommand::Mkdir("d/a".into(), mode(0o777)))
+            .call(OsCommand::Mkdir("d/b".into(), mode(0o777)))
+            .call(OsCommand::Opendir("d".into()))
+            .call(OsCommand::Rmdir("d/a".into()))
+            .call(OsCommand::Readdir(DH1))
+            .call(OsCommand::Readdir(DH1))
+            .call(OsCommand::Readdir(DH1))
+            .call(OsCommand::Closedir(DH1));
+        out.push(sc);
+    }
+    {
+        let mut sc = s("entry_added_while_open", "readdir");
+        sc.call(OsCommand::Mkdir("d".into(), mode(0o777)))
+            .call(OsCommand::Mkdir("d/a".into(), mode(0o777)))
+            .call(OsCommand::Opendir("d".into()))
+            .call(OsCommand::Mkdir("d/b".into(), mode(0o777)))
+            .call(OsCommand::Readdir(DH1))
+            .call(OsCommand::Readdir(DH1))
+            .call(OsCommand::Readdir(DH1))
+            .call(OsCommand::Closedir(DH1));
+        out.push(sc);
+    }
+    {
+        let mut sc = s("rewinddir_resets_stream", "rewinddir");
+        sc.call(OsCommand::Mkdir("d".into(), mode(0o777)))
+            .call(OsCommand::Mkdir("d/a".into(), mode(0o777)))
+            .call(OsCommand::Opendir("d".into()))
+            .call(OsCommand::Readdir(DH1))
+            .call(OsCommand::Mkdir("d/b".into(), mode(0o777)))
+            .call(OsCommand::Rewinddir(DH1))
+            .call(OsCommand::Readdir(DH1))
+            .call(OsCommand::Readdir(DH1))
+            .call(OsCommand::Readdir(DH1))
+            .call(OsCommand::Closedir(DH1));
+        out.push(sc);
+    }
+    {
+        let mut sc = s("bad_handle_operations", "closedir");
+        sc.call(OsCommand::Readdir(DirHandleId(9)))
+            .call(OsCommand::Rewinddir(DirHandleId(9)))
+            .call(OsCommand::Closedir(DirHandleId(9)));
+        out.push(sc);
+    }
+    out
+}
+
+/// Multi-process scripts exercising ownership and permissions (§6.3 notes
+/// that interleaved calls from multiple processes are important precisely for
+/// permissions testing).
+pub fn permission_scripts() -> Vec<Script> {
+    let mut out = Vec::new();
+    let user = (Uid(1000), Gid(1000));
+    let other = (Uid(2000), Gid(2000));
+    {
+        let mut sc = s("private_dir_blocks_other_users", "permissions");
+        sc.call(OsCommand::Mkdir("private".into(), mode(0o700)))
+            .call(OsCommand::Chown("private".into(), user.0, user.1))
+            .create_process(Pid(2), other.0, other.1)
+            .call_as(Pid(2), OsCommand::Opendir("private".into()))
+            .call_as(Pid(2), OsCommand::Open("private/f".into(), OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Some(mode(0o644))))
+            .call_as(Pid(2), OsCommand::Stat("private/f".into()))
+            .destroy_process(Pid(2));
+        out.push(sc);
+    }
+    {
+        let mut sc = s("owner_can_use_own_dir", "permissions");
+        sc.call(OsCommand::Mkdir("home".into(), mode(0o755)))
+            .call(OsCommand::Mkdir("home/user".into(), mode(0o700)))
+            .call(OsCommand::Chown("home/user".into(), user.0, user.1))
+            .create_process(Pid(2), user.0, user.1)
+            .call_as(Pid(2), OsCommand::Open("home/user/f".into(), OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Some(mode(0o600))))
+            .call_as(Pid(2), OsCommand::Write(FD3, b"mine".to_vec()))
+            .call_as(Pid(2), OsCommand::Close(FD3))
+            .call_as(Pid(2), OsCommand::Stat("home/user/f".into()))
+            .destroy_process(Pid(2));
+        out.push(sc);
+    }
+    {
+        let mut sc = s("group_membership_grants_group_bits", "permissions");
+        sc.call(OsCommand::AddUserToGroup(other.0, Gid(500)))
+            .call(OsCommand::Mkdir("shared".into(), mode(0o770)))
+            .call(OsCommand::Chown("shared".into(), user.0, Gid(500)))
+            .create_process(Pid(2), other.0, other.1)
+            .call_as(Pid(2), OsCommand::Open("shared/f".into(), OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Some(mode(0o660))))
+            .destroy_process(Pid(2))
+            .create_process(Pid(3), Uid(3000), Gid(3000))
+            .call_as(Pid(3), OsCommand::Open("shared/g".into(), OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Some(mode(0o660))))
+            .destroy_process(Pid(3));
+        out.push(sc);
+    }
+    {
+        let mut sc = s("umask_applies_to_creation", "umask");
+        sc.call(OsCommand::Umask(mode(0o077)))
+            .call(OsCommand::Mkdir("d".into(), mode(0o777)))
+            .call(OsCommand::Stat("d".into()))
+            .call(OsCommand::Open("f".into(), OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Some(mode(0o666))))
+            .call(OsCommand::Close(FD3))
+            .call(OsCommand::Stat("f".into()))
+            .call(OsCommand::Umask(mode(0o022)));
+        out.push(sc);
+    }
+    {
+        let mut sc = s("chmod_then_access_denied", "permissions");
+        sc.call(OsCommand::Mkdir("d".into(), mode(0o777)))
+            .call(OsCommand::Chown("d".into(), user.0, user.1))
+            .call(OsCommand::Chmod("d".into(), mode(0o000)))
+            .create_process(Pid(2), other.0, other.1)
+            .call_as(Pid(2), OsCommand::Stat("d/x".into()))
+            .call_as(Pid(2), OsCommand::Open("d/x".into(), OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Some(mode(0o644))))
+            .destroy_process(Pid(2));
+        out.push(sc);
+    }
+    out
+}
+
+/// Scripts that directly target the defect scenarios of §7.3, so that the
+/// survey experiment reproduces each finding.
+pub fn defect_scenario_scripts() -> Vec<Script> {
+    let mut out = Vec::new();
+    {
+        // The paper's running example (Figs. 2–4): renaming an empty directory
+        // onto a non-empty one. SSHFS answers EPERM where only EEXIST or
+        // ENOTEMPTY are allowed.
+        let mut sc = s("rename_emptydir___nonemptydir", "rename");
+        sc.call(OsCommand::Mkdir("emptydir".into(), mode(0o777)))
+            .call(OsCommand::Mkdir("nonemptydir".into(), mode(0o777)))
+            .call(OsCommand::Open(
+                "nonemptydir/f".into(),
+                OpenFlags::O_CREAT | OpenFlags::O_WRONLY,
+                Some(mode(0o666)),
+            ))
+            .call(OsCommand::Rename("emptydir".into(), "nonemptydir".into()));
+        out.push(sc);
+    }
+    {
+        // Fig. 8: the OpenZFS-on-OS X disconnected-directory scenario.
+        let mut sc = s("create_in_deleted_cwd", "open");
+        sc.call(OsCommand::Mkdir("deserted".into(), mode(0o700)))
+            .call(OsCommand::Chdir("deserted".into()))
+            .call(OsCommand::Rmdir("../deserted".into()))
+            .call(OsCommand::Open("party".into(), OpenFlags::O_CREAT | OpenFlags::O_RDONLY, Some(mode(0o600))));
+        out.push(sc);
+    }
+    {
+        // §7.3.2 Invariants: O_CREAT|O_DIRECTORY|O_EXCL on a symlink to a dir.
+        let mut sc = s("creat_excl_directory_on_symlink", "open");
+        sc.call(OsCommand::Mkdir("d".into(), mode(0o777)))
+            .call(OsCommand::Symlink("d".into(), "s".into()))
+            .call(OsCommand::Open("s".into(), OpenFlags::O_CREAT | OpenFlags::O_EXCL | OpenFlags::O_DIRECTORY, Some(mode(0o644))))
+            .call(OsCommand::Lstat("s".into()));
+        out.push(sc);
+    }
+    {
+        // §7.3.5 posixovl: rename-based hard-link churn.
+        let mut sc = s("rename_hard_link_churn", "rename");
+        sc.call(OsCommand::Open("a".into(), OpenFlags::O_CREAT | OpenFlags::O_RDWR, Some(mode(0o644))))
+            .call(OsCommand::Write(FD3, vec![7u8; 1024]))
+            .call(OsCommand::Close(FD3))
+            .call(OsCommand::Link("a".into(), "l".into()))
+            .call(OsCommand::Open("b".into(), OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Some(mode(0o644))))
+            .call(OsCommand::Close(FD4))
+            .call(OsCommand::Rename("a".into(), "b".into()))
+            .call(OsCommand::Stat("b".into()))
+            .call(OsCommand::Unlink("b".into()))
+            .call(OsCommand::Stat("l".into()));
+        out.push(sc);
+    }
+    {
+        // §7.3.4 old Linux HFS+: chmod support.
+        let mut sc = s("chmod_supported", "chmod");
+        sc.call(OsCommand::Open("f".into(), OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Some(mode(0o644))))
+            .call(OsCommand::Close(FD3))
+            .call(OsCommand::Chmod("f".into(), mode(0o600)))
+            .call(OsCommand::Stat("f".into()));
+        out.push(sc);
+    }
+    {
+        // §7.3.4 OpenZFS 0.6.3: O_APPEND must seek to end before writing.
+        let mut sc = s("o_append_seeks_to_end", "write");
+        sc.call(OsCommand::Open("f".into(), OpenFlags::O_CREAT | OpenFlags::O_RDWR | OpenFlags::O_APPEND, Some(mode(0o644))))
+            .call(OsCommand::Write(FD3, b"AAAA".to_vec()))
+            .call(OsCommand::Lseek(FD3, 0, SeekWhence::Set))
+            .call(OsCommand::Write(FD3, b"BB".to_vec()))
+            .call(OsCommand::Pread(FD3, 6, 0))
+            .call(OsCommand::Close(FD3));
+        out.push(sc);
+    }
+    {
+        // §7.3.2 Core behaviour: directory and file link counts.
+        let mut sc = s("link_counts_visible_in_stat", "stat");
+        sc.call(OsCommand::Mkdir("d".into(), mode(0o777)))
+            .call(OsCommand::Mkdir("d/sub".into(), mode(0o777)))
+            .call(OsCommand::Stat("d".into()))
+            .call(OsCommand::Open("f".into(), OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Some(mode(0o644))))
+            .call(OsCommand::Close(FD3))
+            .call(OsCommand::Link("f".into(), "g".into()))
+            .call(OsCommand::Stat("f".into()));
+        out.push(sc);
+    }
+    {
+        // §7.3.2: hard link to a symlink (implementation-defined).
+        let mut sc = s("hard_link_to_symlink", "link");
+        sc.call(OsCommand::Open("f".into(), OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Some(mode(0o644))))
+            .call(OsCommand::Close(FD3))
+            .call(OsCommand::Symlink("f".into(), "s".into()))
+            .call(OsCommand::Link("s".into(), "l".into()))
+            .call(OsCommand::Lstat("l".into()));
+        out.push(sc);
+    }
+    {
+        // Symlink permission bits are platform-specific.
+        let mut sc = s("symlink_mode_reported_by_lstat", "symlink");
+        sc.call(OsCommand::Symlink("anywhere".into(), "s".into()))
+            .call(OsCommand::Lstat("s".into()));
+        out.push(sc);
+    }
+    out
+}
+
+/// Additional hand-written scripts targeting specification clauses that the
+/// combinatorial groups do not reach (long names, symlink edge cases,
+/// permission-denied opens and metadata changes, lseek overflow), keeping the
+/// model coverage figure close to the paper's 98% (§7.2).
+pub fn coverage_gap_scripts() -> Vec<Script> {
+    let mut out = Vec::new();
+    let user = (Uid(1000), Gid(1000));
+    let other = (Uid(2000), Gid(2000));
+    {
+        // Component name longer than NAME_MAX and a path longer than PATH_MAX.
+        let long_name = "n".repeat(300);
+        let long_path = format!("/{}", "d/".repeat(2200));
+        let mut sc = s("name_and_path_too_long", "stat");
+        sc.call(OsCommand::Stat(format!("/{long_name}")))
+            .call(OsCommand::Mkdir(format!("/{long_name}"), mode(0o777)))
+            .call(OsCommand::Stat(long_path));
+        out.push(sc);
+    }
+    {
+        // A symlink with an empty target cannot be created on Linux, so build
+        // the equivalent state through a symlink whose target disappears and
+        // then shrink it by re-creating; exercised here via readlink/stat on a
+        // symlink chain that ends in an empty-target error from resolution.
+        let mut sc = s("symlink_chains_and_empty_target", "symlink");
+        sc.call(OsCommand::Symlink("".into(), "empty".into()))
+            .call(OsCommand::Symlink("hop2".into(), "hop1".into()))
+            .call(OsCommand::Symlink("hop3".into(), "hop2".into()))
+            .call(OsCommand::Symlink("target".into(), "hop3".into()))
+            .call(OsCommand::Mkdir("target".into(), mode(0o777)))
+            .call(OsCommand::Stat("hop1".into()))
+            .call(OsCommand::Readlink("hop1".into()));
+        out.push(sc);
+    }
+    {
+        // Permission-denied opens: read and write access against a 0o000 file
+        // owned by another user.
+        let mut sc = s("open_permission_denied", "open");
+        sc.call(OsCommand::Open("secret".into(), OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Some(mode(0o600))))
+            .call(OsCommand::Close(FD3))
+            .call(OsCommand::Chown("secret".into(), user.0, user.1))
+            .call(OsCommand::Chmod("secret".into(), mode(0o600)))
+            .create_process(Pid(2), other.0, other.1)
+            .call_as(Pid(2), OsCommand::Open("secret".into(), OpenFlags::O_RDONLY, None))
+            .call_as(Pid(2), OsCommand::Open("secret".into(), OpenFlags::O_WRONLY, None))
+            .call_as(Pid(2), OsCommand::Truncate("secret".into(), 4))
+            .destroy_process(Pid(2));
+        out.push(sc);
+    }
+    {
+        // A directory without read permission: opendir and read-only open fail
+        // with EACCES; chdir into a directory without search permission.
+        let mut sc = s("dir_permission_denied", "opendir");
+        sc.call(OsCommand::Mkdir("vault".into(), mode(0o700)))
+            .call(OsCommand::Chown("vault".into(), user.0, user.1))
+            .create_process(Pid(2), other.0, other.1)
+            .call_as(Pid(2), OsCommand::Opendir("vault".into()))
+            .call_as(Pid(2), OsCommand::Open("vault".into(), OpenFlags::O_RDONLY, None))
+            .call_as(Pid(2), OsCommand::Chdir("vault".into()))
+            .destroy_process(Pid(2));
+        out.push(sc);
+    }
+    {
+        // Metadata changes by a non-owner (EPERM) and a group change by the
+        // owner (allowed).
+        let mut sc = s("chmod_chown_by_non_owner", "chmod");
+        sc.call(OsCommand::Open("theirs".into(), OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Some(mode(0o644))))
+            .call(OsCommand::Close(FD3))
+            .call(OsCommand::Chown("theirs".into(), user.0, user.1))
+            .create_process(Pid(2), other.0, other.1)
+            .call_as(Pid(2), OsCommand::Chmod("theirs".into(), mode(0o777)))
+            .call_as(Pid(2), OsCommand::Chown("theirs".into(), other.0, other.1))
+            .destroy_process(Pid(2))
+            .create_process(Pid(3), user.0, user.1)
+            .call_as(Pid(3), OsCommand::Chown("theirs".into(), user.0, Gid(777)))
+            .destroy_process(Pid(3));
+        out.push(sc);
+    }
+    {
+        // lseek overflow and invalid-access-mode open.
+        let mut sc = s("lseek_overflow_and_bad_open_flags", "lseek");
+        sc.call(OsCommand::Open("f".into(), OpenFlags::O_CREAT | OpenFlags::O_RDWR, Some(mode(0o644))))
+            .call(OsCommand::Lseek(FD3, i64::MAX, SeekWhence::Set))
+            .call(OsCommand::Lseek(FD3, i64::MAX, SeekWhence::Cur))
+            .call(OsCommand::Open("g".into(), OpenFlags::O_WRONLY | OpenFlags::O_RDWR | OpenFlags::O_CREAT, Some(mode(0o644))))
+            .call(OsCommand::Close(FD3));
+        out.push(sc);
+    }
+    {
+        // pread on a descriptor opened on a directory.
+        let mut sc = s("pread_directory_fd", "pread");
+        sc.call(OsCommand::Mkdir("d".into(), mode(0o777)))
+            .call(OsCommand::Opendir("d".into()))
+            .call(OsCommand::Open("d".into(), OpenFlags::O_RDONLY, None))
+            .call(OsCommand::Pread(FD3, 16, 0))
+            .call(OsCommand::Read(FD3, 16));
+        out.push(sc);
+    }
+    {
+        // The posixovl/VFAT storage-leak stress (§7.3.5): repeatedly create a
+        // data file, rename it over another name, and delete it. On a correct
+        // file system the volume never fills; with the leak the hard-link
+        // count never reaches zero and the volume reports ENOSPC even though
+        // it is effectively empty.
+        let mut sc = s("storage_leak_churn", "write");
+        let mut fd = 3;
+        for i in 0..40 {
+            let a = format!("a{i}");
+            let b = format!("b{i}");
+            sc.call(OsCommand::Open(a.clone(), OpenFlags::O_CREAT | OpenFlags::O_RDWR, Some(mode(0o644))));
+            sc.call(OsCommand::Write(Fd(fd), vec![b'z'; 8192]));
+            sc.call(OsCommand::Close(Fd(fd)));
+            fd += 1;
+            sc.call(OsCommand::Open(b.clone(), OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Some(mode(0o644))));
+            sc.call(OsCommand::Close(Fd(fd)));
+            fd += 1;
+            sc.call(OsCommand::Rename(a, b.clone()));
+            sc.call(OsCommand::Unlink(b));
+        }
+        out.push(sc);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn all_handwritten_scripts_have_unique_names_and_calls() {
+        let mut all = Vec::new();
+        all.extend(io_sequence_scripts());
+        all.extend(readdir_scripts());
+        all.extend(permission_scripts());
+        all.extend(defect_scenario_scripts());
+        all.extend(coverage_gap_scripts());
+        assert!(all.len() >= 30);
+        let names: BTreeSet<_> = all.iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names.len(), all.len());
+        for sc in &all {
+            assert!(sc.call_count() >= 1, "{}", sc.name);
+        }
+    }
+
+    #[test]
+    fn scripts_round_trip_through_the_text_format() {
+        for sc in io_sequence_scripts().iter().chain(permission_scripts().iter()) {
+            let text = sibylfs_script::render_script(sc);
+            let parsed = sibylfs_script::parse_script(&text).unwrap();
+            assert_eq!(&parsed, sc, "{}", sc.name);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Using the specification as a *reference implementation* (§8 "Differential
+//! testing" notes that SibylFS can be determinised and even mounted as a FUSE
+//! file system).
+//!
+//! This example determinises the model: it runs a script purely inside the
+//! specification by, at every call, processing the call and picking the
+//! model's canonical completion. The resulting trace is — by construction —
+//! accepted by the oracle, and can be diffed against a real implementation's
+//! trace to see exactly where the implementation made a different (but
+//! possibly still allowed) choice.
+//!
+//! Run with: `cargo run --example oracle_as_reference`
+
+use sibylfs::prelude::*;
+use sibylfs_core::os::trans::{default_completion, expand_calls, os_trans};
+use sibylfs_core::os::OsState;
+use sibylfs_core::types::INITIAL_PID;
+
+/// Execute a script against the determinised model, producing a trace.
+fn run_on_model(spec: &SpecConfig, script: &Script) -> Trace {
+    let mut st = OsState::initial_with_process(spec, INITIAL_PID);
+    let mut trace = Trace::new(script.name.clone(), script.group.clone());
+    for step in &script.steps {
+        if let sibylfs::script::ScriptStep::Call { pid, cmd } = step {
+            let called = os_trans(spec, &st, &OsLabel::Call(*pid, cmd.clone()))
+                .into_iter()
+                .next()
+                .expect("call accepted");
+            // Process the call and take the canonical completion of the last
+            // (success, if any) branch.
+            let branches = expand_calls(spec, &called);
+            let branch = branches.into_iter().next_back().expect("at least one branch");
+            let (value, next) = default_completion(&branch, *pid).expect("completion");
+            trace.push_call_return(*pid, cmd.clone(), value);
+            st = next;
+        }
+    }
+    trace
+}
+
+fn main() {
+    let mut script = Script::new("reference___mkdir_write_read", "reference");
+    script
+        .call(OsCommand::Mkdir("docs".into(), FileMode::new(0o755)))
+        .call(OsCommand::Open(
+            "docs/notes.txt".into(),
+            OpenFlags::O_CREAT | OpenFlags::O_RDWR,
+            Some(FileMode::new(0o644)),
+        ))
+        .call(OsCommand::Write(Fd(0), b"the model as reference".to_vec()))
+        .call(OsCommand::Stat("docs/notes.txt".into()))
+        .call(OsCommand::Unlink("docs/notes.txt".into()))
+        .call(OsCommand::Rmdir("docs".into()));
+
+    let spec = SpecConfig::standard(Flavor::Posix);
+    let model_trace = run_on_model(&spec, &script);
+    println!("=== trace produced by the determinised model ===\n{}", render_trace(&model_trace));
+
+    // The model's own trace is accepted by the oracle.
+    let checked = check_trace(&spec, &model_trace, CheckOptions::default());
+    println!("model trace accepted by the oracle: {}", checked.accepted);
+
+    // Differential comparison against a real (simulated) implementation.
+    let profile = configs::by_name("linux/ext4").expect("registered configuration");
+    let impl_trace = execute_script(&profile, &script, ExecOptions::default());
+    println!("\n=== trace produced by {} ===\n{}", profile.name, render_trace(&impl_trace));
+    let impl_checked = check_trace(&SpecConfig::standard(Flavor::Linux), &impl_trace, CheckOptions::default());
+    println!("implementation trace accepted by the oracle: {}", impl_checked.accepted);
+
+    // Where do the two traces differ? (Different choices can both be allowed:
+    // e.g. the model's canonical fd number need not match the
+    // implementation's.)
+    let differing = model_trace
+        .labels()
+        .zip(impl_trace.labels())
+        .filter(|(a, b)| a != b)
+        .count();
+    println!("\nlabels that differ between model and implementation: {differing}");
+}

@@ -1,0 +1,111 @@
+//! The system-administrator scenario of §7.3.4: before deploying a shared
+//! SSHFS mount, compare the behaviour of its mount-option variants and decide
+//! whether any of them is acceptable.
+//!
+//! The example runs two targeted probes against each SSHFS configuration:
+//!
+//! 1. a *permission-enforcement* probe — can another user create files inside
+//!    a 0700 directory owned by someone else?
+//! 2. a *umask* probe — are the permission bits of newly created files what
+//!    the process's umask says they should be, and who owns them?
+//!
+//! Run with: `cargo run --example sshfs_mount_options`
+
+use sibylfs::prelude::*;
+use sibylfs_core::types::{Gid, Pid, Uid};
+
+/// Probe 1: a second (unprivileged) user tries to create a file inside
+/// another user's private directory. On a correctly configured mount this
+/// must fail with EACCES.
+fn permission_probe() -> Script {
+    let mut s = Script::new("sshfs___permission_probe", "permissions");
+    s.call(OsCommand::Mkdir("alice".into(), FileMode::new(0o700)))
+        .call(OsCommand::Chown("alice".into(), Uid(1001), Gid(1001)))
+        .create_process(Pid(2), Uid(2002), Gid(2002))
+        .call_as(
+            Pid(2),
+            OsCommand::Open(
+                "alice/secret".into(),
+                OpenFlags::O_CREAT | OpenFlags::O_WRONLY,
+                Some(FileMode::new(0o644)),
+            ),
+        )
+        .destroy_process(Pid(2));
+    s
+}
+
+/// Probe 2: create a file with a permissive mode under a 0o002 umask and
+/// stat it: the reported mode and ownership reveal forced-umask and
+/// root-ownership mount behaviour.
+fn umask_probe() -> Script {
+    let mut s = Script::new("sshfs___umask_probe", "umask");
+    s.create_process(Pid(2), Uid(1001), Gid(1001))
+        .call_as(Pid(2), OsCommand::Umask(FileMode::new(0o002)))
+        .call_as(
+            Pid(2),
+            OsCommand::Open(
+                "report.txt".into(),
+                OpenFlags::O_CREAT | OpenFlags::O_WRONLY,
+                Some(FileMode::new(0o666)),
+            ),
+        )
+        .call_as(Pid(2), OsCommand::Stat("report.txt".into()))
+        .destroy_process(Pid(2));
+    s
+}
+
+fn main() {
+    let candidates = [
+        ("linux/sshfs-allow-other", "allow_other only"),
+        ("linux/sshfs-allow-other-default-permissions", "allow_other + default_permissions"),
+        ("linux/sshfs-umask0000", "umask=0000 mount option"),
+        ("linux/sshfs-tmpfs", "default mount options"),
+        ("linux/tmpfs", "reference: local tmpfs"),
+    ];
+    let spec = SpecConfig::standard(Flavor::Linux);
+
+    println!("| configuration | mount options | permission probe | umask probe | verdict |");
+    println!("|---|---|---|---|---|");
+    for (name, options) in candidates {
+        let profile = configs::by_name(name).expect("registered configuration");
+
+        // Probe 1: does the mount enforce permissions?
+        let t1 = execute_script(&profile, &permission_probe(), ExecOptions::default());
+        let perm_enforced = t1.labels().any(|l| {
+            matches!(l, OsLabel::Return(Pid(2), ErrorOrValue::Error(Errno::EACCES)))
+        });
+
+        // Probe 2: check the trace against the model and look at what stat
+        // reported for the created file.
+        let t2 = execute_script(&profile, &umask_probe(), ExecOptions::default());
+        let checked = check_trace(&spec, &t2, CheckOptions::default());
+        let stat_line = t2
+            .labels()
+            .filter_map(|l| match l {
+                OsLabel::Return(_, ErrorOrValue::Value(RetValue::Stat(s))) => Some(format!(
+                    "mode {} owner uid {}",
+                    s.mode, s.uid.0
+                )),
+                _ => None,
+            })
+            .last()
+            .unwrap_or_else(|| "n/a".to_string());
+
+        let verdict = if !perm_enforced {
+            "reject: users can violate permissions"
+        } else if !checked.accepted {
+            "caution: deviates from the Linux model (root-owned or masked creations)"
+        } else {
+            "acceptable for a shared deployment"
+        };
+        println!(
+            "| {name} | {options} | {} | {stat_line} | {verdict} |",
+            if perm_enforced { "enforced" } else { "NOT enforced" },
+        );
+    }
+    println!(
+        "\nConclusion (matching §7.3.4): allow_other alone is dangerous; adding \
+         default_permissions restores enforcement but creations are still owned by the mount \
+         owner, so none of the SSHFS variants is suitable for a shared multi-user deployment."
+    );
+}

@@ -1,0 +1,240 @@
+//! Property-based tests of the model's core invariants.
+//!
+//! The paper proves two sanity properties of the specification in HOL4 /
+//! Isabelle (§1): error returns do not change the abstract file-system state,
+//! and success-versus-failure is deterministic in the absence of
+//! resource-limit failures. The properties are re-validated here with
+//! proptest over randomly generated commands and states, together with
+//! structural invariants of the directory heap and the oracle-level property
+//! that every trace produced by a well-behaved implementation is accepted.
+
+use proptest::prelude::*;
+
+use sibylfs::prelude::*;
+use sibylfs_core::fs_ops::dispatch;
+use sibylfs_core::os::trans::{expand_calls, os_trans};
+use sibylfs_core::os::{OsState, Pending, ProcRunState};
+use sibylfs_core::types::{DirHandleId, Fd, INITIAL_PID};
+use sibylfs_testgen::random::{random_scripts, RandomOptions};
+
+/// Strategy: an arbitrary single command over a small name universe.
+fn arb_command() -> impl Strategy<Value = OsCommand> {
+    let path = prop_oneof![
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("a/b".to_string()),
+        Just("/a".to_string()),
+        Just("a/".to_string()),
+        Just("missing/x".to_string()),
+        Just(".".to_string()),
+        Just("/".to_string()),
+        Just("".to_string()),
+        Just("s".to_string()),
+    ];
+    let fd = (0i32..6).prop_map(Fd);
+    let dh = (0i32..3).prop_map(DirHandleId);
+    prop_oneof![
+        path.clone().prop_map(|p| OsCommand::Mkdir(p, FileMode::new(0o777))),
+        path.clone().prop_map(OsCommand::Rmdir),
+        path.clone().prop_map(OsCommand::Unlink),
+        path.clone().prop_map(OsCommand::Stat),
+        path.clone().prop_map(OsCommand::Lstat),
+        path.clone().prop_map(OsCommand::Opendir),
+        path.clone().prop_map(OsCommand::Readlink),
+        path.clone().prop_map(OsCommand::Chdir),
+        (path.clone(), path.clone()).prop_map(|(a, b)| OsCommand::Rename(a, b)),
+        (path.clone(), path.clone()).prop_map(|(a, b)| OsCommand::Link(a, b)),
+        (path.clone(), path.clone()).prop_map(|(a, b)| OsCommand::Symlink(a, b)),
+        (path.clone(), 0u32..0o1000).prop_map(|(p, m)| OsCommand::Chmod(p, FileMode::new(m))),
+        (path.clone(), -4i64..64).prop_map(|(p, l)| OsCommand::Truncate(p, l)),
+        (path, any::<bool>(), any::<bool>()).prop_map(|(p, creat, excl)| {
+            let mut flags = OpenFlags::O_RDWR;
+            if creat {
+                flags = flags | OpenFlags::O_CREAT;
+            }
+            if excl {
+                flags = flags | OpenFlags::O_EXCL;
+            }
+            OsCommand::Open(p, flags, Some(FileMode::new(0o644)))
+        }),
+        fd.clone().prop_map(|f| OsCommand::Read(f, 16)),
+        (fd.clone(), proptest::collection::vec(any::<u8>(), 0..32))
+            .prop_map(|(f, data)| OsCommand::Write(f, data)),
+        (fd, -2i64..32).prop_map(|(f, off)| OsCommand::Pread(f, 8, off)),
+        dh.prop_map(OsCommand::Readdir),
+    ]
+}
+
+/// Strategy: a small prefix state built by running a few commands through the
+/// model's own canonical completions.
+fn arb_state(cfg: SpecConfig) -> impl Strategy<Value = OsState> {
+    proptest::collection::vec(arb_command(), 0..8).prop_map(move |cmds| {
+        let mut st = OsState::initial_with_process(&cfg, INITIAL_PID);
+        for cmd in cmds {
+            let Some(called) = os_trans(&cfg, &st, &OsLabel::Call(INITIAL_PID, cmd))
+                .into_iter()
+                .next()
+            else {
+                continue;
+            };
+            let branches = expand_calls(&cfg, &called);
+            let Some(branch) = branches.into_iter().next_back() else { continue };
+            if let Some((_, next)) =
+                sibylfs_core::os::trans::default_completion(&branch, INITIAL_PID)
+            {
+                st = next;
+            }
+        }
+        st
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The POSIX invariant of §7.3.2: a call that returns an error leaves the
+    /// abstract file-system state unchanged. In the model this is structural:
+    /// error branches never carry an updated heap.
+    #[test]
+    fn error_returns_never_change_the_state(
+        cmd in arb_command(),
+        st in arb_state(SpecConfig::standard(Flavor::Linux)),
+    ) {
+        let cfg = SpecConfig::standard(Flavor::Linux);
+        let out = dispatch(&cfg, &st, INITIAL_PID, &cmd);
+        for errno in &out.errors {
+            // Simulate the implementation choosing this error.
+            let called = os_trans(&cfg, &st, &OsLabel::Call(INITIAL_PID, cmd.clone()))
+                .into_iter().next().unwrap();
+            let closed = sibylfs_core::os::trans::tau_closure(&cfg, &[called]);
+            let ret = OsLabel::Return(INITIAL_PID, ErrorOrValue::Error(*errno));
+            let mut matched = false;
+            for s in &closed {
+                for next in os_trans(&cfg, s, &ret) {
+                    matched = true;
+                    prop_assert_eq!(&next.heap, &st.heap,
+                        "error {} of {} changed the heap", errno, cmd);
+                }
+            }
+            prop_assert!(matched, "allowed error {} of {} was not accepted", errno, cmd);
+        }
+    }
+
+    /// Success-or-failure is deterministic (§1): the envelope never allows
+    /// both a mandatory failure and a success for the same call, and it is
+    /// never empty.
+    #[test]
+    fn envelope_is_never_empty_and_must_fail_excludes_success(
+        cmd in arb_command(),
+        st in arb_state(SpecConfig::standard(Flavor::Posix)),
+    ) {
+        let cfg = SpecConfig::standard(Flavor::Posix);
+        let out = dispatch(&cfg, &st, INITIAL_PID, &cmd);
+        prop_assert!(!out.is_empty(), "empty envelope for {}", cmd);
+        if out.must_fail {
+            prop_assert!(out.successes.is_empty(),
+                "must-fail command {} still has success branches", cmd);
+        }
+    }
+
+    /// Every state the model produces keeps its structural invariants: the
+    /// root exists, every directory entry points at a live object, parent
+    /// pointers are consistent, and file link counts equal the number of
+    /// directory entries referring to the file.
+    #[test]
+    fn model_states_maintain_heap_invariants(
+        st in arb_state(SpecConfig::standard(Flavor::Linux)),
+    ) {
+        let heap = &st.heap;
+        let root = heap.root();
+        prop_assert!(heap.dir(root).is_some());
+        // Walk every reachable directory.
+        let mut stack = vec![root];
+        let mut link_counts: std::collections::BTreeMap<u64, u32> = Default::default();
+        let mut seen = std::collections::BTreeSet::new();
+        while let Some(d) = stack.pop() {
+            if !seen.insert(d) {
+                continue;
+            }
+            let dir = heap.dir(d).expect("reachable dir exists");
+            for (name, entry) in &dir.entries {
+                prop_assert!(!name.is_empty());
+                match entry {
+                    Entry::Dir(sub) => {
+                        prop_assert_eq!(heap.parent_of(*sub), Some(d),
+                            "child dir parent pointer mismatch");
+                        stack.push(*sub);
+                    }
+                    Entry::File(f) => {
+                        prop_assert!(heap.file(*f).is_some());
+                        *link_counts.entry(f.0).or_default() += 1;
+                    }
+                }
+            }
+        }
+        for (fref, count) in link_counts {
+            let file = heap.file(sibylfs_core::state::FileRef(fref)).unwrap();
+            prop_assert_eq!(file.nlink, count, "nlink mismatch for file {}", fref);
+        }
+    }
+
+    /// Oracle soundness against the reference implementation: whatever a
+    /// well-behaved Linux configuration does with a random script is accepted
+    /// by the Linux model.
+    #[test]
+    fn reference_implementation_traces_are_always_accepted(seed in any::<u32>()) {
+        let scripts = random_scripts(RandomOptions {
+            seed: seed as u64,
+            scripts: 1,
+            calls_per_script: 25,
+        });
+        let profile = configs::by_name("linux/tmpfs").unwrap();
+        let trace = execute_script(&profile, &scripts[0], ExecOptions::default());
+        let checked = check_trace(
+            &SpecConfig::standard(Flavor::Linux),
+            &trace,
+            CheckOptions::default(),
+        );
+        prop_assert!(checked.accepted, "deviations: {:?}", checked.deviations);
+    }
+
+    /// The checker is deterministic: checking the same trace twice gives the
+    /// same verdict and diagnostics.
+    #[test]
+    fn checking_is_deterministic(seed in any::<u32>()) {
+        let scripts = random_scripts(RandomOptions {
+            seed: seed as u64 ^ 0xDEAD_BEEF,
+            scripts: 1,
+            calls_per_script: 15,
+        });
+        let profile = configs::by_name("mac/hfsplus").unwrap();
+        let trace = execute_script(&profile, &scripts[0], ExecOptions::default());
+        let cfg = SpecConfig::standard(Flavor::Mac);
+        let a = check_trace(&cfg, &trace, CheckOptions::default());
+        let b = check_trace(&cfg, &trace, CheckOptions::default());
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// A non-proptest structural check: after processing a call, every pending
+/// branch is either an error set, a special marker, or a success constraint —
+/// and error branches really do carry the pre-call heap.
+#[test]
+fn pending_branches_partition_into_errors_and_successes() {
+    let cfg = SpecConfig::standard(Flavor::Linux);
+    let st = OsState::initial_with_process(&cfg, INITIAL_PID);
+    let cmd = OsCommand::Rmdir("/missing".into());
+    let called = os_trans(&cfg, &st, &OsLabel::Call(INITIAL_PID, cmd)).remove(0);
+    let branches = expand_calls(&cfg, &called);
+    assert!(!branches.is_empty());
+    for b in branches {
+        match &b.procs[&INITIAL_PID].run_state {
+            ProcRunState::Pending(Pending::Errors(errs)) => {
+                assert!(!errs.is_empty());
+                assert_eq!(b.heap, st.heap);
+            }
+            ProcRunState::Pending(_) => {}
+            other => panic!("unexpected run state {other:?}"),
+        }
+    }
+}
