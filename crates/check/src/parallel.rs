@@ -64,12 +64,12 @@ pub fn check_traces_parallel(
         // that expensive groups, which are contiguous in generated suites, are
         // spread evenly across workers.
         let mut slots: Vec<Option<CheckedTrace>> = vec![None; traces.len()];
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for wi in 0..workers {
                 let cfg = *cfg;
                 let traces = &traces;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut out = Vec::new();
                     let mut idx = wi;
                     while idx < traces.len() {
@@ -84,8 +84,7 @@ pub fn check_traces_parallel(
                     slots[idx] = Some(checked);
                 }
             }
-        })
-        .expect("checker thread scope");
+        });
         slots.into_iter().map(|s| s.expect("every slot filled")).collect()
     };
     let stats = SuiteCheckStats::from_results(&results, start.elapsed(), workers);

@@ -12,10 +12,14 @@ use crate::perms::may_change_meta;
 use crate::state::Entry;
 use crate::types::{Gid, Uid};
 
+/// A deferred state mutation chosen by resolution, applied only after the
+/// permission checks pass.
+type MetaUpdate = Box<dyn Fn(&mut crate::os::OsState)>;
+
 /// `chmod(path, mode)`: change the permission bits of a file or directory.
 pub fn spec_chmod(ctx: &SpecCtx<'_>, path: &str, mode: FileMode) -> CmdOutcome {
     let res = ctx.resolve(path, FollowLast::Follow);
-    let (meta, apply): (crate::state::Meta, Box<dyn Fn(&mut crate::os::OsState)>) = match res {
+    let (meta, apply): (crate::state::Meta, MetaUpdate) = match res {
         ResName::Err(e) => {
             spec_point("chmod/resolution_error");
             return CmdOutcome::error(e);

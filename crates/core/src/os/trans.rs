@@ -263,7 +263,7 @@ pub fn match_pending(
         (Pending::WriteData { .. }, _) => false,
         (Pending::ReaddirEntry { dh }, ErrorOrValue::Value(RetValue::ReaddirEntry(entry))) => {
             let proc = new_st.proc_mut(pid)?;
-            let Some(handle) = proc.dir_handles.get_mut(dh) else { return None };
+            let handle = proc.dir_handles.get_mut(dh)?;
             match entry {
                 Some(name) => {
                     if handle.candidates().contains(name) {
@@ -554,7 +554,7 @@ mod tests {
         // A count larger than requested is rejected.
         let next = step(
             &cfg,
-            &st,
+            st,
             OsCommand::Write(Fd(3), b"xy".to_vec()),
             ErrorOrValue::Value(RetValue::Num(5)),
         );

@@ -1130,7 +1130,7 @@ mod tests {
             let b = format!("/b{i}");
             let fd = match os.call(
                 p,
-                &OsCommand::Open(a.clone().into(), OpenFlags::O_CREAT | OpenFlags::O_RDWR, Some(FileMode::new(0o644))),
+                &OsCommand::Open(a.clone(), OpenFlags::O_CREAT | OpenFlags::O_RDWR, Some(FileMode::new(0o644))),
             ) {
                 ErrorOrValue::Value(RetValue::Fd(fd)) => fd,
                 ErrorOrValue::Error(Errno::ENOSPC) => {
@@ -1150,12 +1150,12 @@ mod tests {
             os.call(p, &OsCommand::Close(fd));
             os.call(
                 p,
-                &OsCommand::Open(b.clone().into(), OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Some(FileMode::new(0o644))),
+                &OsCommand::Open(b.clone(), OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Some(FileMode::new(0o644))),
             );
-            os.call(p, &OsCommand::Rename(a.into(), b.clone().into()));
+            os.call(p, &OsCommand::Rename(a, b.clone()));
             // Deleting the renamed file should release the space, but the
             // leak keeps it accounted.
-            os.call(p, &OsCommand::Unlink(b.into()));
+            os.call(p, &OsCommand::Unlink(b));
         }
         assert!(saw_enospc, "the storage leak should eventually exhaust the volume");
         // A correct overlay on the same small volume never runs out of space.
@@ -1167,7 +1167,7 @@ mod tests {
             let b = format!("/b{i}");
             let fd = match value(os.call(
                 p,
-                &OsCommand::Open(a.clone().into(), OpenFlags::O_CREAT | OpenFlags::O_RDWR, Some(FileMode::new(0o644))),
+                &OsCommand::Open(a.clone(), OpenFlags::O_CREAT | OpenFlags::O_RDWR, Some(FileMode::new(0o644))),
             )) {
                 RetValue::Fd(fd) => fd,
                 other => panic!("unexpected {other}"),
@@ -1176,10 +1176,10 @@ mod tests {
             value(os.call(p, &OsCommand::Close(fd)));
             value(os.call(
                 p,
-                &OsCommand::Open(b.clone().into(), OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Some(FileMode::new(0o644))),
+                &OsCommand::Open(b.clone(), OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Some(FileMode::new(0o644))),
             ));
-            value(os.call(p, &OsCommand::Rename(a.into(), b.clone().into())));
-            value(os.call(p, &OsCommand::Unlink(b.into())));
+            value(os.call(p, &OsCommand::Rename(a, b.clone())));
+            value(os.call(p, &OsCommand::Unlink(b)));
         }
     }
 

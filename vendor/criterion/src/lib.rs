@@ -1,0 +1,183 @@
+//! Offline stub of `criterion`.
+//!
+//! Keeps the benchmark sources identical to what they would be against the
+//! real crate (`criterion_group!`, `criterion_main!`, groups, throughput,
+//! `BenchmarkId`) while replacing the statistical engine with a simple
+//! timed-loop harness: each benchmark is warmed up once, then run for a fixed
+//! number of iterations, and the mean wall-clock time per iteration is
+//! printed. Good enough for smoke-level regression eyeballing offline; swap
+//! in the real criterion for publishable numbers.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement settings shared by `Criterion` and its groups.
+#[derive(Debug, Clone)]
+struct Settings {
+    /// Criterion's `sample_size`; the stub uses it as the measured iteration
+    /// count (bounded below to keep short benchmarks meaningful).
+    sample_size: usize,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings { sample_size: 20 }
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.settings, id, None, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            settings: self.settings.clone(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Throughput annotation for a group (reported per-iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A named benchmark within a group, parameterised by an input.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&self.settings, &full, self.throughput, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&self.settings, &full, self.throughput, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the benchmark closure; `iter` does the timing.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up (also pre-faults lazy state the routine builds).
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    settings: &Settings,
+    id: &str,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    let iterations = settings.sample_size.max(10) as u64;
+    let mut b = Bencher { iterations, elapsed: Duration::ZERO };
+    f(&mut b);
+    let per_iter = b.elapsed.checked_div(iterations as u32).unwrap_or_default();
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if !per_iter.is_zero() => {
+            format!("  ({:.0} elem/s)", n as f64 / per_iter.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if !per_iter.is_zero() => {
+            format!("  ({:.0} B/s)", n as f64 / per_iter.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!("{id:<48} {per_iter:>12.2?}/iter over {iterations} iters{rate}");
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,26 @@
+//! Collection strategies (the subset the workspace uses).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// `Vec` strategy with a length drawn from `size`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: std::ops::Range<usize>,
+}
+
+/// Generate a `Vec` whose length is uniform in `size`.
+pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty size range for collection::vec");
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.clone().generate(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,83 @@
+//! Offline stub of `proptest`.
+//!
+//! Implements the strategy/`proptest!` surface the workspace's property tests
+//! use: composable strategies (`Just`, ranges, tuples, `prop_map`,
+//! `prop_oneof!`, `collection::vec`, `any::<T>()`), a deterministic test
+//! runner, and panic-based `prop_assert*` macros. Two deliberate
+//! simplifications versus the real crate: cases are generated from a seed
+//! derived from the test name (fully reproducible, no env overrides), and
+//! failing cases are reported without shrinking.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+pub use arbitrary::{any, Arbitrary};
+pub use strategy::{BoxedStrategy, Just, Strategy};
+pub use test_runner::ProptestConfig;
+
+/// Pick one of several strategies uniformly; all arms must share a `Value`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    }};
+}
+
+/// Assert inside a property; panics (no shrinking in the stub).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }` runs
+/// `config.cases` times with fresh deterministic inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr);) => {};
+    (($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                $(let $pat = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+}

@@ -1,0 +1,62 @@
+//! Deterministic runner state for the proptest stub.
+
+use rand::{RngCore, SeedableRng};
+
+/// Per-suite configuration (the subset the workspace uses).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic RNG for strategy sampling, seeded from the test name
+/// (FNV-1a) and case index so every run explores the same inputs. Like the
+/// real proptest, the generator itself comes from the `rand` crate (here the
+/// sibling vendored stub's `StdRng`).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: rand::StdRng,
+}
+
+impl TestRng {
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self::from_seed(h ^ ((case as u64) << 32 | case as u64))
+    }
+
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { inner: rand::StdRng::seed_from_u64(seed) }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform index in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot sample an index from an empty collection");
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        TestRng::next_u64(self)
+    }
+}

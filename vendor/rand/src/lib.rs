@@ -1,0 +1,90 @@
+//! Offline stub of `rand`.
+//!
+//! Provides the surface the workspace uses — `rngs::StdRng`, `SeedableRng`,
+//! `Rng::{gen_range, gen_bool}`, `seq::SliceRandom::choose` — plus the
+//! rand 0.9 spellings (`random_range`, `random_bool`) so call sites can be
+//! migrated incrementally. The generator is xoshiro256** seeded through
+//! SplitMix64, so sequences are fully determined by the seed, which is all the
+//! test generator needs (reproducibility, not cryptographic quality).
+
+pub mod rngs;
+pub mod seq;
+
+pub use rngs::StdRng;
+
+/// Core RNG interface: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// A type that can be uniformly sampled from a range (the subset of
+/// `rand::distr::uniform::SampleRange` the workspace needs).
+pub trait SampleRange<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// User-facing RNG methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0, 1]");
+        // 53 random bits → uniform f64 in [0, 1), the standard conversion.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    /// rand 0.9 spelling of `gen_range`.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        self.gen_range(range)
+    }
+
+    /// rand 0.9 spelling of `gen_bool`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.gen_bool(p)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}

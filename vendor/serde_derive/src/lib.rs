@@ -1,0 +1,18 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as markers —
+//! nothing in the tree calls a serializer — so the derives expand to nothing.
+//! The marker traits themselves live in the sibling `serde` stub, which has
+//! blanket impls, keeping any future `T: Serialize` bounds satisfiable.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
