@@ -2,13 +2,14 @@
 //! design §3 and §5 discuss (path resolution, per-command dispatch, the
 //! τ-closure used for concurrent calls, and readdir's must/may machinery).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use sibylfs_core::commands::{OsCommand, OsLabel};
 use sibylfs_core::flags::FileMode;
 use sibylfs_core::flavor::{Flavor, SpecConfig};
 use sibylfs_core::fs_ops::dispatch;
-use sibylfs_core::os::trans::{os_trans, tau_closure};
+use sibylfs_core::os::state_set::StateSet;
+use sibylfs_core::os::trans::{expand_calls, os_trans, tau_closure};
 use sibylfs_core::os::OsState;
 use sibylfs_core::path::{resolve, FollowLast, ResolveCtx};
 use sibylfs_core::types::{Gid, Pid, Uid, INITIAL_PID};
@@ -51,21 +52,53 @@ fn checker_internals(c: &mut Criterion) {
         b.iter(|| dispatch(&cfg, &st, INITIAL_PID, &cmd).errors.len())
     });
 
+    // Three processes with calls in flight: the classic branching workload.
+    let mut st3 = st.clone();
+    for pid in [2u32, 3] {
+        let next = os_trans(&cfg, &st3, &OsLabel::Create(Pid(pid), Uid(0), Gid(0)));
+        st3 = next.into_iter().next().expect("created");
+    }
+    for (pid, path) in [(1u32, "/a"), (2, "/b"), (3, "/c")] {
+        let next = os_trans(
+            &cfg,
+            &st3,
+            &OsLabel::Call(Pid(pid), OsCommand::Mkdir(path.into(), FileMode::new(0o777))),
+        );
+        st3 = next.into_iter().next().expect("call accepted");
+    }
+
     c.bench_function("tau_closure_three_processes", |b| {
-        let mut st3 = st.clone();
-        for pid in [2u32, 3] {
-            let next = os_trans(&cfg, &st3, &OsLabel::Create(Pid(pid), Uid(0), Gid(0)));
-            st3 = next.into_iter().next().expect("created");
-        }
-        for (pid, path) in [(1u32, "/a"), (2, "/b"), (3, "/c")] {
-            let next = os_trans(
-                &cfg,
-                &st3,
-                &OsLabel::Call(Pid(pid), OsCommand::Mkdir(path.into(), FileMode::new(0o777))),
-            );
-            st3 = next.into_iter().next().expect("call accepted");
-        }
         b.iter(|| tau_closure(&cfg, std::slice::from_ref(&st3)).len())
+    });
+
+    // The cost of branching: with copy-on-write state sharing a clone is a
+    // handful of reference-count bumps plus the small fid/proc tables, no
+    // matter how much file content the heap carries.
+    c.bench_function("state_clone_branching", |b| {
+        b.iter(|| black_box(st.clone()))
+    });
+
+    // Fingerprint computation on a fresh (uncached) state: the one full walk
+    // a state pays before all further dedup probes become O(1).
+    c.bench_function("state_fingerprint_uncached", |b| {
+        b.iter(|| st.clone().fingerprint())
+    });
+
+    // Dedup on insert: a τ-expansion's worth of duplicate and distinct states
+    // pushed through a StateSet, the checker's per-step inner loop.
+    c.bench_function("state_set_dedup_insert", |b| {
+        let branches = expand_calls(&cfg, &st3);
+        b.iter(|| {
+            let mut set = StateSet::new();
+            // Two rounds of the same states: the second round is all dedup
+            // hits, as in a τ-closure revisiting its frontier.
+            for _ in 0..2 {
+                for s in &branches {
+                    set.insert(s.clone());
+                }
+            }
+            set.len()
+        })
     });
 }
 

@@ -4,7 +4,8 @@ use serde::{Deserialize, Serialize};
 
 use sibylfs_core::commands::{ErrorOrValue, OsCommand, OsLabel};
 use sibylfs_core::flavor::SpecConfig;
-use sibylfs_core::os::trans::{allowed_returns, default_completion, os_trans, tau_closure};
+use sibylfs_core::os::state_set::StateSet;
+use sibylfs_core::os::trans::{allowed_returns, default_completion, os_trans_into, tau_close};
 use sibylfs_core::os::{OsState, ProcRunState};
 use sibylfs_core::types::{Pid, INITIAL_PID};
 use sibylfs_script::Trace;
@@ -15,8 +16,9 @@ pub struct CheckOptions {
     /// Whether the initial process is assumed to run with root privileges
     /// (must match how the trace was produced).
     pub root_user: bool,
-    /// A safety bound on the tracked state-set size; exceeding it aborts the
-    /// trace with a deviation rather than consuming unbounded memory. The
+    /// A safety bound on the tracked state-set size; exceeding it truncates
+    /// the set and records an explicit deviation (the check is lossy from
+    /// that point on, so it must never be reported as clean). The
     /// specification's careful treatment of nondeterminism keeps real sets
     /// tiny (§3), so hitting this bound indicates a checker bug.
     pub max_states: usize,
@@ -25,6 +27,37 @@ pub struct CheckOptions {
 impl Default for CheckOptions {
     fn default() -> Self {
         CheckOptions { root_user: true, max_states: 4096 }
+    }
+}
+
+/// The kind of label a checked step corresponds to, recorded structurally so
+/// consumers never have to parse the rendered label text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StepKind {
+    /// An `OS_CALL` label.
+    Call,
+    /// An `OS_RETURN` label.
+    Return,
+    /// An internal τ label.
+    Tau,
+    /// A process-creation label.
+    Create,
+    /// A process-destruction label.
+    Destroy,
+    /// A step synthesised by the checker itself (e.g. the state-set safety
+    /// bound being hit), not present in the original trace.
+    Internal,
+}
+
+impl StepKind {
+    fn of_label(label: &OsLabel) -> StepKind {
+        match label {
+            OsLabel::Call(..) => StepKind::Call,
+            OsLabel::Return(..) => StepKind::Return,
+            OsLabel::Tau => StepKind::Tau,
+            OsLabel::Create(..) => StepKind::Create,
+            OsLabel::Destroy(..) => StepKind::Destroy,
+        }
     }
 }
 
@@ -42,6 +75,15 @@ pub enum StepVerdict {
         /// The completion the checker assumed in order to continue.
         continued_with: Option<String>,
     },
+    /// The tracked state set exceeded [`CheckOptions::max_states`] and was
+    /// truncated: the remainder of the check is lossy (states the real system
+    /// might be in were dropped), so the trace cannot be reported clean.
+    StateSetBounded {
+        /// How many states were tracked when the bound was hit.
+        tracked: usize,
+        /// The configured bound the set was truncated to.
+        bound: usize,
+    },
 }
 
 /// A checked trace step: the original label plus the verdict.
@@ -51,8 +93,13 @@ pub struct CheckedStep {
     pub lineno: usize,
     /// The label that was checked (rendered).
     pub label: String,
+    /// The structural kind of the label.
+    pub kind: StepKind,
     /// The verdict.
     pub verdict: StepVerdict,
+    /// Size of the tracked state set after this step (residual
+    /// nondeterminism at this point of the trace).
+    pub states_tracked: usize,
 }
 
 /// A deviation record extracted from a checked trace, used by the survey and
@@ -92,16 +139,15 @@ pub struct CheckedTrace {
 impl CheckedTrace {
     /// The number of `OS_CALL` steps checked.
     pub fn calls_checked(&self) -> usize {
-        self.steps.iter().filter(|s| s.label.contains(": call ")).count()
+        self.steps.iter().filter(|s| s.kind == StepKind::Call).count()
     }
 }
 
 /// Check a single trace against the model configured by `cfg`.
 pub fn check_trace(cfg: &SpecConfig, trace: &Trace, opts: CheckOptions) -> CheckedTrace {
-    let mut states: Vec<OsState> = vec![OsState::initial_with_process(
-        &SpecConfig { root_user: opts.root_user, ..*cfg },
-        INITIAL_PID,
-    )];
+    let init_cfg = SpecConfig { root_user: opts.root_user, ..*cfg };
+    let mut states =
+        StateSet::singleton(OsState::initial_with_process(&init_cfg, INITIAL_PID));
     let mut steps = Vec::new();
     let mut deviations = Vec::new();
     let mut max_states = states.len();
@@ -116,9 +162,13 @@ pub fn check_trace(cfg: &SpecConfig, trace: &Trace, opts: CheckOptions) -> Check
             last_call.push((pid, cmd));
         }
 
-        let (next, verdict) = apply_label(cfg, &states, label, &last_call, step.lineno);
+        let (next, verdict) = apply_label(cfg, states, label);
         match &verdict {
             StepVerdict::Ok => {}
+            // Only the bound-handling block below constructs this variant.
+            StepVerdict::StateSetBounded { .. } => {
+                unreachable!("apply_label never returns StateSetBounded")
+            }
             StepVerdict::Deviation { observed, allowed, .. } => {
                 let (function, call) = label
                     .pid()
@@ -134,16 +184,43 @@ pub fn check_trace(cfg: &SpecConfig, trace: &Trace, opts: CheckOptions) -> Check
                 });
             }
         }
-        steps.push(CheckedStep { lineno: step.lineno, label: rendered_label, verdict });
         states = next;
         max_states = max_states.max(states.len());
+        steps.push(CheckedStep {
+            lineno: step.lineno,
+            label: rendered_label,
+            kind: StepKind::of_label(label),
+            verdict,
+            states_tracked: states.len(),
+        });
         if states.len() > opts.max_states {
+            // The remainder of the check is lossy: record it loudly so the
+            // trace is never reported clean.
+            let tracked = states.len();
             states.truncate(opts.max_states);
+            deviations.push(Deviation {
+                lineno: step.lineno,
+                function: "<checker>".to_string(),
+                call: "<state-set safety bound>".to_string(),
+                observed: format!("{tracked} states tracked"),
+                allowed: vec![format!(
+                    "at most {} states (CheckOptions::max_states)",
+                    opts.max_states
+                )],
+            });
+            steps.push(CheckedStep {
+                lineno: step.lineno,
+                label: "<state-set safety bound exceeded; set truncated>".to_string(),
+                kind: StepKind::Internal,
+                verdict: StepVerdict::StateSetBounded { tracked, bound: opts.max_states },
+                states_tracked: states.len(),
+            });
         }
         if states.is_empty() {
             // Unrecoverable (should not happen: recovery always yields at
             // least one state); restart from a fresh state to keep going.
-            states = vec![OsState::initial_with_process(cfg, INITIAL_PID)];
+            states =
+                StateSet::singleton(OsState::initial_with_process(&init_cfg, INITIAL_PID));
         }
     }
 
@@ -158,17 +235,13 @@ pub fn check_trace(cfg: &SpecConfig, trace: &Trace, opts: CheckOptions) -> Check
 }
 
 /// Apply one label to the tracked state set, producing the next set and the
-/// verdict for this step.
-fn apply_label(
-    cfg: &SpecConfig,
-    states: &[OsState],
-    label: &OsLabel,
-    _last_call: &[(Pid, OsCommand)],
-    _lineno: usize,
-) -> (Vec<OsState>, StepVerdict) {
+/// verdict for this step. Takes the set by value: conformant paths hand back
+/// the transition union, deviation paths hand back a recovered set (or the
+/// input set unchanged).
+fn apply_label(cfg: &SpecConfig, mut states: StateSet, label: &OsLabel) -> (StateSet, StepVerdict) {
     match label {
         OsLabel::Call(..) | OsLabel::Create(..) | OsLabel::Destroy(..) => {
-            let next = union_trans(cfg, states, label);
+            let next = union_trans(cfg, &states, label);
             if next.is_empty() {
                 // e.g. a call from an unknown process, or a call while one is
                 // already in flight: recover by ignoring the label.
@@ -177,55 +250,53 @@ fn apply_label(
                     allowed: vec!["<no such transition from any tracked state>".to_string()],
                     continued_with: None,
                 };
-                (states.to_vec(), verdict)
+                (states, verdict)
             } else {
                 (next, StepVerdict::Ok)
             }
         }
-        OsLabel::Tau => (tau_closure(cfg, states), StepVerdict::Ok),
+        OsLabel::Tau => {
+            tau_close(cfg, &mut states);
+            (states, StepVerdict::Ok)
+        }
         OsLabel::Return(pid, observed) => {
             // Close under internal steps so calls from other processes may be
             // processed in any order before this return is matched.
-            let closed = tau_closure(cfg, states);
-            let next = union_trans(cfg, &closed, label);
+            tau_close(cfg, &mut states);
+            let next = union_trans(cfg, &states, label);
             if !next.is_empty() {
                 return (next, StepVerdict::Ok);
             }
             // Non-conformant: collect the allowed returns for diagnostics and
             // continue from the model's own completions (Fig. 4).
             let mut allowed: Vec<String> = Vec::new();
-            for st in &closed {
+            for st in &states {
                 for a in allowed_returns(st, *pid) {
                     if !allowed.contains(&a) {
                         allowed.push(a);
                     }
                 }
             }
-            let mut recovered: Vec<OsState> = Vec::new();
+            let mut recovered = StateSet::new();
             let mut continued_with = None;
-            for st in &closed {
+            for st in &states {
                 if let Some((value, next_st)) = default_completion(st, *pid) {
                     if continued_with.is_none() {
                         continued_with = Some(value.to_string());
                     }
-                    if !recovered.contains(&next_st) {
-                        recovered.push(next_st);
-                    }
+                    recovered.insert(next_st);
                 }
             }
             if recovered.is_empty() {
                 // Last resort: mark the process ready again in every state so
                 // subsequent steps can still be checked.
-                recovered = closed
-                    .iter()
-                    .map(|st| {
-                        let mut st = st.clone();
-                        if let Some(p) = st.proc_mut(*pid) {
-                            p.run_state = ProcRunState::Ready;
-                        }
-                        st
-                    })
-                    .collect();
+                for st in &states {
+                    let mut st = st.clone();
+                    if let Some(p) = st.proc_mut(*pid) {
+                        p.run_state = ProcRunState::Ready;
+                    }
+                    recovered.insert(st);
+                }
             }
             let verdict = StepVerdict::Deviation {
                 observed: render_observed(observed),
@@ -241,14 +312,12 @@ fn render_observed(v: &ErrorOrValue) -> String {
     v.to_string()
 }
 
-fn union_trans(cfg: &SpecConfig, states: &[OsState], label: &OsLabel) -> Vec<OsState> {
-    let mut out: Vec<OsState> = Vec::new();
+/// The union of `os_trans` over every tracked state, deduplicated by the
+/// shared [`StateSet`] sink.
+fn union_trans(cfg: &SpecConfig, states: &StateSet, label: &OsLabel) -> StateSet {
+    let mut out = StateSet::new();
     for st in states {
-        for next in os_trans(cfg, st, label) {
-            if !out.contains(&next) {
-                out.push(next);
-            }
-        }
+        os_trans_into(cfg, st, label, &mut out);
     }
     out
 }
@@ -353,6 +422,42 @@ mod tests {
         let checked = check_trace(&cfg(), &t, CheckOptions::default());
         // The stat call has no return in the trace; that is fine.
         assert!(checked.accepted, "{:?}", checked.deviations);
+    }
+
+    #[test]
+    fn hitting_the_max_states_bound_is_reported_not_silent() {
+        // Two processes with calls in flight: resolving the second return
+        // τ-closes over both calls, leaving more than one tracked state.
+        let mut t = Trace::new("bound", "bound");
+        t.push_label(OsLabel::Create(
+            Pid(2),
+            sibylfs_core::types::Uid(0),
+            sibylfs_core::types::Gid(0),
+        ));
+        t.push_label(OsLabel::Call(
+            INITIAL_PID,
+            OsCommand::Mkdir("/a".into(), FileMode::new(0o777)),
+        ));
+        t.push_label(OsLabel::Call(Pid(2), OsCommand::Mkdir("/b".into(), FileMode::new(0o777))));
+        t.push_label(OsLabel::Return(Pid(2), ErrorOrValue::Value(RetValue::None)));
+
+        // With a generous bound the trace is clean.
+        let clean = check_trace(&cfg(), &t, CheckOptions::default());
+        assert!(clean.accepted);
+        assert!(clean.max_states_tracked > 1);
+
+        // With the bound forced below the tracked set size, the truncation is
+        // recorded as an explicit deviation and a dedicated step verdict —
+        // a lossy check must never be reported clean.
+        let bounded =
+            check_trace(&cfg(), &t, CheckOptions { root_user: true, max_states: 1 });
+        assert!(!bounded.accepted);
+        assert!(bounded
+            .steps
+            .iter()
+            .any(|s| matches!(s.verdict, StepVerdict::StateSetBounded { .. })
+                && s.kind == StepKind::Internal));
+        assert!(bounded.deviations.iter().any(|d| d.function == "<checker>"));
     }
 
     #[test]

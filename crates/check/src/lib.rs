@@ -15,7 +15,9 @@ pub mod checker;
 pub mod parallel;
 pub mod render;
 
-pub use checker::{check_trace, CheckOptions, CheckedStep, CheckedTrace, Deviation, StepVerdict};
+pub use checker::{
+    check_trace, CheckOptions, CheckedStep, CheckedTrace, Deviation, StepKind, StepVerdict,
+};
 pub use parallel::{check_traces_parallel, SuiteCheckStats};
 pub use render::render_checked_trace;
 

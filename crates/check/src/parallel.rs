@@ -4,6 +4,7 @@
 //! across worker threads for linear speedup — the property the paper exploits
 //! to check 20 000 traces in about a minute on a four-core machine (§3, §7.1).
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
@@ -60,21 +61,26 @@ pub fn check_traces_parallel(
     let results: Vec<CheckedTrace> = if workers == 1 || traces.len() < 2 {
         traces.iter().map(|t| check_trace(cfg, t, opts)).collect()
     } else {
-        // Work is distributed in stripes (worker w takes traces w, w+N, …) so
-        // that expensive groups, which are contiguous in generated suites, are
-        // spread evenly across workers.
+        // Workers claim traces one at a time from a shared atomic index
+        // (work stealing), so skewed trace lengths — a few long traces amid
+        // thousands of short ones — never leave workers idle the way a static
+        // partition would.
+        let next_idx = AtomicUsize::new(0);
         let mut slots: Vec<Option<CheckedTrace>> = vec![None; traces.len()];
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for wi in 0..workers {
+            for _ in 0..workers {
                 let cfg = *cfg;
                 let traces = &traces;
+                let next_idx = &next_idx;
                 handles.push(scope.spawn(move || {
                     let mut out = Vec::new();
-                    let mut idx = wi;
-                    while idx < traces.len() {
+                    loop {
+                        let idx = next_idx.fetch_add(1, Ordering::Relaxed);
+                        if idx >= traces.len() {
+                            break;
+                        }
                         out.push((idx, check_trace(&cfg, &traces[idx], opts)));
-                        idx += workers;
                     }
                     out
                 }));

@@ -29,6 +29,13 @@ pub fn render_checked_trace(checked: &CheckedTrace) -> String {
                     let _ = writeln!(out, "# continuing with {}", c);
                 }
             }
+            StepVerdict::StateSetBounded { tracked, bound } => {
+                let _ = writeln!(
+                    out,
+                    "# Error: {}: state set exceeded the safety bound ({} states tracked, bound {}); the set was truncated and the rest of this check is lossy",
+                    step.lineno, tracked, bound
+                );
+            }
         }
     }
     out
@@ -51,7 +58,7 @@ pub fn summarize_checked_trace(checked: &CheckedTrace) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::checker::{CheckedStep, Deviation};
+    use crate::checker::{CheckedStep, Deviation, StepKind};
 
     fn sample() -> CheckedTrace {
         CheckedTrace {
@@ -62,16 +69,20 @@ mod tests {
                 CheckedStep {
                     lineno: 1,
                     label: "p1: call mkdir \"d\" 0o777".into(),
+                    kind: StepKind::Call,
                     verdict: StepVerdict::Ok,
+                    states_tracked: 1,
                 },
                 CheckedStep {
                     lineno: 6,
                     label: "p1: return EPERM".into(),
+                    kind: StepKind::Return,
                     verdict: StepVerdict::Deviation {
                         observed: "EPERM".into(),
                         allowed: vec!["EEXIST".into(), "ENOTEMPTY".into()],
                         continued_with: Some("EEXIST".into()),
                     },
+                    states_tracked: 1,
                 },
             ],
             deviations: vec![Deviation {

@@ -4,9 +4,13 @@
 //! This module defines the *states* of the labelled transition system; the
 //! transition function itself lives in [`trans`].
 
+pub mod state_set;
 pub mod trans;
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -20,7 +24,7 @@ use crate::types::{DirHandleId, Fd, Fid, Gid, Pid, Uid};
 
 /// What an open file description refers to: `open` can open directories as
 /// well as regular files (reads on a directory descriptor then fail).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum FidTarget {
     /// A regular file or symlink object.
     File(FileRef),
@@ -29,7 +33,7 @@ pub enum FidTarget {
 }
 
 /// An OS-level open file description (the `fid_state` of the Lem model).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct FidState {
     /// The object the description refers to.
     pub target: FidTarget,
@@ -57,7 +61,7 @@ impl FidState {
 /// or may not be returned (they were added or removed while the handle was
 /// open); `returned` records what has already been handed out so nothing is
 /// returned twice.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct DirHandleState {
     /// The directory being listed.
     pub dir: DirRef,
@@ -130,7 +134,7 @@ pub enum SpecialKind {
 }
 
 /// How a pending write applies its data when the observed byte count arrives.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum WriteAt {
     /// Write at the given offset and advance the descriptor offset past the
     /// written bytes (plain `write`).
@@ -150,7 +154,7 @@ pub enum WriteAt {
 /// branches either carry an exact value or a constrained family of values
 /// (short reads/writes, readdir entries, newly allocated descriptors) that is
 /// resolved when the real system's choice is observed — the strategy of §3.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Pending {
     /// The call must fail with one of these errors.
     Errors(BTreeSet<Errno>),
@@ -208,7 +212,7 @@ pub enum Pending {
 }
 
 /// The run state of a process.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ProcRunState {
     /// The process is not in a libc call.
     Ready,
@@ -221,7 +225,7 @@ pub enum ProcRunState {
 
 /// Per-process state tracked by the operating system
 /// (the `per_process_state` of the Lem model).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct PerProcessState {
     /// Current working directory.
     pub cwd: DirRef,
@@ -255,8 +259,56 @@ impl PerProcessState {
     }
 }
 
+/// A lazily computed 64-bit structural fingerprint, memoised per state.
+///
+/// `0` means "not yet computed" (computed fingerprints are remapped away from
+/// zero). The cache is deliberately *reset* on clone: the transition engine
+/// always clones a state before mutating it, so a state whose fingerprint has
+/// been observed is never mutated in place and the cached value can never go
+/// stale, while the fresh clone recomputes after its mutations.
+#[derive(Default)]
+struct FingerprintCell(AtomicU64);
+
+impl FingerprintCell {
+    fn get(&self) -> Option<u64> {
+        match self.0.load(Ordering::Relaxed) {
+            0 => None,
+            fp => Some(fp),
+        }
+    }
+
+    fn set(&self, fp: u64) {
+        self.0.store(fp, Ordering::Relaxed);
+    }
+
+    fn invalidate(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Clone for FingerprintCell {
+    fn clone(&self) -> FingerprintCell {
+        FingerprintCell::default()
+    }
+}
+
+impl std::fmt::Debug for FingerprintCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.get() {
+            Some(fp) => write!(f, "{fp:#018x}"),
+            None => f.write_str("<uncomputed>"),
+        }
+    }
+}
+
 /// The top-level state of the model: the `ty_os_state` of the Lem model.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Branching transitions clone the whole state, so the heavyweight components
+/// — the directory heap's object maps and each per-process table — sit behind
+/// [`Arc`]s with copy-on-write mutation (`Arc::make_mut`): a clone shares all
+/// unmodified structure and only the pieces a branch actually touches are
+/// copied.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OsState {
     /// Directory structure and file contents.
     pub heap: DirHeap,
@@ -264,9 +316,34 @@ pub struct OsState {
     pub fids: BTreeMap<Fid, FidState>,
     /// Group membership (`oss_group_table`).
     pub groups: GroupTable,
-    /// Per-process state (`oss_pid_table`).
-    pub procs: BTreeMap<Pid, PerProcessState>,
+    /// Per-process state (`oss_pid_table`). The table entries are shared
+    /// copy-on-write between branches; mutate through [`OsState::proc_mut`].
+    pub procs: BTreeMap<Pid, Arc<PerProcessState>>,
     next_fid: u64,
+    fingerprint: FingerprintCell,
+}
+
+impl PartialEq for OsState {
+    fn eq(&self, other: &OsState) -> bool {
+        // The fingerprint cache is excluded: it is derived data.
+        self.next_fid == other.next_fid
+            && self.heap == other.heap
+            && self.fids == other.fids
+            && self.groups == other.groups
+            && self.procs == other.procs
+    }
+}
+
+impl Eq for OsState {}
+
+impl Hash for OsState {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.heap.hash(state);
+        self.fids.hash(state);
+        self.groups.hash(state);
+        self.procs.hash(state);
+        self.next_fid.hash(state);
+    }
 }
 
 impl OsState {
@@ -278,7 +355,24 @@ impl OsState {
             groups: GroupTable::new(),
             procs: BTreeMap::new(),
             next_fid: 1,
+            fingerprint: FingerprintCell::default(),
         }
+    }
+
+    /// The state's 64-bit structural fingerprint, computed on first use and
+    /// cached. Two equal states always have equal fingerprints; unequal states
+    /// collide with probability ~2⁻⁶⁴, and [`state_set::StateSet`] resolves
+    /// collisions with a structural comparison, so dedup stays exact.
+    pub fn fingerprint(&self) -> u64 {
+        if let Some(fp) = self.fingerprint.get() {
+            return fp;
+        }
+        let mut hasher = state_set::FxHasher64::default();
+        self.hash(&mut hasher);
+        // 0 is the cache's "unset" sentinel; remap it.
+        let fp = hasher.finish().max(1);
+        self.fingerprint.set(fp);
+        fp
     }
 
     /// The initial state used for checking a test trace: an empty file system
@@ -289,12 +383,13 @@ impl OsState {
         let (uid, gid) =
             if cfg.root_user { (Uid(0), Gid(0)) } else { (Uid(1000), Gid(1000)) };
         let root = st.heap.root();
-        st.procs.insert(pid, PerProcessState::new(root, uid, gid));
+        st.procs.insert(pid, Arc::new(PerProcessState::new(root, uid, gid)));
         st
     }
 
     /// Allocate a fresh OS-level file description id.
     pub fn fresh_fid(&mut self) -> Fid {
+        self.fingerprint.invalidate();
         let id = self.next_fid;
         self.next_fid += 1;
         Fid(id)
@@ -314,12 +409,19 @@ impl OsState {
 
     /// The per-process state of `pid`.
     pub fn proc(&self, pid: Pid) -> Option<&PerProcessState> {
-        self.procs.get(&pid)
+        self.procs.get(&pid).map(Arc::as_ref)
     }
 
-    /// The per-process state of `pid`, mutably.
+    /// The per-process state of `pid`, mutably. Unshares the entry first if it
+    /// is still shared with other states (copy-on-write).
+    ///
+    /// Note: mutating through the `pub` fields directly (`heap`, `fids`,
+    /// `procs`) does *not* invalidate a previously computed fingerprint —
+    /// clone the state first (clones start with an empty cache), as every
+    /// transition-engine path does.
     pub fn proc_mut(&mut self, pid: Pid) -> Option<&mut PerProcessState> {
-        self.procs.get_mut(&pid)
+        self.fingerprint.invalidate();
+        self.procs.get_mut(&pid).map(Arc::make_mut)
     }
 
     /// Look up the open file description behind a process's descriptor.
@@ -331,10 +433,14 @@ impl OsState {
 
     /// Notify every open directory handle on `dir` that `name` was removed.
     pub fn notify_entry_removed(&mut self, dir: DirRef, name: &str) {
+        self.fingerprint.invalidate();
         for proc in self.procs.values_mut() {
-            for dh in proc.dir_handles.values_mut() {
-                if dh.dir == dir {
-                    dh.note_removed(name);
+            // Only unshare processes that actually hold a handle on `dir`.
+            if proc.dir_handles.values().any(|dh| dh.dir == dir) {
+                for dh in Arc::make_mut(proc).dir_handles.values_mut() {
+                    if dh.dir == dir {
+                        dh.note_removed(name);
+                    }
                 }
             }
         }
@@ -342,10 +448,13 @@ impl OsState {
 
     /// Notify every open directory handle on `dir` that `name` was added.
     pub fn notify_entry_added(&mut self, dir: DirRef, name: &str) {
+        self.fingerprint.invalidate();
         for proc in self.procs.values_mut() {
-            for dh in proc.dir_handles.values_mut() {
-                if dh.dir == dir {
-                    dh.note_added(name);
+            if proc.dir_handles.values().any(|dh| dh.dir == dir) {
+                for dh in Arc::make_mut(proc).dir_handles.values_mut() {
+                    if dh.dir == dir {
+                        dh.note_added(name);
+                    }
                 }
             }
         }

@@ -1,0 +1,297 @@
+//! Deduplicating sets of model states.
+//!
+//! The checker tracks the set of states the real system might be in (§5).
+//! The specification's treatment of nondeterminism keeps these sets tiny
+//! (§3), but they are rebuilt for every trace step, so insertion and
+//! membership testing sit squarely on the hot path. A [`StateSet`] dedups on
+//! insert using each state's cached 64-bit [fingerprint](crate::os::OsState::fingerprint):
+//! the fingerprint is looked up in a hash index and only states whose
+//! fingerprints collide are compared structurally, so the common case is one
+//! hash computation and one table probe instead of the O(n²) full structural
+//! comparisons a `Vec::contains`-based set performs.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use crate::os::OsState;
+
+/// A fast, deterministic, non-cryptographic hasher (the FxHash algorithm used
+/// by the Rust compiler). Used both to compute state fingerprints and to hash
+/// the (already well-mixed) fingerprints in the set index, where the standard
+/// library's SipHash would be wasted work.
+#[derive(Default)]
+pub struct FxHasher64 {
+    hash: u64,
+}
+
+impl FxHasher64 {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher64 {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_word(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_word(u64::from_le_bytes(word) ^ rest.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_word(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_word(n as u64);
+    }
+}
+
+/// The index maps fingerprints to positions in the insertion-ordered state
+/// vector; fingerprints are already uniformly mixed, so the index hashes them
+/// with [`FxHasher64`] rather than SipHash.
+type FingerprintIndex = HashMap<u64, Vec<u32>, BuildHasherDefault<FxHasher64>>;
+
+/// An insertion-ordered set of [`OsState`]s deduplicated by fingerprint.
+///
+/// Equal states (structural equality) are stored once. Fingerprint collisions
+/// between unequal states are resolved with a structural comparison, so the
+/// set is exact, not probabilistic. Iteration yields states in first-insertion
+/// order, which keeps checker diagnostics and recovery deterministic.
+#[derive(Debug, Default, Clone)]
+pub struct StateSet {
+    states: Vec<OsState>,
+    index: FingerprintIndex,
+}
+
+impl StateSet {
+    /// An empty set.
+    pub fn new() -> StateSet {
+        StateSet::default()
+    }
+
+    /// A set containing exactly `st`.
+    pub fn singleton(st: OsState) -> StateSet {
+        let mut set = StateSet::new();
+        set.insert(st);
+        set
+    }
+
+    /// Insert a state, returning `true` if it was not already present.
+    pub fn insert(&mut self, st: OsState) -> bool {
+        let fp = st.fingerprint();
+        let slot = self.index.entry(fp).or_default();
+        if slot.iter().any(|&i| self.states[i as usize] == st) {
+            return false;
+        }
+        slot.push(self.states.len() as u32);
+        self.states.push(st);
+        true
+    }
+
+    /// Whether an equal state is already present.
+    pub fn contains(&self, st: &OsState) -> bool {
+        match self.index.get(&st.fingerprint()) {
+            Some(slot) => slot.iter().any(|&i| &self.states[i as usize] == st),
+            None => false,
+        }
+    }
+
+    /// Number of distinct states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The states in insertion order.
+    pub fn states(&self) -> &[OsState] {
+        &self.states
+    }
+
+    /// The state at `idx` (insertion order).
+    pub fn get(&self, idx: usize) -> Option<&OsState> {
+        self.states.get(idx)
+    }
+
+    /// Iterate over the states in insertion order.
+    pub fn iter(&self) -> std::slice::Iter<'_, OsState> {
+        self.states.iter()
+    }
+
+    /// Keep only the first `n` states (used by the checker's `max_states`
+    /// safety bound). A no-op when the set is already small enough.
+    pub fn truncate(&mut self, n: usize) {
+        if self.states.len() <= n {
+            return;
+        }
+        self.states.truncate(n);
+        for slot in self.index.values_mut() {
+            slot.retain(|&i| (i as usize) < n);
+        }
+        self.index.retain(|_, slot| !slot.is_empty());
+    }
+
+    /// Consume the set, yielding the states in insertion order.
+    pub fn into_states(self) -> Vec<OsState> {
+        self.states
+    }
+}
+
+impl Extend<OsState> for StateSet {
+    fn extend<T: IntoIterator<Item = OsState>>(&mut self, iter: T) {
+        for st in iter {
+            self.insert(st);
+        }
+    }
+}
+
+impl FromIterator<OsState> for StateSet {
+    fn from_iter<T: IntoIterator<Item = OsState>>(iter: T) -> StateSet {
+        let mut set = StateSet::new();
+        set.extend(iter);
+        set
+    }
+}
+
+impl From<Vec<OsState>> for StateSet {
+    fn from(states: Vec<OsState>) -> StateSet {
+        states.into_iter().collect()
+    }
+}
+
+impl IntoIterator for StateSet {
+    type Item = OsState;
+    type IntoIter = std::vec::IntoIter<OsState>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.states.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a StateSet {
+    type Item = &'a OsState;
+    type IntoIter = std::slice::Iter<'a, OsState>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.states.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flavor::{Flavor, SpecConfig};
+    use crate::types::{Pid, INITIAL_PID};
+
+    fn initial() -> OsState {
+        OsState::initial_with_process(&SpecConfig::standard(Flavor::Linux), INITIAL_PID)
+    }
+
+    #[test]
+    fn insert_dedups_equal_states() {
+        let mut set = StateSet::new();
+        assert!(set.insert(initial()));
+        assert!(!set.insert(initial()));
+        assert_eq!(set.len(), 1);
+        assert!(set.contains(&initial()));
+    }
+
+    #[test]
+    fn distinct_states_are_kept_in_insertion_order() {
+        let mut set = StateSet::new();
+        let a = initial();
+        let mut b = initial();
+        b.heap.tick();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert!(set.insert(a.clone()));
+        assert!(set.insert(b.clone()));
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.states()[0], a);
+        assert_eq!(set.states()[1], b);
+    }
+
+    #[test]
+    fn truncate_drops_states_and_index_entries() {
+        let mut set = StateSet::new();
+        let mut st = initial();
+        for _ in 0..4 {
+            set.insert(st.clone());
+            st.heap.tick();
+        }
+        assert_eq!(set.len(), 4);
+        let survivor = set.states()[1].clone();
+        let dropped = set.states()[3].clone();
+        set.truncate(2);
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(&survivor));
+        assert!(!set.contains(&dropped));
+        // A dropped state can be re-inserted.
+        assert!(set.insert(dropped));
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_clones() {
+        let st = initial();
+        let fp = st.fingerprint();
+        assert_eq!(st.clone().fingerprint(), fp);
+        assert_eq!(initial().fingerprint(), fp);
+        assert_ne!(fp, 0, "0 is reserved for 'not yet computed'");
+    }
+
+    #[test]
+    fn states_differing_only_in_pid_table_are_distinct() {
+        let cfg = SpecConfig::standard(Flavor::Linux);
+        let a = OsState::initial_with_process(&cfg, INITIAL_PID);
+        let b = OsState::initial_with_process(&cfg, Pid(2));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut set = StateSet::new();
+        set.insert(a);
+        set.insert(b);
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn fx_hasher_handles_tail_bytes() {
+        fn hash_of(bytes: &[u8]) -> u64 {
+            let mut h = FxHasher64::default();
+            h.write(bytes);
+            h.finish()
+        }
+        assert_ne!(hash_of(b"abc"), hash_of(b"abd"));
+        assert_ne!(hash_of(b"abc"), hash_of(b"abc\0"));
+        assert_ne!(hash_of(b"12345678"), hash_of(b"123456789"));
+        assert_eq!(hash_of(b"abc"), hash_of(b"abc"));
+    }
+}

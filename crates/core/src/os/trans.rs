@@ -7,39 +7,45 @@
 //! values), and the `OS_RETURN` label resolves the nondeterminism against the
 //! observed value. No backtracking search is ever required.
 
+use std::sync::Arc;
+
 use crate::commands::{ErrorOrValue, OsCommand, OsLabel, RetValue};
 use crate::coverage::spec_point;
 use crate::errno::Errno;
 use crate::flavor::SpecConfig;
 use crate::fs_ops;
+use crate::os::state_set::StateSet;
 use crate::os::{FidTarget, OsState, Pending, PerProcessState, ProcRunState, WriteAt};
 use crate::types::{DirHandleId, Fd, Pid};
 
-/// Apply one label to one state, returning every allowed next state.
+/// Apply one label to one state, emitting every allowed next state into `out`.
 ///
-/// An empty result means the label is not allowed from this state.
-pub fn os_trans(cfg: &SpecConfig, st: &OsState, label: &OsLabel) -> Vec<OsState> {
+/// Emitting nothing means the label is not allowed from this state. The sink
+/// is a deduplicating [`StateSet`], so callers can union the transitions of a
+/// whole state set by reusing one sink across calls — the checker's inner
+/// loop — without materialising intermediate `Vec<OsState>`s.
+pub fn os_trans_into(cfg: &SpecConfig, st: &OsState, label: &OsLabel, out: &mut StateSet) {
     match label {
         OsLabel::Create(pid, uid, gid) => {
             if st.procs.contains_key(pid) {
                 spec_point("os/create_existing_pid_rejected");
-                return Vec::new();
+                return;
             }
             spec_point("os/create_process");
             let mut new_st = st.clone();
             let root = new_st.heap.root();
-            new_st.procs.insert(*pid, PerProcessState::new(root, *uid, *gid));
-            vec![new_st]
+            new_st.procs.insert(*pid, Arc::new(PerProcessState::new(root, *uid, *gid)));
+            out.insert(new_st);
         }
         OsLabel::Destroy(pid) => {
             let Some(proc) = st.procs.get(pid) else {
                 spec_point("os/destroy_unknown_pid_rejected");
-                return Vec::new();
+                return;
             };
             if !matches!(proc.run_state, ProcRunState::Ready) {
                 // A process cannot be destroyed in the middle of a call.
                 spec_point("os/destroy_busy_pid_rejected");
-                return Vec::new();
+                return;
             }
             spec_point("os/destroy_process");
             let mut new_st = st.clone();
@@ -48,107 +54,124 @@ pub fn os_trans(cfg: &SpecConfig, st: &OsState, label: &OsLabel) -> Vec<OsState>
                     new_st.fids.remove(fid);
                 }
             }
-            vec![new_st]
+            out.insert(new_st);
         }
         OsLabel::Call(pid, cmd) => {
             let Some(proc) = st.procs.get(pid) else {
                 spec_point("os/call_from_unknown_pid_rejected");
-                return Vec::new();
+                return;
             };
             if !matches!(proc.run_state, ProcRunState::Ready) {
                 // The process is blocked until its previous call returns.
                 spec_point("os/call_while_blocked_rejected");
-                return Vec::new();
+                return;
             }
             spec_point("os/call_accepted");
             let mut new_st = st.clone();
             if let Some(p) = new_st.proc_mut(*pid) {
                 p.run_state = ProcRunState::InCall(cmd.clone());
             }
-            vec![new_st]
+            out.insert(new_st);
         }
-        OsLabel::Tau => expand_calls(cfg, st),
+        OsLabel::Tau => expand_calls_into(cfg, st, out),
         OsLabel::Return(pid, value) => {
             let Some(proc) = st.procs.get(pid) else {
-                return Vec::new();
+                return;
             };
             match &proc.run_state {
                 ProcRunState::Pending(pending) => {
-                    match_pending(cfg, st, *pid, pending, value).into_iter().collect()
+                    if let Some(next) = match_pending(cfg, st, *pid, pending, value) {
+                        out.insert(next);
+                    }
                 }
                 ProcRunState::InCall(_) => {
                     // Process the call (an implicit τ) and then match.
-                    let mut out = Vec::new();
-                    for mid in process_call(cfg, st, *pid) {
+                    let mut mids = StateSet::new();
+                    process_call_into(cfg, st, *pid, &mut mids);
+                    for mid in &mids {
                         if let ProcRunState::Pending(p) =
                             &mid.procs.get(pid).expect("pid exists").run_state
                         {
-                            if let Some(next) = match_pending(cfg, &mid, *pid, p, value) {
-                                out.push(next);
+                            if let Some(next) = match_pending(cfg, mid, *pid, p, value) {
+                                out.insert(next);
                             }
                         }
                     }
-                    dedup(out)
                 }
                 ProcRunState::Ready => {
                     spec_point("os/return_without_call_rejected");
-                    Vec::new()
                 }
             }
         }
     }
+}
+
+/// Apply one label to one state, returning every allowed next state.
+///
+/// An empty result means the label is not allowed from this state. Thin
+/// wrapper over [`os_trans_into`] for callers that want an owned vector.
+pub fn os_trans(cfg: &SpecConfig, st: &OsState, label: &OsLabel) -> Vec<OsState> {
+    let mut out = StateSet::new();
+    os_trans_into(cfg, st, label, &mut out);
+    out.into_states()
 }
 
 /// One τ step: for every process currently in a call, process that call and
-/// produce the states with its pending return installed. The union over all
+/// emit the states with its pending return installed. The union over all
 /// processes models the scheduler's freedom to pick any of them.
-pub fn expand_calls(cfg: &SpecConfig, st: &OsState) -> Vec<OsState> {
-    let mut out = Vec::new();
+pub fn expand_calls_into(cfg: &SpecConfig, st: &OsState, out: &mut StateSet) {
     for (pid, proc) in &st.procs {
         if matches!(proc.run_state, ProcRunState::InCall(_)) {
-            out.extend(process_call(cfg, st, *pid));
+            process_call_into(cfg, st, *pid, out);
         }
     }
-    dedup(out)
 }
 
-/// The τ-closure of a set of states: every state reachable by any sequence of
-/// internal steps, including the originals. Used by the trace checker before
+/// Vector-returning wrapper over [`expand_calls_into`].
+pub fn expand_calls(cfg: &SpecConfig, st: &OsState) -> Vec<OsState> {
+    let mut out = StateSet::new();
+    expand_calls_into(cfg, st, &mut out);
+    out.into_states()
+}
+
+/// Close a state set under internal (τ) steps, in place: afterwards the set
+/// contains every state reachable from a member by any sequence of internal
+/// steps, including the original members. Used by the trace checker before
 /// matching an `OS_RETURN` when multiple processes have calls in flight.
-pub fn tau_closure(cfg: &SpecConfig, states: &[OsState]) -> Vec<OsState> {
-    let mut all: Vec<OsState> = states.to_vec();
-    let mut frontier: Vec<OsState> = states.to_vec();
-    // Each expansion strictly reduces the number of `InCall` processes, so
-    // the loop terminates after at most (#processes) rounds per state.
-    while !frontier.is_empty() {
-        let mut next = Vec::new();
-        for st in &frontier {
-            for succ in expand_calls(cfg, st) {
-                if !all.contains(&succ) {
-                    all.push(succ.clone());
-                    next.push(succ);
-                }
-            }
-        }
-        frontier = next;
+pub fn tau_close(cfg: &SpecConfig, states: &mut StateSet) {
+    // The set grows only at the tail (inserts dedup against everything seen),
+    // so a single index sweep visits every member exactly once; each
+    // expansion strictly reduces the number of `InCall` processes, bounding
+    // the chains appended per original state.
+    let mut i = 0;
+    while i < states.len() {
+        let st = states.get(i).expect("index in bounds").clone();
+        expand_calls_into(cfg, &st, states);
+        i += 1;
     }
-    all
 }
 
-/// Process the call a single process has in flight, producing the states with
+/// The τ-closure of a slice of states. Thin wrapper over [`tau_close`] for
+/// callers working with vectors.
+pub fn tau_closure(cfg: &SpecConfig, states: &[OsState]) -> Vec<OsState> {
+    let mut set: StateSet = states.iter().cloned().collect();
+    tau_close(cfg, &mut set);
+    set.into_states()
+}
+
+/// Process the call a single process has in flight, emitting the states with
 /// its pending return installed (one state for the error envelope, one per
 /// success branch, one for "special" behaviour).
-pub fn process_call(cfg: &SpecConfig, st: &OsState, pid: Pid) -> Vec<OsState> {
-    let Some(proc) = st.procs.get(&pid) else { return Vec::new() };
-    let ProcRunState::InCall(cmd) = proc.run_state.clone() else { return Vec::new() };
+pub fn process_call_into(cfg: &SpecConfig, st: &OsState, pid: Pid, out: &mut StateSet) {
+    let Some(proc) = st.procs.get(&pid) else { return };
+    let ProcRunState::InCall(cmd) = proc.run_state.clone() else { return };
     let outcome = fs_ops::dispatch(cfg, st, pid, &cmd);
-    let mut out = Vec::new();
     if !outcome.errors.is_empty() {
         let mut err_st = st.clone();
         if let Some(p) = err_st.proc_mut(pid) {
             p.run_state = ProcRunState::Pending(Pending::Errors(outcome.errors.clone()));
         }
-        out.push(err_st);
+        out.insert(err_st);
     }
     if !outcome.must_fail {
         for (succ_st, pending) in outcome.successes {
@@ -156,7 +179,7 @@ pub fn process_call(cfg: &SpecConfig, st: &OsState, pid: Pid) -> Vec<OsState> {
             if let Some(p) = s.proc_mut(pid) {
                 p.run_state = ProcRunState::Pending(pending);
             }
-            out.push(s);
+            out.insert(s);
         }
     }
     if let Some(kind) = outcome.special {
@@ -164,9 +187,15 @@ pub fn process_call(cfg: &SpecConfig, st: &OsState, pid: Pid) -> Vec<OsState> {
         if let Some(p) = sp_st.proc_mut(pid) {
             p.run_state = ProcRunState::Pending(Pending::Special(kind));
         }
-        out.push(sp_st);
+        out.insert(sp_st);
     }
-    dedup(out)
+}
+
+/// Vector-returning wrapper over [`process_call_into`].
+pub fn process_call(cfg: &SpecConfig, st: &OsState, pid: Pid) -> Vec<OsState> {
+    let mut out = StateSet::new();
+    process_call_into(cfg, st, pid, &mut out);
+    out.into_states()
 }
 
 /// Check an observed return value against a pending constraint and, when it
@@ -411,17 +440,6 @@ pub fn default_completion(st: &OsState, pid: Pid) -> Option<(ErrorOrValue, OsSta
     };
     let next = match_pending(&SpecConfig::default(), st, pid, &pending.clone(), &value)?;
     Some((value, next))
-}
-
-/// Remove duplicate states (the state type is structurally comparable).
-fn dedup(states: Vec<OsState>) -> Vec<OsState> {
-    let mut out: Vec<OsState> = Vec::with_capacity(states.len());
-    for s in states {
-        if !out.contains(&s) {
-            out.push(s);
-        }
-    }
-    out
 }
 
 /// Convenience: the label a script line corresponds to when the call is made.

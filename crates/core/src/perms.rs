@@ -61,7 +61,7 @@ impl Creds {
 
 /// The system-wide group table: which users belong to which groups
 /// (the `oss_group_table` of the Lem model).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub struct GroupTable {
     members: BTreeMap<Gid, BTreeSet<Uid>>,
 }

@@ -10,6 +10,7 @@
 //! directory" defect scenario of Fig. 8.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -98,10 +99,16 @@ pub struct File {
 }
 
 /// The directory-heap file-system state.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Both object maps and every object within them are behind [`Arc`]s: cloning
+/// a heap is two reference-count bumps, and mutation goes through
+/// `Arc::make_mut` so a branch that modifies one directory copies only the
+/// map spine and that directory — every other object (in particular full
+/// regular-file contents) stays shared with the sibling branches.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct DirHeap {
-    dirs: BTreeMap<u64, Dir>,
-    files: BTreeMap<u64, File>,
+    dirs: Arc<BTreeMap<u64, Arc<Dir>>>,
+    files: Arc<BTreeMap<u64, Arc<File>>>,
     root: DirRef,
     next_id: u64,
     /// The logical clock used for timestamps.
@@ -116,9 +123,19 @@ impl DirHeap {
         let root = DirRef(0);
         dirs.insert(
             0,
-            Dir { entries: BTreeMap::new(), parent: None, meta: Meta::new(root_mode, uid, gid, 0) },
+            Arc::new(Dir {
+                entries: BTreeMap::new(),
+                parent: None,
+                meta: Meta::new(root_mode, uid, gid, 0),
+            }),
         );
-        DirHeap { dirs, files: BTreeMap::new(), root, next_id: 1, now: 1 }
+        DirHeap {
+            dirs: Arc::new(dirs),
+            files: Arc::new(BTreeMap::new()),
+            root,
+            next_id: 1,
+            now: 1,
+        }
     }
 
     /// An empty file system with conventional root ownership (`root:root`,
@@ -151,22 +168,24 @@ impl DirHeap {
 
     /// Look up a directory object.
     pub fn dir(&self, d: DirRef) -> Option<&Dir> {
-        self.dirs.get(&d.0)
+        self.dirs.get(&d.0).map(Arc::as_ref)
     }
 
-    /// Look up a directory object mutably.
+    /// Look up a directory object mutably, unsharing the map spine and the
+    /// object itself if they are shared with other states (copy-on-write).
     pub fn dir_mut(&mut self, d: DirRef) -> Option<&mut Dir> {
-        self.dirs.get_mut(&d.0)
+        Arc::make_mut(&mut self.dirs).get_mut(&d.0).map(Arc::make_mut)
     }
 
     /// Look up a file object.
     pub fn file(&self, f: FileRef) -> Option<&File> {
-        self.files.get(&f.0)
+        self.files.get(&f.0).map(Arc::as_ref)
     }
 
-    /// Look up a file object mutably.
+    /// Look up a file object mutably, unsharing the map spine and the object
+    /// itself if they are shared with other states (copy-on-write).
     pub fn file_mut(&mut self, f: FileRef) -> Option<&mut File> {
-        self.files.get_mut(&f.0)
+        Arc::make_mut(&mut self.files).get_mut(&f.0).map(Arc::make_mut)
     }
 
     /// Look up a named entry in a directory.
@@ -229,7 +248,8 @@ impl DirHeap {
             return None;
         }
         let id = self.fresh_id();
-        self.dirs.insert(id, Dir { entries: BTreeMap::new(), parent: Some(parent), meta });
+        Arc::make_mut(&mut self.dirs)
+            .insert(id, Arc::new(Dir { entries: BTreeMap::new(), parent: Some(parent), meta }));
         let now = self.tick();
         let pdir = self.dir_mut(parent)?;
         pdir.entries.insert(name.to_string(), Entry::Dir(DirRef(id)));
@@ -264,7 +284,7 @@ impl DirHeap {
             return None;
         }
         let id = self.fresh_id();
-        self.files.insert(id, File { content, meta, nlink: 1 });
+        Arc::make_mut(&mut self.files).insert(id, Arc::new(File { content, meta, nlink: 1 }));
         let now = self.tick();
         let pdir = self.dir_mut(parent)?;
         pdir.entries.insert(name.to_string(), Entry::File(FileRef(id)));

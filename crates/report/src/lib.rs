@@ -226,7 +226,7 @@ pub fn render_coverage_markdown(c: &CoverageSummary) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sibylfs_check::{CheckedStep, Deviation, StepVerdict};
+    use sibylfs_check::{CheckedStep, Deviation, StepKind, StepVerdict};
 
     fn fake_trace(name: &str, dev: Option<(&str, &str)>) -> CheckedTrace {
         let deviations = dev
@@ -247,7 +247,9 @@ mod tests {
             steps: vec![CheckedStep {
                 lineno: 1,
                 label: "p1: call stat \"x\"".into(),
+                kind: StepKind::Call,
                 verdict: StepVerdict::Ok,
+                states_tracked: 1,
             }],
             deviations,
             max_states_tracked: 1,

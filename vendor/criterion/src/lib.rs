@@ -139,12 +139,25 @@ impl Bencher {
     }
 }
 
+/// Whether the bench binary was invoked in smoke mode (`cargo bench -- --test`,
+/// mirroring real criterion's flag): each benchmark runs a single iteration so
+/// CI can prove the bench code compiles and runs without paying for timing.
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(
     settings: &Settings,
     id: &str,
     throughput: Option<Throughput>,
     f: &mut F,
 ) {
+    if smoke_mode() {
+        let mut b = Bencher { iterations: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        println!("{id:<48} ok (smoke)");
+        return;
+    }
     let iterations = settings.sample_size.max(10) as u64;
     let mut b = Bencher { iterations, elapsed: Duration::ZERO };
     f(&mut b);
