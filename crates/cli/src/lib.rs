@@ -5,9 +5,11 @@ use std::time::Instant;
 
 use sibylfs_check::{check_traces_parallel, CheckOptions, CheckedTrace, SuiteCheckStats};
 use sibylfs_core::flavor::{Flavor, SpecConfig};
-use sibylfs_exec::{execute_suite, ExecOptions, ExecStats};
+use sibylfs_exec::{
+    execute_suite_on, ExecError, ExecOptions, ExecStats, Executor, SimExecutor, HOST_CONFIG_NAME,
+};
 use sibylfs_fsimpl::{configs, BehaviorProfile};
-use sibylfs_report::{summarize_run, RunSummary};
+use sibylfs_report::{summarize_run_for_backend, RunSummary};
 use sibylfs_script::Script;
 use sibylfs_testgen::{generate_suite, SuiteOptions};
 
@@ -31,7 +33,9 @@ pub fn suite_from_args(args: &[String]) -> Vec<Script> {
 
 /// The result of executing and checking one configuration.
 pub struct ConfigRun {
-    /// The configuration that was tested.
+    /// The configuration that was tested. For the host backend this is a
+    /// synthetic descriptive profile (there is no simulated behaviour model
+    /// of the real kernel — that is the point).
     pub profile: BehaviorProfile,
     /// The flavour it was checked against.
     pub flavor: Flavor,
@@ -47,16 +51,57 @@ pub struct ConfigRun {
     pub summary: RunSummary,
 }
 
-/// Execute the suite on a configuration and check the traces against the
-/// given flavour of the specification.
-pub fn run_config(
-    profile: &BehaviorProfile,
+/// Resolve a `--config` name to an executor plus the flavour its platform is
+/// checked against by default. `host/linux` (on Linux) resolves to the
+/// real-host backend; every other name is looked up in the simulated
+/// configuration registry. `None` means the name is unknown here.
+pub fn executor_for_config(name: &str) -> Option<(Box<dyn Executor>, Flavor)> {
+    if name == HOST_CONFIG_NAME {
+        #[cfg(all(target_os = "linux", target_pointer_width = "64"))]
+        {
+            return Some((Box::new(sibylfs_exec::HostFs::new()), Flavor::Linux));
+        }
+        #[cfg(not(all(target_os = "linux", target_pointer_width = "64")))]
+        {
+            return None;
+        }
+    }
+    let profile = configs::by_name(name)?;
+    let flavor = profile.platform;
+    Some((Box::new(SimExecutor::new(profile)) as Box<dyn Executor>, flavor))
+}
+
+/// The descriptive pseudo-profile used to report host-backend runs.
+pub fn host_profile() -> BehaviorProfile {
+    BehaviorProfile::baseline(HOST_CONFIG_NAME, Flavor::Linux)
+        .describe("the real host kernel via per-script chroot jails")
+}
+
+/// Execute the suite on any backend and check the traces against the given
+/// flavour of the specification.
+///
+/// `ConfigRun::profile` is resolved from the executor's configuration name
+/// (registry lookup, or the host pseudo-profile); callers that already hold
+/// the exact profile should use [`run_config`], which threads it through
+/// unchanged.
+pub fn run_executor(
+    exec: &dyn Executor,
     flavor: Flavor,
     suite: &[Script],
     workers: usize,
-) -> ConfigRun {
+) -> Result<ConfigRun, ExecError> {
+    run_executor_with_profile(exec, None, flavor, suite, workers)
+}
+
+fn run_executor_with_profile(
+    exec: &dyn Executor,
+    profile: Option<BehaviorProfile>,
+    flavor: Flavor,
+    suite: &[Script],
+    workers: usize,
+) -> Result<ConfigRun, ExecError> {
     let start = Instant::now();
-    let traces = execute_suite(profile, suite, ExecOptions::default());
+    let traces = execute_suite_on(exec, suite, ExecOptions::default())?;
     let exec_secs = start.elapsed().as_secs_f64();
     let exec_stats = ExecStats {
         scripts: traces.len(),
@@ -66,16 +111,30 @@ pub fn run_config(
     let cfg = SpecConfig::standard(flavor);
     let (checked, check_stats) =
         check_traces_parallel(&cfg, &traces, CheckOptions::default(), workers);
-    let summary = summarize_run(&profile.name, flavor.name(), &checked);
-    ConfigRun {
-        profile: profile.clone(),
-        flavor,
-        exec_stats,
-        exec_secs,
-        check_stats,
-        checked,
-        summary,
-    }
+    let config_name = exec.config_name();
+    let summary = summarize_run_for_backend(
+        &config_name,
+        flavor.name(),
+        exec.backend_name(),
+        &checked,
+    );
+    let profile = profile.unwrap_or_else(|| {
+        configs::by_name(&config_name).unwrap_or_else(host_profile)
+    });
+    Ok(ConfigRun { profile, flavor, exec_stats, exec_secs, check_stats, checked, summary })
+}
+
+/// Execute the suite on a simulated configuration and check the traces
+/// against the given flavour of the specification.
+pub fn run_config(
+    profile: &BehaviorProfile,
+    flavor: Flavor,
+    suite: &[Script],
+    workers: usize,
+) -> ConfigRun {
+    let exec = SimExecutor::new(profile.clone());
+    run_executor_with_profile(&exec, Some(profile.clone()), flavor, suite, workers)
+        .expect("the simulation is infallible")
 }
 
 /// Execute and check a configuration against the flavour of its own platform.
@@ -92,6 +151,7 @@ pub fn config_or_exit(name: &str) -> BehaviorProfile {
             for n in configs::config_names() {
                 eprintln!("  {n}");
             }
+            eprintln!("  {HOST_CONFIG_NAME} (real host, Linux with chroot privilege only)");
             std::process::exit(2);
         }
     }
@@ -130,7 +190,54 @@ mod tests {
         assert_eq!(run.checked.len(), 50);
         assert_eq!(run.summary.traces, 50);
         assert_eq!(run.summary.accepted + run.summary.failing, 50);
+        assert_eq!(run.summary.backend, "sim");
         assert!(run.check_stats.traces_per_sec > 0.0);
+    }
+
+    #[test]
+    fn run_config_threads_custom_profiles_through_unchanged() {
+        // A profile not in the registry (or modified from it) must come back
+        // verbatim in ConfigRun::profile, not a registry/pseudo substitute.
+        let mut custom = configs::by_name("linux/ext4").unwrap();
+        custom.name = "linux/ext4-patched".to_string();
+        custom.supports_dir_nlink = false;
+        let suite: Vec<Script> =
+            generate_suite(SuiteOptions::quick()).into_iter().take(5).collect();
+        let run = run_config(&custom, Flavor::Linux, &suite, 1);
+        assert_eq!(run.profile, custom);
+        assert_eq!(run.summary.config, "linux/ext4-patched");
+    }
+
+    #[test]
+    fn executor_resolution_covers_sim_and_host_names() {
+        let (exec, flavor) = executor_for_config("linux/ext4").unwrap();
+        assert_eq!(exec.backend_name(), "sim");
+        assert_eq!(flavor, Flavor::Linux);
+        assert!(executor_for_config("plan9/fossil").is_none());
+        #[cfg(all(target_os = "linux", target_pointer_width = "64"))]
+        {
+            let (exec, flavor) = executor_for_config(HOST_CONFIG_NAME).unwrap();
+            assert_eq!(exec.backend_name(), "host");
+            assert_eq!(exec.config_name(), HOST_CONFIG_NAME);
+            assert_eq!(flavor, Flavor::Linux);
+        }
+    }
+
+    #[cfg(all(target_os = "linux", target_pointer_width = "64"))]
+    #[test]
+    fn run_executor_labels_host_runs() {
+        if !sibylfs_exec::host_backend_available() {
+            eprintln!("skipping: host sandbox unavailable");
+            return;
+        }
+        let suite: Vec<Script> =
+            generate_suite(SuiteOptions::quick()).into_iter().take(10).collect();
+        let (exec, flavor) = executor_for_config(HOST_CONFIG_NAME).unwrap();
+        let run = run_executor(exec.as_ref(), flavor, &suite, 2).unwrap();
+        assert_eq!(run.summary.backend, "host");
+        assert_eq!(run.summary.config, HOST_CONFIG_NAME);
+        assert_eq!(run.summary.traces, 10);
+        assert_eq!(run.profile.name, HOST_CONFIG_NAME);
     }
 
     #[test]

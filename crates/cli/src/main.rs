@@ -1,15 +1,15 @@
 //! The `sibylfs` command-line tool: generate test suites, run them against a
-//! simulated configuration, check traces against the model, and survey many
-//! configurations at once (the turnkey black-box test setup of §1 "Use
-//! cases").
+//! simulated configuration or the real host kernel, check traces against the
+//! model, and survey many configurations at once (the turnkey black-box test
+//! setup of §1 "Use cases").
 
 use std::fs;
 use std::path::PathBuf;
 
 use sibylfs_check::{check_trace, render_checked_trace, CheckOptions};
-use sibylfs_cli::{config_or_exit, run_config, suite_from_args, DEFAULT_WORKERS};
+use sibylfs_cli::{executor_for_config, run_executor, suite_from_args, DEFAULT_WORKERS};
 use sibylfs_core::flavor::Flavor;
-use sibylfs_exec::{execute_script, ExecOptions};
+use sibylfs_exec::{host_backend_available, ExecError, ExecOptions, HOST_CONFIG_NAME};
 use sibylfs_fsimpl::configs;
 use sibylfs_report::{merge_runs, render_merged_markdown, render_run_markdown};
 use sibylfs_script::{parse_script, parse_trace, render_script, render_trace};
@@ -26,6 +26,8 @@ USAGE:
     sibylfs configs                                  list registered configurations
 
 FLAVOR is one of: posix, linux, mac, freebsd.
+NAME is a simulated configuration (see `sibylfs configs`) or `host/linux`
+for the real host kernel (Linux with chroot privilege only).
 ";
 
 fn main() {
@@ -44,6 +46,12 @@ fn main() {
             for c in configs::all_configs() {
                 println!("{:40} {:8} {}", c.name, c.platform.name(), c.description);
             }
+            let host_note = if host_backend_available() {
+                "the real host kernel via per-script chroot jails"
+            } else {
+                "the real host kernel (unavailable here: needs Linux + chroot privilege)"
+            };
+            println!("{HOST_CONFIG_NAME:40} {:8} {host_note}", "linux");
         }
         "--help" | "-h" | "help" => print!("{USAGE}"),
         other => {
@@ -54,14 +62,43 @@ fn main() {
     }
 }
 
+/// The value following a `--flag`, if the flag is present.
+///
+/// A flag that is present but followed by nothing — or by something that is
+/// itself a `--flag` — is an error: `--out --full` must not silently eat
+/// `--full` as a directory name.
 fn opt_value(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    let i = args.iter().position(|a| a == name)?;
+    match args.get(i + 1) {
+        Some(v) if !v.starts_with("--") => Some(v.clone()),
+        _ => {
+            eprintln!("flag {name} requires a value");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn flavor_from(args: &[String]) -> Flavor {
-    opt_value(args, "--flavor")
-        .map(|f| f.parse().unwrap_or_else(|e| panic!("{e}")))
-        .unwrap_or(Flavor::Posix)
+    match opt_value(args, "--flavor") {
+        Some(f) => f.parse().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }),
+        None => Flavor::Posix,
+    }
+}
+
+/// Read and parse a file, exiting with a diagnostic (not a panic) on failure.
+fn read_or_exit(file: &str) -> String {
+    fs::read_to_string(file).unwrap_or_else(|e| {
+        eprintln!("cannot read {file}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn exec_error_exit(e: ExecError) -> ! {
+    eprintln!("{e}");
+    std::process::exit(2);
 }
 
 fn cmd_gen(args: &[String]) {
@@ -87,9 +124,13 @@ fn cmd_run(args: &[String]) {
         eprintln!("--config NAME is required (see `sibylfs configs`)");
         std::process::exit(2);
     });
-    let profile = config_or_exit(&name);
+    let Some((executor, flavor)) = executor_for_config(&name) else {
+        sibylfs_cli::config_or_exit(&name);
+        unreachable!("config_or_exit exits for unknown names");
+    };
     let suite = suite_from_args(args);
-    let run = run_config(&profile, profile.platform, &suite, DEFAULT_WORKERS);
+    let run = run_executor(executor.as_ref(), flavor, &suite, DEFAULT_WORKERS)
+        .unwrap_or_else(|e| exec_error_exit(e));
     if let Some(dir) = opt_value(args, "--out") {
         let dir = PathBuf::from(dir);
         fs::create_dir_all(&dir).expect("create output directory");
@@ -100,8 +141,9 @@ fn cmd_run(args: &[String]) {
     }
     print!("{}", render_run_markdown(&run.summary));
     println!(
-        "execution: {:.2}s   checking: {:.2}s ({:.0} traces/s, {} workers)",
+        "execution: {:.2}s ({} backend)   checking: {:.2}s ({:.0} traces/s, {} workers)",
         run.exec_secs,
+        run.summary.backend,
         run.check_stats.elapsed_secs,
         run.check_stats.traces_per_sec,
         run.check_stats.workers
@@ -111,16 +153,21 @@ fn cmd_run(args: &[String]) {
 fn cmd_check(args: &[String]) {
     let flavor = flavor_from(args);
     let cfg = sibylfs_core::flavor::SpecConfig::standard(flavor);
-    let files: Vec<&String> =
-        args.iter().filter(|a| !a.starts_with("--") && opt_value(args, "--flavor").as_ref() != Some(a)).collect();
+    let files: Vec<&String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && opt_value(args, "--flavor").as_ref() != Some(a))
+        .collect();
     if files.is_empty() {
         eprintln!("no trace files given");
         std::process::exit(2);
     }
     let mut failing = 0usize;
     for file in files {
-        let text = fs::read_to_string(file).unwrap_or_else(|e| panic!("read {file}: {e}"));
-        let trace = parse_trace(&text).unwrap_or_else(|e| panic!("parse {file}: {e}"));
+        let text = read_or_exit(file);
+        let trace = parse_trace(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {file}: {e}");
+            std::process::exit(2);
+        });
         let checked = check_trace(&cfg, &trace, CheckOptions::default());
         if !checked.accepted {
             failing += 1;
@@ -135,13 +182,23 @@ fn cmd_check(args: &[String]) {
 
 fn cmd_exec(args: &[String]) {
     let name = opt_value(args, "--config").unwrap_or_else(|| "linux/tmpfs".to_string());
-    let profile = config_or_exit(&name);
-    let files: Vec<&String> =
-        args.iter().filter(|a| !a.starts_with("--") && opt_value(args, "--config").as_ref() != Some(a)).collect();
+    let Some((executor, _flavor)) = executor_for_config(&name) else {
+        sibylfs_cli::config_or_exit(&name);
+        unreachable!("config_or_exit exits for unknown names");
+    };
+    let files: Vec<&String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && opt_value(args, "--config").as_ref() != Some(a))
+        .collect();
     for file in files {
-        let text = fs::read_to_string(file).unwrap_or_else(|e| panic!("read {file}: {e}"));
-        let script = parse_script(&text).unwrap_or_else(|e| panic!("parse {file}: {e}"));
-        let trace = execute_script(&profile, &script, ExecOptions::default());
+        let text = read_or_exit(file);
+        let script = parse_script(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {file}: {e}");
+            std::process::exit(2);
+        });
+        let trace = executor
+            .execute_script(&script, ExecOptions::default())
+            .unwrap_or_else(|e| exec_error_exit(e));
         print!("{}", render_trace(&trace));
         println!();
     }
@@ -149,16 +206,41 @@ fn cmd_exec(args: &[String]) {
 
 fn cmd_survey(args: &[String]) {
     let suite = suite_from_args(args);
-    let explicit_flavor = opt_value(args, "--flavor").map(|f| f.parse::<Flavor>().expect("flavor"));
+    let explicit_flavor = opt_value(args, "--flavor").map(|f| {
+        f.parse::<Flavor>().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
+    });
     let mut summaries = Vec::new();
     for profile in configs::all_configs() {
         let flavor = explicit_flavor.unwrap_or(profile.platform);
-        let run = run_config(&profile, flavor, &suite, DEFAULT_WORKERS);
+        let exec = sibylfs_exec::SimExecutor::new(profile.clone());
+        let run = run_executor(&exec, flavor, &suite, DEFAULT_WORKERS)
+            .expect("the simulation is infallible");
         eprintln!(
             "checked {:40} {:5}/{:5} accepted",
             profile.name, run.summary.accepted, run.summary.traces
         );
         summaries.push(run.summary);
+    }
+    // The survey grows a real-host row wherever the sandbox can be built.
+    if host_backend_available() {
+        if let Some((executor, default_flavor)) = executor_for_config(HOST_CONFIG_NAME) {
+            let flavor = explicit_flavor.unwrap_or(default_flavor);
+            match run_executor(executor.as_ref(), flavor, &suite, DEFAULT_WORKERS) {
+                Ok(run) => {
+                    eprintln!(
+                        "checked {:40} {:5}/{:5} accepted [host backend]",
+                        HOST_CONFIG_NAME, run.summary.accepted, run.summary.traces
+                    );
+                    summaries.push(run.summary);
+                }
+                Err(e) => eprintln!("skipping {HOST_CONFIG_NAME}: {e}"),
+            }
+        }
+    } else {
+        eprintln!("skipping {HOST_CONFIG_NAME}: sandbox unavailable (needs Linux + chroot privilege)");
     }
     let merged = merge_runs(summaries);
     print!("{}", render_merged_markdown(&merged));

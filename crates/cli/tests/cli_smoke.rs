@@ -1,0 +1,175 @@
+//! Integration smoke test that shells out to the built `sibylfs` binary and
+//! asserts exit codes and key output for `gen`/`exec`/`check`/`configs` —
+//! including the error paths (unknown subcommand, missing `--config`,
+//! unparseable trace files, flag values that are themselves flags) that were
+//! previously untested.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_sibylfs_cli")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin()).args(args).output().expect("spawn sibylfs binary")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("process exited normally")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sibylfs-cli-smoke-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn write(path: &Path, text: &str) {
+    std::fs::write(path, text).expect("write test file");
+}
+
+#[test]
+fn no_arguments_prints_usage_and_exits_2() {
+    let out = run(&[]);
+    assert_eq!(code(&out), 2);
+    assert!(stderr(&out).contains("USAGE"));
+}
+
+#[test]
+fn unknown_subcommand_exits_2() {
+    let out = run(&["frobnicate"]);
+    assert_eq!(code(&out), 2);
+    assert!(stderr(&out).contains("unknown subcommand"));
+}
+
+#[test]
+fn help_exits_0() {
+    let out = run(&["--help"]);
+    assert_eq!(code(&out), 0);
+    assert!(stdout(&out).contains("oracle-based testing"));
+}
+
+#[test]
+fn configs_lists_registry_and_host_row() {
+    let out = run(&["configs"]);
+    assert_eq!(code(&out), 0);
+    let text = stdout(&out);
+    assert!(text.contains("linux/ext4"));
+    assert!(text.contains("linux/sshfs-tmpfs"));
+    assert!(text.contains("host/linux"), "host row missing:\n{text}");
+}
+
+#[test]
+fn gen_writes_scripts_to_the_out_directory() {
+    let dir = temp_dir("gen");
+    let out = run(&["gen", "--quick", "--out", dir.to_str().unwrap()]);
+    assert_eq!(code(&out), 0);
+    assert!(stdout(&out).contains("generated"));
+    let scripts: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "script"))
+        .collect();
+    assert!(scripts.len() > 100, "expected a quick suite on disk, got {}", scripts.len());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn gen_out_flag_must_not_eat_the_next_flag_as_its_value() {
+    // Regression test for the `opt_value` fix: `--out --full` used to write
+    // the whole suite into a directory literally named "--full".
+    let out = run(&["gen", "--out", "--full"]);
+    assert_eq!(code(&out), 2);
+    assert!(stderr(&out).contains("--out"), "diagnostic names the flag: {}", stderr(&out));
+    assert!(!Path::new("--full").exists(), "must not create a '--full' directory");
+}
+
+#[test]
+fn exec_then_check_round_trips_through_the_binary() {
+    let dir = temp_dir("exec-check");
+    let script_path = dir.join("t.script");
+    write(
+        &script_path,
+        "@type script\n# Test rename___smoke\nmkdir \"emptydir\" 0o777\nmkdir \"nonemptydir\" 0o777\nopen \"nonemptydir/f\" [O_CREAT;O_WRONLY] 0o666\nrename \"emptydir\" \"nonemptydir\"\n",
+    );
+    let out = run(&["exec", "--config", "linux/ext4", script_path.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "stderr: {}", stderr(&out));
+    let trace_text = stdout(&out);
+    assert!(trace_text.contains("@type trace"));
+    assert!(trace_text.contains("ENOTEMPTY"));
+
+    let trace_path = dir.join("t.trace");
+    write(&trace_path, &trace_text);
+    let out = run(&["check", "--flavor", "linux", trace_path.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "conformant trace: {}", stderr(&out));
+    assert!(stdout(&out).contains("rename"));
+
+    // The SSHFS EPERM answer deviates under the Linux flavour: exit code 1.
+    let out = run(&["exec", "--config", "linux/sshfs-tmpfs", script_path.to_str().unwrap()]);
+    assert_eq!(code(&out), 0);
+    write(&trace_path, &stdout(&out));
+    let out = run(&["check", "--flavor", "linux", trace_path.to_str().unwrap()]);
+    assert_eq!(code(&out), 1, "deviating trace exits 1");
+    assert!(stdout(&out).contains("allowed are only"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn check_rejects_unparseable_and_missing_trace_files() {
+    let dir = temp_dir("check-bad");
+    let bad = dir.join("bad.trace");
+    write(&bad, "@type trace\nthis is not a trace line\n");
+    let out = run(&["check", "--flavor", "linux", bad.to_str().unwrap()]);
+    assert_eq!(code(&out), 2, "parse failure is a clean exit 2, not a panic");
+    assert!(stderr(&out).contains("cannot parse"));
+
+    let out = run(&["check", "--flavor", "linux", dir.join("nope.trace").to_str().unwrap()]);
+    assert_eq!(code(&out), 2);
+    assert!(stderr(&out).contains("cannot read"));
+
+    let out = run(&["check", "--flavor", "linux"]);
+    assert_eq!(code(&out), 2);
+    assert!(stderr(&out).contains("no trace files"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn check_rejects_unknown_flavor() {
+    let out = run(&["check", "--flavor", "plan9", "whatever.trace"]);
+    assert_eq!(code(&out), 2);
+    assert!(stderr(&out).contains("flavor") || stderr(&out).contains("plan9"));
+}
+
+#[test]
+fn run_requires_a_known_config() {
+    let out = run(&["run"]);
+    assert_eq!(code(&out), 2);
+    assert!(stderr(&out).contains("--config"));
+
+    let out = run(&["run", "--config", "plan9/fossil"]);
+    assert_eq!(code(&out), 2);
+    assert!(stderr(&out).contains("unknown configuration"));
+    // The error listing advertises the host backend name.
+    assert!(stderr(&out).contains("host/linux"));
+}
+
+#[test]
+fn exec_rejects_unparseable_script_files() {
+    let dir = temp_dir("exec-bad");
+    let bad = dir.join("bad.script");
+    write(&bad, "@type script\nbogus \"x\"\n");
+    let out = run(&["exec", "--config", "linux/ext4", bad.to_str().unwrap()]);
+    assert_eq!(code(&out), 2);
+    assert!(stderr(&out).contains("cannot parse"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -94,7 +94,7 @@ pub fn spec_rmdir(ctx: &SpecCtx<'_>, path: &str) -> CmdOutcome {
                 spec_point("rmdir/no_parent_entry_einval");
                 return CmdOutcome::error_any([Errno::EINVAL, Errno::EBUSY]);
             };
-            let mut checks = Checks::ok();
+            let mut checks = ctx.symlink_trailing_slash_checks(path);
             if !ctx.st.heap.dir_is_empty(dref) {
                 spec_point("rmdir/directory_not_empty");
                 let not_empty: &[Errno] = if ctx.cfg.flavor.is_posix() {

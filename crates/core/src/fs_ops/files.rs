@@ -23,9 +23,14 @@ pub fn spec_unlink(ctx: &SpecCtx<'_>, path: &str) -> CmdOutcome {
             CmdOutcome::error(Errno::ENOENT)
         }
         ResName::Dir { .. } => {
-            // POSIX says EPERM; the LSB and Linux return EISDIR (§7.3.2).
+            // POSIX says EPERM; the LSB and Linux return EISDIR (§7.3.2). A
+            // directory is only ever reached through NoFollow resolution via
+            // a `symlink/` path or a plain directory name; the former adds
+            // the Linux ENOTDIR refusal to the envelope.
             spec_point("unlink/target_is_directory");
-            CmdOutcome::error_any(ctx.cfg.flavor.unlink_dir_errors().iter().copied())
+            let checks = Checks::fail_any(ctx.cfg.flavor.unlink_dir_errors().iter().copied())
+                .par(ctx.symlink_trailing_slash_checks(path));
+            CmdOutcome::from_checks(checks)
         }
         ResName::File { parent, ref name, trailing_slash, is_symlink, .. } => {
             let mut checks = ctx.parent_write_checks(parent);

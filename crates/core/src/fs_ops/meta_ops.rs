@@ -44,7 +44,14 @@ pub fn spec_chmod(ctx: &SpecCtx<'_>, path: &str, mode: FileMode) -> CmdOutcome {
                 }),
             )
         }
-        ResName::File { fref, .. } => {
+        ResName::File { fref, trailing_slash, is_symlink, .. } => {
+            if trailing_slash && !is_symlink {
+                // POSIX path resolution: a trailing slash on a path naming a
+                // non-directory shall fail with ENOTDIR (validated against
+                // the real kernel by the host differential harness).
+                spec_point("chmod/trailing_slash_on_file_enotdir");
+                return CmdOutcome::error(Errno::ENOTDIR);
+            }
             let Some(file) = ctx.st.heap.file(fref) else {
                 return CmdOutcome::error(Errno::ENOENT);
             };
@@ -93,7 +100,14 @@ pub fn spec_chown(ctx: &SpecCtx<'_>, path: &str, uid: Uid, gid: Gid) -> CmdOutco
             return CmdOutcome::error(Errno::ENOENT);
         }
         ResName::Dir { dref, .. } => Entry::Dir(dref),
-        ResName::File { fref, .. } => Entry::File(fref),
+        ResName::File { fref, trailing_slash, is_symlink, .. } => {
+            if trailing_slash && !is_symlink {
+                // As for chmod: trailing slash on a non-directory → ENOTDIR.
+                spec_point("chown/trailing_slash_on_file_enotdir");
+                return CmdOutcome::error(Errno::ENOTDIR);
+            }
+            Entry::File(fref)
+        }
     };
     let meta = match target {
         Entry::Dir(d) => ctx.st.heap.dir(d).map(|x| x.meta),
@@ -109,9 +123,18 @@ pub fn spec_chown(ctx: &SpecCtx<'_>, path: &str, uid: Uid, gid: Gid) -> CmdOutco
             Checks::ok()
         }
         Some(c) if c.euid == meta.uid && uid == meta.uid => {
-            // Owner changing only the group.
-            spec_point("chown/owner_changes_group");
-            Checks::ok()
+            // Owner changing only the group. POSIX requires the owner to be a
+            // member of the target group; when the harness's group table says
+            // so the change must succeed, otherwise the kernel may refuse
+            // with EPERM (Linux does) — the table may be incomplete, so the
+            // refusal is optional rather than mandatory.
+            if c.in_group(gid) || ctx.st.groups.is_member(c.euid, gid) {
+                spec_point("chown/owner_changes_group_to_member_group");
+                Checks::ok()
+            } else {
+                spec_point("chown/owner_changes_group_to_nonmember_group");
+                Checks::may_fail(Errno::EPERM)
+            }
         }
         Some(_) => {
             spec_point("chown/caller_not_permitted_eperm");

@@ -189,6 +189,29 @@ impl<'a> SpecCtx<'a> {
         }
     }
 
+    /// The looseness for a *removal* target written as `symlink/`: POSIX path
+    /// resolution follows the link (so `rmdir`/`unlink` act on the target),
+    /// but Linux-family kernels refuse such paths up front with `ENOTDIR`
+    /// before following (§7.3.2 "Path resolution, trailing slashes, and
+    /// symlinks"; validated against the real kernel by the host differential
+    /// harness).
+    pub fn symlink_trailing_slash_checks(&self, path: &str) -> Checks {
+        if !path.ends_with('/') {
+            return Checks::ok();
+        }
+        let trimmed = path.trim_end_matches('/');
+        if trimmed.is_empty() {
+            return Checks::ok();
+        }
+        match self.resolve(trimmed, FollowLast::NoFollow) {
+            ResName::File { is_symlink: true, .. } => {
+                spec_point("common/symlink_with_trailing_slash_may_enotdir");
+                Checks::may_fail(Errno::ENOTDIR)
+            }
+            _ => Checks::ok(),
+        }
+    }
+
     /// The check on write permission for a parent directory that is about to
     /// gain or lose an entry.
     pub fn parent_write_checks(&self, dir: DirRef) -> Checks {

@@ -34,17 +34,36 @@ pub fn spec_open(
         return CmdOutcome::special(SpecialKind::Unspecified);
     }
 
-    let follow = if flags.contains(OpenFlags::O_NOFOLLOW) {
+    // POSIX: with O_CREAT|O_EXCL a final-component symlink is *never*
+    // followed — the call shall fail with EEXIST even for a dangling link
+    // (the clause behind the paper's FreeBSD finding, §7.3.2 "Invariants").
+    let creat_excl = flags.contains(OpenFlags::O_CREAT) && flags.contains(OpenFlags::O_EXCL);
+    if creat_excl && !flags.contains(OpenFlags::O_NOFOLLOW) {
+        spec_point("open/creat_excl_does_not_follow_final_symlink");
+    }
+    let follow = if flags.contains(OpenFlags::O_NOFOLLOW) || creat_excl {
         FollowLast::NoFollow
     } else {
         FollowLast::Follow
+    };
+    // POSIX leaves O_CREAT combined with O_DIRECTORY unspecified; Linux
+    // kernels past 6.x reject the combination outright with EINVAL before
+    // even looking at the path, while older kernels proceed (and may create
+    // a regular file). The envelope admits the refusal everywhere.
+    let creat_directory_checks = if flags.contains(OpenFlags::O_CREAT)
+        && flags.contains(OpenFlags::O_DIRECTORY)
+    {
+        spec_point("open/creat_with_o_directory_may_einval");
+        Checks::may_fail(Errno::EINVAL)
+    } else {
+        Checks::ok()
     };
     let res = ctx.resolve(path, follow);
 
     match res {
         ResName::Err(e) => {
             spec_point("open/resolution_error");
-            CmdOutcome::error(e)
+            CmdOutcome::from_checks(Checks::fail(e).par(creat_directory_checks.clone()))
         }
         ResName::Dir { dref, .. } => {
             // Note the paper's FreeBSD finding: with O_CREAT|O_DIRECTORY|O_EXCL
@@ -52,7 +71,7 @@ pub fn spec_open(
             // FreeBSD returns ENOTDIR *and* replaces the symlink, violating the
             // error-invariance invariant. The specification is strict here so
             // that the implementation defect is flagged.
-            let mut checks = Checks::ok();
+            let mut checks = creat_directory_checks.clone();
             if flags.contains(OpenFlags::O_CREAT) && flags.contains(OpenFlags::O_EXCL) {
                 spec_point("open/creat_excl_on_existing_dir_eexist");
                 checks = checks.par(Checks::fail(Errno::EEXIST));
@@ -79,7 +98,7 @@ pub fn spec_open(
             CmdOutcome::from_checks(checks).with_success(new_st, Pending::NewFd { fid })
         }
         ResName::File { fref, is_symlink, trailing_slash, .. } => {
-            let mut checks = Checks::ok();
+            let mut checks = creat_directory_checks.clone();
             if is_symlink {
                 // Only reachable with O_NOFOLLOW (otherwise the resolver
                 // followed the link): O_CREAT|O_EXCL reports EEXIST, other
@@ -103,6 +122,16 @@ pub fn spec_open(
             if trailing_slash {
                 spec_point("open/trailing_slash_on_file");
                 checks = checks.par(ctx.trailing_slash_file_checks(true));
+                if flags.contains(OpenFlags::O_CREAT) {
+                    // An existing file named with a trailing slash under
+                    // O_CREAT: Linux reports EISDIR here (the same errno it
+                    // uses for the would-create case below), other platforms
+                    // stay with the plain trailing-slash errnos.
+                    spec_point("open/creat_trailing_slash_on_existing_file");
+                    checks = checks.par(Checks::fail_any(
+                        ctx.cfg.flavor.open_creat_trailing_slash_errors().iter().copied(),
+                    ));
+                }
             }
             if access.readable() && !ctx.file_access(fref, Access::Read) {
                 spec_point("open/file_read_permission_eacces");
@@ -130,8 +159,10 @@ pub fn spec_open(
                 spec_point("open/missing_without_creat_enoent");
                 return CmdOutcome::error(Errno::ENOENT);
             }
-            let mut checks =
-                ctx.parent_write_checks(parent).par(ctx.connected_dir_checks(parent));
+            let mut checks = ctx
+                .parent_write_checks(parent)
+                .par(ctx.connected_dir_checks(parent))
+                .par(creat_directory_checks);
             if trailing_slash {
                 // Creating "name/" — platforms disagree on the errno (§7.3.2).
                 spec_point("open/creat_with_trailing_slash");

@@ -1,16 +1,27 @@
 //! # SibylFS test executor
 //!
-//! Runs test scripts against a (simulated) file system under test and records
-//! the resulting traces (the "Test executor" box of Fig. 1).
+//! Runs test scripts against a file system under test and records the
+//! resulting traces (the "Test executor" box of Fig. 1).
 //!
-//! The paper's executor forks interpreter and worker processes inside chroot
-//! jails so that every script starts from an empty file-system namespace and
-//! runs with the uid/gid/group memberships the script asks for (§6.2). The
-//! reproduction achieves the same observable effect in-process: every script
-//! execution starts from a fresh [`SimOs`] with an empty root, the initial
-//! process runs as root (or as an unprivileged user when requested), and
-//! additional processes are created with whatever credentials the script
-//! declares.
+//! The crate provides two trace producers behind the [`Executor`] trait:
+//!
+//! * [`SimExecutor`] — the in-process deterministic simulation
+//!   ([`SimOs`](sibylfs_fsimpl::SimOs)) parameterised by a
+//!   [`BehaviorProfile`]. Every script execution starts from a fresh
+//!   simulated kernel with an empty root; the initial process runs as root
+//!   (or as an unprivileged user when requested), and additional processes
+//!   are created with whatever credentials the script declares.
+//! * [`HostFs`] (`target_os = "linux"` only) — the real-host backend: each
+//!   script runs in a forked worker process chroot-jailed inside a fresh
+//!   temporary directory, issuing genuine libc syscalls, exactly as the
+//!   paper's test executor does (§6.2). See the [`host`] module.
+//!
+//! Both backends record the same [`Trace`] structure, so the checker and the
+//! reporting pipeline are oblivious to where a trace came from — which is
+//! what lets `tests/host_differential.rs` compare the simulation against the
+//! real kernel with the model as the oracle.
+
+use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
@@ -18,6 +29,33 @@ use sibylfs_core::commands::OsLabel;
 use sibylfs_core::types::{Gid, Uid, INITIAL_PID};
 use sibylfs_fsimpl::{BehaviorProfile, SimOs};
 use sibylfs_script::{Script, ScriptStep, Trace};
+
+// The host backend's inline libc bindings assume the 64-bit Linux ABI
+// (64-bit `off_t`, the 64-bit `struct dirent` layout), so it is compiled
+// only for 64-bit Linux targets; everywhere else the backend is absent and
+// [`host_backend_available`] is `false`.
+#[cfg(all(target_os = "linux", target_pointer_width = "64"))]
+pub mod host;
+
+#[cfg(all(target_os = "linux", target_pointer_width = "64"))]
+pub use host::HostFs;
+
+/// The configuration name under which the host backend appears in the CLI
+/// (`sibylfs run --config host/linux`) and in survey reports.
+pub const HOST_CONFIG_NAME: &str = "host/linux";
+
+/// Whether the real-host backend can run here (Linux, with enough privilege
+/// to build a chroot jail). Always `false` on non-Linux targets.
+pub fn host_backend_available() -> bool {
+    #[cfg(all(target_os = "linux", target_pointer_width = "64"))]
+    {
+        host::sandbox_available()
+    }
+    #[cfg(not(all(target_os = "linux", target_pointer_width = "64")))]
+    {
+        false
+    }
+}
 
 /// Options controlling script execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -33,7 +71,88 @@ impl Default for ExecOptions {
     }
 }
 
-/// Execute a single script against a fresh instance of the given
+/// Why an executor failed to produce a trace.
+///
+/// The simulation is infallible; the host backend can fail to set up its
+/// sandbox (insufficient privilege) or to ferry the trace back from the
+/// worker process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The backend cannot run at all in this environment (e.g. the host
+    /// backend without the privilege to chroot). Callers should skip, not
+    /// fail.
+    SandboxUnavailable(String),
+    /// Executing one script went wrong (worker died, trace unparseable, …).
+    Backend {
+        /// The script being executed.
+        script: String,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::SandboxUnavailable(why) => {
+                write!(f, "host sandbox unavailable: {why}")
+            }
+            ExecError::Backend { script, message } => {
+                write!(f, "executing {script:?} failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// A trace producer: anything that can run a test script from a fresh,
+/// empty file-system state and record the libc-level call/return trace.
+///
+/// The checker only ever sees the produced [`Trace`], so implementations are
+/// interchangeable — the substitution argument of the `fsimpl` crate, now
+/// validated differentially by `tests/host_differential.rs`.
+pub trait Executor {
+    /// Short backend label used by reports: `"sim"` or `"host"`.
+    fn backend_name(&self) -> &'static str;
+
+    /// The configuration name this executor tests (e.g. `"linux/ext4"` or
+    /// [`HOST_CONFIG_NAME`]).
+    fn config_name(&self) -> String;
+
+    /// Execute a single script from a fresh initial state.
+    fn execute_script(&self, script: &Script, opts: ExecOptions) -> Result<Trace, ExecError>;
+}
+
+/// The simulation-backed executor (the seed's original behaviour).
+#[derive(Debug, Clone)]
+pub struct SimExecutor {
+    /// The behaviour profile the simulated kernel runs with.
+    pub profile: BehaviorProfile,
+}
+
+impl SimExecutor {
+    /// Create an executor for the given configuration.
+    pub fn new(profile: BehaviorProfile) -> SimExecutor {
+        SimExecutor { profile }
+    }
+}
+
+impl Executor for SimExecutor {
+    fn backend_name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn config_name(&self) -> String {
+        self.profile.name.clone()
+    }
+
+    fn execute_script(&self, script: &Script, opts: ExecOptions) -> Result<Trace, ExecError> {
+        Ok(execute_script(&self.profile, script, opts))
+    }
+}
+
+/// Execute a single script against a fresh instance of the given simulated
 /// configuration, producing the observed trace.
 pub fn execute_script(profile: &BehaviorProfile, script: &Script, opts: ExecOptions) -> Trace {
     let mut sim = SimOs::new(profile.clone());
@@ -60,10 +179,19 @@ pub fn execute_script(profile: &BehaviorProfile, script: &Script, opts: ExecOpti
     trace
 }
 
-/// Execute a whole suite of scripts against one configuration.
+/// Execute a whole suite of scripts on any backend.
 ///
 /// Each script runs against its own fresh file system, mirroring the paper's
-/// per-script chroot jails.
+/// per-script chroot jails (which the host backend realises literally).
+pub fn execute_suite_on(
+    exec: &dyn Executor,
+    scripts: &[Script],
+    opts: ExecOptions,
+) -> Result<Vec<Trace>, ExecError> {
+    scripts.iter().map(|s| exec.execute_script(s, opts)).collect()
+}
+
+/// Execute a whole suite of scripts against one simulated configuration.
 pub fn execute_suite(
     profile: &BehaviorProfile,
     scripts: &[Script],
@@ -184,5 +312,20 @@ mod tests {
         assert_eq!(stats.scripts, 2);
         assert_eq!(stats.calls, 8);
         assert!(stats.trace_bytes > 0);
+    }
+
+    #[test]
+    fn sim_executor_matches_free_function() {
+        let profile = configs::by_name("linux/ext4").unwrap();
+        let exec = SimExecutor::new(profile.clone());
+        assert_eq!(exec.backend_name(), "sim");
+        assert_eq!(exec.config_name(), "linux/ext4");
+        let script = paper_rename_script();
+        let via_trait = exec.execute_script(&script, ExecOptions::default()).unwrap();
+        let direct = execute_script(&profile, &script, ExecOptions::default());
+        assert_eq!(via_trait, direct);
+        let suite = [paper_rename_script()];
+        let traces = execute_suite_on(&exec, &suite, ExecOptions::default()).unwrap();
+        assert_eq!(traces, execute_suite(&profile, &suite, ExecOptions::default()));
     }
 }

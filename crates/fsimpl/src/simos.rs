@@ -697,7 +697,11 @@ impl SimOs {
             }
         }
 
-        let follow = !flags.contains(OpenFlags::O_NOFOLLOW);
+        // With O_CREAT|O_EXCL a final-component symlink is never followed:
+        // POSIX requires EEXIST even for a dangling link, and real kernels
+        // implement it exactly so.
+        let follow = !(flags.contains(OpenFlags::O_NOFOLLOW)
+            || (flags.contains(OpenFlags::O_CREAT) && flags.contains(OpenFlags::O_EXCL)));
         match self.resolve(pid, path, follow) {
             SimRes::Error(e) => ErrorOrValue::Error(e),
             SimRes::Dir { ino, .. } => {
@@ -903,7 +907,14 @@ impl SimOs {
             SimRes::Error(e) => return ErrorOrValue::Error(e),
             SimRes::Missing { .. } => return ErrorOrValue::Error(Errno::ENOENT),
             SimRes::Dir { ino, .. } => ino,
-            SimRes::NonDir { ino, .. } => ino,
+            SimRes::NonDir { ino, trailing_slash, .. } => {
+                // POSIX path resolution: trailing slash on a non-directory.
+                let is_symlink = self.fs.node(ino).map(|n| n.is_symlink()).unwrap_or(false);
+                if trailing_slash && !is_symlink {
+                    return ErrorOrValue::Error(self.profile.trailing_slash_file_errno);
+                }
+                ino
+            }
         };
         let meta = self.node_meta(ino);
         if proc.euid != 0 && proc.euid != meta.uid && !self.profile.permissions_not_enforced {
@@ -921,7 +932,13 @@ impl SimOs {
             SimRes::Error(e) => return ErrorOrValue::Error(e),
             SimRes::Missing { .. } => return ErrorOrValue::Error(Errno::ENOENT),
             SimRes::Dir { ino, .. } => ino,
-            SimRes::NonDir { ino, .. } => ino,
+            SimRes::NonDir { ino, trailing_slash, .. } => {
+                let is_symlink = self.fs.node(ino).map(|n| n.is_symlink()).unwrap_or(false);
+                if trailing_slash && !is_symlink {
+                    return ErrorOrValue::Error(self.profile.trailing_slash_file_errno);
+                }
+                ino
+            }
         };
         let meta = self.node_meta(ino);
         let permitted = proc.euid == 0

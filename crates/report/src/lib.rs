@@ -36,6 +36,9 @@ pub struct RunSummary {
     pub config: String,
     /// The specification flavour used for checking.
     pub flavor: String,
+    /// The executor that produced the traces: `"sim"` for the in-process
+    /// simulation, `"host"` for the real-host backend.
+    pub backend: String,
     /// Number of traces checked.
     pub traces: usize,
     /// Number of traces accepted.
@@ -55,11 +58,22 @@ pub struct RunSummary {
 /// Maximum number of failing trace names retained in a summary.
 const MAX_FAILING_NAMES: usize = 50;
 
-/// Summarise a checked run.
+/// Summarise a checked run of simulation-produced traces.
 pub fn summarize_run(config: &str, flavor: &str, checked: &[CheckedTrace]) -> RunSummary {
+    summarize_run_for_backend(config, flavor, "sim", checked)
+}
+
+/// Summarise a checked run, labelling which executor produced the traces.
+pub fn summarize_run_for_backend(
+    config: &str,
+    flavor: &str,
+    backend: &str,
+    checked: &[CheckedTrace],
+) -> RunSummary {
     let mut summary = RunSummary {
         config: config.to_string(),
         flavor: flavor.to_string(),
+        backend: backend.to_string(),
         traces: checked.len(),
         ..RunSummary::default()
     };
@@ -108,7 +122,12 @@ impl RunSummary {
 /// Render a run summary as markdown.
 pub fn render_run_markdown(s: &RunSummary) -> String {
     let mut out = String::new();
-    out.push_str(&format!("## {} checked against the `{}` model\n\n", s.config, s.flavor));
+    let backend_note =
+        if s.backend.is_empty() || s.backend == "sim" { String::new() } else { format!(" [{} backend]", s.backend) };
+    out.push_str(&format!(
+        "## {}{} checked against the `{}` model\n\n",
+        s.config, backend_note, s.flavor
+    ));
     out.push_str(&format!(
         "* traces: {}  accepted: {}  failing: {}  ({:.2}% accepted)\n",
         s.traces,
@@ -179,12 +198,13 @@ impl MergedReport {
 /// Render the merged acceptance table (one row per configuration).
 pub fn render_merged_markdown(m: &MergedReport) -> String {
     let mut out = String::new();
-    out.push_str("| configuration | model | traces | accepted | failing | deviations |\n");
-    out.push_str("|---|---|---|---|---|---|\n");
+    out.push_str("| configuration | backend | model | traces | accepted | failing | deviations |\n");
+    out.push_str("|---|---|---|---|---|---|---|\n");
     for r in &m.runs {
+        let backend = if r.backend.is_empty() { "sim" } else { &r.backend };
         out.push_str(&format!(
-            "| {} | {} | {} | {} | {} | {} |\n",
-            r.config, r.flavor, r.traces, r.accepted, r.failing, r.deviations
+            "| {} | {} | {} | {} | {} | {} | {} |\n",
+            r.config, backend, r.flavor, r.traces, r.accepted, r.failing, r.deviations
         ));
     }
     out.push('\n');
@@ -302,6 +322,21 @@ mod tests {
         let md = render_merged_markdown(&merged);
         assert!(md.contains("| linux/ext4 |"));
         assert!(md.contains("Configuration-specific deviations"));
+    }
+
+    #[test]
+    fn host_backend_runs_are_labelled() {
+        let s = summarize_run_for_backend("host/linux", "linux", "host", &[fake_trace("a", None)]);
+        assert_eq!(s.backend, "host");
+        let md = render_run_markdown(&s);
+        assert!(md.contains("[host backend]"), "{md}");
+        let sim = summarize_run("linux/ext4", "linux", &[fake_trace("a", None)]);
+        assert_eq!(sim.backend, "sim");
+        assert!(!render_run_markdown(&sim).contains("backend]"));
+        let merged = merge_runs(vec![sim, s]);
+        let md = render_merged_markdown(&merged);
+        assert!(md.contains("| linux/ext4 | sim |"), "{md}");
+        assert!(md.contains("| host/linux | host |"), "{md}");
     }
 
     #[test]

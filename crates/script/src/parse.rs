@@ -176,7 +176,9 @@ impl<'a> Cursor<'a> {
                             let cp = u32::from_str_radix(hex, 16)
                                 .map_err(|_| self.err("bad unicode escape"))?;
                             out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
-                            for _ in 0..close {
+                            // Consume "{…}" — `close` characters of braced
+                            // payload plus the closing brace itself.
+                            for _ in 0..=close {
                                 chars.next();
                             }
                         }

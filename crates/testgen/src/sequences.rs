@@ -485,10 +485,13 @@ pub fn coverage_gap_scripts() -> Vec<Script> {
         out.push(sc);
     }
     {
-        // Metadata changes by a non-owner (EPERM) and a group change by the
-        // owner (allowed).
+        // Metadata changes by a non-owner (EPERM), a group change by the
+        // owner to a group they do *not* belong to (implementation-defined:
+        // Linux refuses), and one to a group they do belong to (must
+        // succeed).
         let mut sc = s("chmod_chown_by_non_owner", "chmod");
-        sc.call(OsCommand::Open("theirs".into(), OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Some(mode(0o644))))
+        sc.call(OsCommand::AddUserToGroup(user.0, Gid(888)))
+            .call(OsCommand::Open("theirs".into(), OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Some(mode(0o644))))
             .call(OsCommand::Close(FD3))
             .call(OsCommand::Chown("theirs".into(), user.0, user.1))
             .create_process(Pid(2), other.0, other.1)
@@ -497,6 +500,7 @@ pub fn coverage_gap_scripts() -> Vec<Script> {
             .destroy_process(Pid(2))
             .create_process(Pid(3), user.0, user.1)
             .call_as(Pid(3), OsCommand::Chown("theirs".into(), user.0, Gid(777)))
+            .call_as(Pid(3), OsCommand::Chown("theirs".into(), user.0, Gid(888)))
             .destroy_process(Pid(3));
         out.push(sc);
     }

@@ -1,0 +1,159 @@
+//! Golden-trace snapshot corpus: a curated set of checked traces (rendered
+//! verdicts included) committed under `tests/golden/`, diffed against the
+//! current pipeline on every run.
+//!
+//! Any change to the generator, the executor, the checker, or the renderer
+//! that alters observable behaviour shows up here as a readable text diff.
+//! To accept intentional changes, regenerate the snapshots:
+//!
+//! ```text
+//! SIBYLFS_REGEN_GOLDEN=1 cargo test --test golden_traces
+//! ```
+//!
+//! and review the diff like any other code change.
+
+use std::path::PathBuf;
+
+use sibylfs::check::{check_trace, render_checked_trace, CheckOptions};
+use sibylfs::exec::{execute_script, ExecOptions};
+use sibylfs::fsimpl::configs;
+use sibylfs::model::flavor::{Flavor, SpecConfig};
+use sibylfs::script::render_trace;
+use sibylfs::testgen::{generate_suite, SuiteOptions};
+
+/// One snapshot: a script from the quick suite, the configuration it runs
+/// on, and the flavour it is checked against. The corpus deliberately mixes
+/// clean runs with every §7.3 defect family so both verdict shapes are
+/// pinned.
+const MANIFEST: &[(&str, &str, Flavor)] = &[
+    // The paper's running example (Figs. 2-4): clean on ext4, EPERM on SSHFS.
+    ("rename___rename_emptydir___nonemptydir", "linux/ext4", Flavor::Linux),
+    ("rename___rename_emptydir___nonemptydir", "linux/sshfs-tmpfs", Flavor::Linux),
+    ("rename___rename_emptydir___nonemptydir", "freebsd/ufs", Flavor::FreeBsd),
+    // Fig. 8: the deleted-cwd scenario, defective on OS X OpenZFS.
+    ("open___create_in_deleted_cwd", "mac/openzfs", Flavor::Mac),
+    ("open___create_in_deleted_cwd", "mac/hfsplus", Flavor::Mac),
+    // §7.3.2 invariant violation: O_CREAT|O_EXCL|O_DIRECTORY on a symlink.
+    ("open___creat_excl_directory_on_symlink", "freebsd/ufs", Flavor::FreeBsd),
+    ("open___creat_excl_directory_on_symlink", "linux/ext4", Flavor::Linux),
+    // §7.3.4 chmod unsupported on old Linux HFS+.
+    ("chmod___chmod_supported", "linux/hfsplus-trusty", Flavor::Linux),
+    ("chmod___chmod_supported", "linux/ext4", Flavor::Linux),
+    // §7.3.4 O_APPEND ignored by OpenZFS 0.6.3.
+    ("write___o_append_seeks_to_end", "linux/openzfs-trusty", Flavor::Linux),
+    ("write___o_append_seeks_to_end", "linux/ext4", Flavor::Linux),
+    // §7.3.4 OS X pwrite negative-offset underflow.
+    ("pwrite___pwrite_negative_offset", "mac/hfsplus", Flavor::Mac),
+    ("pwrite___pwrite_negative_offset", "linux/ext4", Flavor::Linux),
+    // §7.3.3 pwrite/O_APPEND platform convention: Linux vs POSIX envelope.
+    ("pwrite___pwrite_with_o_append", "linux/ext4", Flavor::Posix),
+    // Link counts (§7.3.2 core behaviour) with and without dir nlink support.
+    ("stat___link_counts_visible_in_stat", "linux/ext4", Flavor::Linux),
+    ("stat___link_counts_visible_in_stat", "linux/btrfs", Flavor::Linux),
+    // Multi-process permissions.
+    ("permissions___private_dir_blocks_other_users", "linux/ext4", Flavor::Linux),
+    ("permissions___group_membership_grants_group_bits", "linux/ext4", Flavor::Linux),
+    // Directory iteration and descriptor I/O.
+    ("readdir___entry_removed_while_open", "linux/minix", Flavor::Linux),
+    ("read___write_then_read_roundtrip", "linux/tmpfs", Flavor::Linux),
+    // Path-resolution edge: symlink with trailing slash on unlink.
+    ("unlink___s_dirS", "linux/tmpfs", Flavor::Linux),
+];
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden")
+}
+
+fn snapshot_name(script: &str, config: &str, flavor: Flavor) -> String {
+    format!(
+        "{}__{}__vs_{}.checked",
+        script.replace('/', "_"),
+        config.replace('/', "_"),
+        flavor.name()
+    )
+}
+
+/// Render the full snapshot: the executed trace followed by the checker's
+/// verdict rendering, so both the trace format and the diagnostics are
+/// pinned.
+fn render_snapshot(script_name: &str, config: &str, flavor: Flavor) -> String {
+    let suite = generate_suite(SuiteOptions::quick());
+    let script = suite
+        .iter()
+        .find(|s| s.name == script_name)
+        .unwrap_or_else(|| panic!("script {script_name} not in the quick suite"));
+    let profile = configs::by_name(config).unwrap_or_else(|| panic!("unknown config {config}"));
+    let trace = execute_script(&profile, script, ExecOptions::default());
+    let checked = check_trace(&SpecConfig::standard(flavor), &trace, CheckOptions::default());
+    format!(
+        "# golden snapshot: {script_name} on {config} checked against {}\n\n{}\n{}",
+        flavor.name(),
+        render_trace(&trace),
+        render_checked_trace(&checked)
+    )
+}
+
+#[test]
+fn golden_corpus_matches_current_pipeline() {
+    let regen = std::env::var("SIBYLFS_REGEN_GOLDEN").map(|v| v == "1").unwrap_or(false);
+    let dir = golden_dir();
+    if regen {
+        std::fs::create_dir_all(&dir).expect("create tests/golden");
+    }
+    let mut failures = Vec::new();
+    for (script, config, flavor) in MANIFEST {
+        let current = render_snapshot(script, config, *flavor);
+        let path = dir.join(snapshot_name(script, config, *flavor));
+        if regen {
+            std::fs::write(&path, &current).expect("write golden snapshot");
+            continue;
+        }
+        match std::fs::read_to_string(&path) {
+            Err(e) => failures.push(format!("{}: unreadable ({e})", path.display())),
+            Ok(expected) if expected != current => {
+                // A compact first-difference diagnostic; the full files are
+                // on disk for a real diff.
+                let diff_line = expected
+                    .lines()
+                    .zip(current.lines())
+                    .position(|(a, b)| a != b)
+                    .map(|i| i + 1)
+                    .unwrap_or_else(|| expected.lines().count().min(current.lines().count()) + 1);
+                failures.push(format!(
+                    "{}: differs from committed snapshot (first difference at line \
+                     {diff_line}); rerun with SIBYLFS_REGEN_GOLDEN=1 and review the diff",
+                    path.display()
+                ));
+            }
+            Ok(_) => {}
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} golden snapshot(s) out of date:\n  {}",
+        failures.len(),
+        failures.join("\n  ")
+    );
+}
+
+/// The manifest stays in sync with the directory: no stale snapshot files
+/// linger after an entry is removed.
+#[test]
+fn golden_directory_has_no_orphans() {
+    let dir = golden_dir();
+    let expected: std::collections::BTreeSet<String> = MANIFEST
+        .iter()
+        .map(|(s, c, f)| snapshot_name(s, c, *f))
+        .collect();
+    assert_eq!(expected.len(), MANIFEST.len(), "manifest entries must be unique");
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        panic!("tests/golden missing; run SIBYLFS_REGEN_GOLDEN=1 cargo test --test golden_traces");
+    };
+    for e in entries.filter_map(|e| e.ok()) {
+        let name = e.file_name().to_string_lossy().into_owned();
+        assert!(
+            expected.contains(&name),
+            "orphan snapshot tests/golden/{name} (not in the manifest)"
+        );
+    }
+}
