@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use sibylfs_core::commands::{ErrorOrValue, OsCommand, OsLabel};
+use sibylfs_core::coverage::{self, CoverageKey, CoverageMap};
 use sibylfs_core::flavor::SpecConfig;
 use sibylfs_core::os::state_set::StateSet;
 use sibylfs_core::os::trans::{allowed_returns, default_completion, os_trans_into, tau_close};
@@ -234,6 +235,48 @@ pub fn check_trace(cfg: &SpecConfig, trace: &Trace, opts: CheckOptions) -> Check
     }
 }
 
+/// Check a trace and record the model coverage exercised while doing so.
+///
+/// Coverage has two key families (see [`sibylfs_core::coverage`]): the
+/// specification branches (`spec_point`s) evaluated during this check,
+/// collected through the thread-scoped collector so concurrent exploration
+/// workers do not pollute each other, and the `(syscall, outcome)` transitions
+/// observed in the trace itself. Checking runs entirely on the calling
+/// thread, which is what makes the scoped collection sound.
+pub fn check_trace_with_coverage(
+    cfg: &SpecConfig,
+    trace: &Trace,
+    opts: CheckOptions,
+) -> (CheckedTrace, CoverageMap) {
+    coverage::scoped_begin();
+    let checked = check_trace(cfg, trace, opts);
+    let mut map = CoverageMap::new();
+    for point in coverage::scoped_end() {
+        map.insert(CoverageKey::Branch(point));
+    }
+    // Pair each return with the call in flight for its process.
+    let mut pending: Vec<(Pid, &'static str)> = Vec::new();
+    for step in &trace.steps {
+        match &step.label {
+            OsLabel::Call(pid, cmd) => {
+                pending.retain(|(p, _)| p != pid);
+                pending.push((*pid, cmd.name()));
+            }
+            OsLabel::Return(pid, ret) => {
+                if let Some(pos) = pending.iter().position(|(p, _)| p == pid) {
+                    let (_, syscall) = pending.remove(pos);
+                    map.insert(CoverageKey::Transition {
+                        syscall: syscall.to_string(),
+                        outcome: coverage::outcome_name(ret),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    (checked, map)
+}
+
 /// Apply one label to the tracked state set, producing the next set and the
 /// verdict for this step. Takes the set by value: conformant paths hand back
 /// the transition union, deviation paths hand back a recovered set (or the
@@ -458,6 +501,38 @@ mod tests {
             .any(|s| matches!(s.verdict, StepVerdict::StateSetBounded { .. })
                 && s.kind == StepKind::Internal));
         assert!(bounded.deviations.iter().any(|d| d.function == "<checker>"));
+    }
+
+    #[test]
+    fn checking_with_coverage_records_branches_and_transitions() {
+        let t = trace_of(vec![
+            (
+                OsCommand::Mkdir("/d".into(), FileMode::new(0o777)),
+                ErrorOrValue::Value(RetValue::None),
+            ),
+            (OsCommand::Mkdir("/d".into(), FileMode::new(0o777)), ErrorOrValue::Error(Errno::EEXIST)),
+            (OsCommand::Stat("/missing".into()), ErrorOrValue::Error(Errno::ENOENT)),
+        ]);
+        let (checked, cov) = check_trace_with_coverage(&cfg(), &t, CheckOptions::default());
+        assert!(checked.accepted, "{:?}", checked.deviations);
+        assert!(cov.contains(&CoverageKey::Transition {
+            syscall: "mkdir".into(),
+            outcome: "ok/none".into()
+        }));
+        assert!(cov.contains(&CoverageKey::Transition {
+            syscall: "mkdir".into(),
+            outcome: "EEXIST".into()
+        }));
+        assert!(cov.contains(&CoverageKey::Transition {
+            syscall: "stat".into(),
+            outcome: "ENOENT".into()
+        }));
+        // Specification branches were attributed to this check.
+        assert!(cov.branch_points().iter().any(|p| p.starts_with("mkdir/")));
+        assert!(cov.branch_points().iter().any(|p| p.starts_with("stat/")));
+        // The same trace re-checked yields the same coverage (determinism).
+        let (_, cov2) = check_trace_with_coverage(&cfg(), &t, CheckOptions::default());
+        assert_eq!(cov, cov2);
     }
 
     #[test]

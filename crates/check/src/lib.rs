@@ -16,7 +16,8 @@ pub mod parallel;
 pub mod render;
 
 pub use checker::{
-    check_trace, CheckOptions, CheckedStep, CheckedTrace, Deviation, StepKind, StepVerdict,
+    check_trace, check_trace_with_coverage, CheckOptions, CheckedStep, CheckedTrace, Deviation,
+    StepKind, StepVerdict,
 };
 pub use parallel::{check_traces_parallel, SuiteCheckStats};
 pub use render::render_checked_trace;

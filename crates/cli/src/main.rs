@@ -23,7 +23,19 @@ USAGE:
     sibylfs check --flavor FLAVOR FILE...            check recorded traces against the model
     sibylfs exec  --config NAME SCRIPT...            execute script files and print traces
     sibylfs survey [--full] [--flavor FLAVOR]        run and check every registered configuration
+    sibylfs explore --config NAME [OPTIONS]          coverage-guided exploration of the model
     sibylfs configs                                  list registered configurations
+
+EXPLORE OPTIONS:
+    --backend sim|host       executor (default sim; host = differential mode)
+    --flavor FLAVOR          model flavour to check against (default: linux)
+    --iterations N           stop after N mutated scripts
+    --time-budget SECS       stop after SECS seconds (default 60 if no --iterations)
+    --corpus-dir DIR         persist minimized corpus entries under DIR
+    --seed N                 base seed; every derived seed is recorded (default 42)
+    --workers N              worker threads (default: up to 4)
+    --min-coverage PCT       exit 1 if final branch coverage is below PCT
+    --require-gain           exit 1 unless exploration beat the static quick suite
 
 FLAVOR is one of: posix, linux, mac, freebsd.
 NAME is a simulated configuration (see `sibylfs configs`) or `host/linux`
@@ -42,6 +54,7 @@ fn main() {
         "check" => cmd_check(&args[1..]),
         "exec" => cmd_exec(&args[1..]),
         "survey" => cmd_survey(&args[1..]),
+        "explore" => cmd_explore(&args[1..]),
         "configs" => {
             for c in configs::all_configs() {
                 println!("{:40} {:8} {}", c.name, c.platform.name(), c.description);
@@ -201,6 +214,84 @@ fn cmd_exec(args: &[String]) {
             .unwrap_or_else(|e| exec_error_exit(e));
         print!("{}", render_trace(&trace));
         println!();
+    }
+}
+
+fn cmd_explore(args: &[String]) {
+    use sibylfs_explore::{explore, Backend, ExploreOptions};
+
+    fn num<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+        opt_value(args, flag).map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("flag {flag} requires a number, got {v:?}");
+                std::process::exit(2);
+            })
+        })
+    }
+
+    let mut opts = ExploreOptions::default();
+    if let Some(config) = opt_value(args, "--config") {
+        opts.config = config;
+    }
+    if let Some(flavor) = opt_value(args, "--flavor") {
+        opts.flavor = flavor.parse().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+    }
+    match opt_value(args, "--backend").as_deref() {
+        None | Some("sim") => opts.backend = Backend::Sim,
+        Some("host") => opts.backend = Backend::Host,
+        Some(other) => {
+            eprintln!("unknown backend {other:?} (expected sim or host)");
+            std::process::exit(2);
+        }
+    }
+    opts.iterations = num::<u64>(args, "--iterations");
+    opts.time_budget = num::<u64>(args, "--time-budget").map(std::time::Duration::from_secs);
+    if let Some(seed) = num::<u64>(args, "--seed") {
+        opts.seed = seed;
+    }
+    if let Some(workers) = num::<usize>(args, "--workers") {
+        opts.workers = workers.max(1);
+    }
+    opts.corpus_dir = opt_value(args, "--corpus-dir").map(PathBuf::from);
+    opts.progress = true;
+    // Validate the gate flags up front: a malformed --min-coverage must not
+    // be discovered only after the whole exploration run has been paid for.
+    let min_coverage = num::<f64>(args, "--min-coverage");
+    let require_gain = args.iter().any(|a| a == "--require-gain");
+
+    // The explored configuration is always a *simulated* one (in differential
+    // mode the host runs alongside it); unknown names get the standard
+    // helpful listing.
+    sibylfs_cli::config_or_exit(&opts.config);
+    let outcome = explore(&opts).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    print!("{}", outcome.render_markdown());
+
+    let (base_pct, final_pct) = outcome.coverage_percents();
+    let mut failed = false;
+    if let Some(min) = min_coverage {
+        if final_pct < min {
+            eprintln!(
+                "coverage gate failed: {final_pct:.1}% branch coverage is below the \
+                 checked-in baseline of {min:.1}%"
+            );
+            failed = true;
+        }
+    }
+    if require_gain && outcome.novel_keys.is_empty() {
+        eprintln!(
+            "gain gate failed: exploration found no coverage key beyond the static \
+             quick suite ({base_pct:.1}% → {final_pct:.1}%)"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
     }
 }
 

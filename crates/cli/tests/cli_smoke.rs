@@ -164,6 +164,74 @@ fn run_requires_a_known_config() {
 }
 
 #[test]
+fn explore_smoke_produces_a_report_and_a_replayable_corpus() {
+    let dir = temp_dir("explore");
+    let corpus = dir.join("corpus");
+    let out = run(&[
+        "explore",
+        "--config",
+        "linux/tmpfs",
+        "--iterations",
+        "300",
+        "--seed",
+        "7",
+        "--workers",
+        "2",
+        "--corpus-dir",
+        corpus.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "stderr: {}", stderr(&out));
+    let report = stdout(&out);
+    assert!(report.contains("# Exploration report"), "{report}");
+    assert!(report.contains("Per-syscall outcome envelope"));
+    assert!(report.contains("baseline coverage"));
+    // The corpus directory holds the seeds plus any discoveries, and every
+    // file replays through the binary's own exec pipeline.
+    let scripts: Vec<_> = std::fs::read_dir(&corpus)
+        .expect("corpus dir exists")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().map(|x| x == "script").unwrap_or(false))
+        .collect();
+    assert!(!scripts.is_empty(), "corpus is empty");
+    let first = scripts[0].path();
+    let out = run(&["exec", "--config", "linux/tmpfs", first.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "corpus entry failed to replay: {}", stderr(&out));
+    assert!(stdout(&out).contains("@type trace"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn explore_gates_and_flag_errors() {
+    // Unknown configuration: the standard listing, exit 2.
+    let out = run(&["explore", "--config", "plan9/fossil", "--iterations", "1"]);
+    assert_eq!(code(&out), 2);
+    assert!(stderr(&out).contains("unknown configuration"));
+
+    // Unknown backend.
+    let out = run(&["explore", "--backend", "quantum", "--iterations", "1"]);
+    assert_eq!(code(&out), 2);
+    assert!(stderr(&out).contains("unknown backend"));
+
+    // Non-numeric iteration count.
+    let out = run(&["explore", "--iterations", "many"]);
+    assert_eq!(code(&out), 2);
+    assert!(stderr(&out).contains("requires a number"));
+
+    // An unreachable coverage bar makes the gate fail with exit 1.
+    let out = run(&[
+        "explore",
+        "--config",
+        "linux/tmpfs",
+        "--iterations",
+        "5",
+        "--min-coverage",
+        "101.0",
+    ]);
+    assert_eq!(code(&out), 1, "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("coverage gate failed"));
+}
+
+#[test]
 fn exec_rejects_unparseable_script_files() {
     let dir = temp_dir("exec-bad");
     let bad = dir.join("bad.script");

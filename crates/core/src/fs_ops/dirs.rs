@@ -65,7 +65,26 @@ pub fn spec_rmdir(ctx: &SpecCtx<'_>, path: &str) -> CmdOutcome {
         }
         Some("..") => {
             spec_point("rmdir/path_ends_in_dotdot");
-            return CmdOutcome::error_any([Errno::ENOTEMPTY, Errno::EINVAL, Errno::EBUSY]);
+            // A real kernel resolves the path before rejecting the final
+            // ".."; when resolution fails on the way the resolution error
+            // surfaces instead (found by the exploration engine:
+            // `rmdir "../missing/.."` returns ENOENT on Linux and in the
+            // simulation). The envelope admits both orders of checking.
+            let mut errnos = vec![Errno::ENOTEMPTY, Errno::EINVAL, Errno::EBUSY];
+            match ctx.resolve(path, FollowLast::NoFollow) {
+                ResName::Err(e) => {
+                    spec_point("rmdir/path_ends_in_dotdot_resolution_error");
+                    if !errnos.contains(&e) {
+                        errnos.push(e);
+                    }
+                }
+                ResName::None { .. } => {
+                    spec_point("rmdir/path_ends_in_dotdot_resolution_error");
+                    errnos.push(Errno::ENOENT);
+                }
+                _ => {}
+            }
+            return CmdOutcome::error_any(errnos);
         }
         _ => {}
     }

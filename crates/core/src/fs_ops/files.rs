@@ -8,7 +8,7 @@ use crate::monad::Checks;
 use crate::os::Pending;
 use crate::path::{FollowLast, ResName};
 use crate::perms::Access;
-use crate::types::FileKind;
+use crate::types::{FileKind, MAX_FILE_SIZE};
 
 /// `unlink(path)`: remove a directory entry for a non-directory file.
 pub fn spec_unlink(ctx: &SpecCtx<'_>, path: &str) -> CmdOutcome {
@@ -75,6 +75,16 @@ pub fn spec_truncate(ctx: &SpecCtx<'_>, path: &str, len: i64) -> CmdOutcome {
         }
         ResName::File { fref, trailing_slash, .. } => {
             let mut checks = Checks::ok();
+            if len > MAX_FILE_SIZE {
+                // Past the modelled maximum file size (the real kernel's
+                // `s_maxbytes` analogue): POSIX allows EFBIG or EINVAL. A
+                // parallel check — implementations may report it before or
+                // after permission/trailing-slash errors — and the guard
+                // that keeps a fuzzed `truncate` length from materializing
+                // gigabytes in the eager in-memory heaps.
+                spec_point("truncate/length_beyond_file_size_limit");
+                checks = checks.par(Checks::fail_any([Errno::EFBIG, Errno::EINVAL]));
+            }
             if trailing_slash {
                 spec_point("truncate/trailing_slash_on_file");
                 checks = checks.par(ctx.trailing_slash_file_checks(true));

@@ -141,6 +141,12 @@ pub enum WriteAt {
     Offset(u64),
     /// Write at end of file and advance the offset (`O_APPEND` semantics).
     Append,
+    /// Write at end of file but leave the descriptor offset unchanged: the
+    /// Linux convention for `pwrite` on an `O_APPEND` descriptor, which
+    /// redirects the data to EOF yet — `pwrite` never moves the offset —
+    /// keeps the descriptor where it was (found by the exploration engine:
+    /// a subsequent `read` sees the appended bytes, not EOF).
+    AppendKeepOffset,
     /// Write at the given offset but leave the descriptor offset unchanged
     /// (`pwrite`).
     KeepOffset(u64),

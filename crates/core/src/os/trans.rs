@@ -338,6 +338,10 @@ fn apply_write(st: &mut OsState, pid: Pid, fd: Fd, data: &[u8], at: WriteAt, cou
                 f.offset = end + count as u64;
             }
         }
+        WriteAt::AppendKeepOffset => {
+            let end = st.heap.file_size(file);
+            st.heap.write_bytes(file, end, prefix);
+        }
         WriteAt::KeepOffset(off) => {
             st.heap.write_bytes(file, off, prefix);
         }

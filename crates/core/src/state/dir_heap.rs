@@ -400,6 +400,12 @@ impl DirHeap {
     ///
     /// Returns the number of bytes written (0 if `f` is not a regular file).
     pub fn write_bytes(&mut self, f: FileRef, offset: u64, data: &[u8]) -> usize {
+        if data.is_empty() {
+            // A zero-byte write has no effect — no gap-filling up to the
+            // offset (POSIX: "returns 0 and has no other result"), which
+            // also keeps an extreme offset from forcing a huge allocation.
+            return 0;
+        }
         let now = self.tick();
         match self.file_mut(f) {
             Some(file) => match &mut file.content {

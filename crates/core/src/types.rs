@@ -89,6 +89,17 @@ pub const NAME_MAX: usize = 255;
 pub const PATH_MAX: usize = 4096;
 /// Maximum number of symbolic links followed during resolution before `ELOOP`.
 pub const SYMLOOP_MAX: usize = 40;
+/// The modelled maximum file size: writes and truncations past this offset
+/// fail with `EFBIG` (POSIX's "exceeds the maximum file size" case), exactly
+/// as a real file system fails past its `s_maxbytes`.
+///
+/// The value is deliberately far below any real kernel's limit: both the
+/// model's heap and the simulated file systems store file content eagerly, so
+/// this bound is also what keeps a fuzzed offset (the exploration engine
+/// freely generates `lseek`/`pwrite`/`truncate` at `i64::MAX`) from driving
+/// the checker or the simulation into a multi-gigabyte allocation. Static
+/// suites stay far below it; only generated stress inputs ever reach it.
+pub const MAX_FILE_SIZE: i64 = 1 << 26;
 /// Maximum link count of a file before `EMLINK`.
 pub const LINK_MAX: u32 = 32_000;
 

@@ -1,0 +1,150 @@
+//! Delta-debugging shrinker.
+//!
+//! Any script worth keeping — because it reached a new coverage key, or
+//! because it distinguishes two backends — is minimized before it is
+//! persisted, so the corpus stays a set of *small* explanations rather than
+//! an archive of 40-call accidents. The algorithm is classic ddmin over the
+//! script's step list: remove exponentially shrinking chunks while the
+//! caller-supplied predicate still holds, then a greedy single-step pass to a
+//! fixpoint. The result is **1-minimal**: removing any single remaining step
+//! makes the predicate fail (the property the shrinker tests assert).
+//!
+//! The predicate re-executes and re-checks candidates, so it is the only
+//! judge of validity: a candidate that breaks a process lifecycle or loses
+//! the target behaviour simply fails the predicate and the removal is
+//! rejected. The shrinker never needs to understand script semantics.
+
+use sibylfs_script::{Script, ScriptStep};
+
+/// Shrink `script` to a locally minimal step sequence for which `keep` still
+/// returns `true`.
+///
+/// `keep(script)` must hold on entry; if it does not, the script is returned
+/// unchanged. The number of predicate evaluations is O(n log n) for the chunk
+/// phase plus O(n²) worst case for the 1-minimality fixpoint — fine for the
+/// ≤ ~40-step scripts the explorer produces.
+pub fn shrink<F>(script: &Script, mut keep: F) -> Script
+where
+    F: FnMut(&Script) -> bool,
+{
+    if !keep(script) {
+        return script.clone();
+    }
+    let mut current = script.clone();
+
+    // Phase 1: ddmin-style chunk removal, halving the chunk size.
+    let mut chunk = (current.steps.len() / 2).max(1);
+    while chunk >= 1 {
+        let mut i = 0;
+        while i < current.steps.len() {
+            let candidate = without_range(&current, i, chunk);
+            if !candidate.steps.is_empty() && keep(&candidate) {
+                current = candidate;
+                // Re-test the same index: the next chunk slid into place.
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+
+    // Phase 2: single-step removals to a fixpoint, establishing 1-minimality.
+    loop {
+        let mut removed_any = false;
+        let mut i = 0;
+        while i < current.steps.len() {
+            if current.steps.len() == 1 {
+                break;
+            }
+            let candidate = without_range(&current, i, 1);
+            if keep(&candidate) {
+                current = candidate;
+                removed_any = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !removed_any {
+            break;
+        }
+    }
+    current
+}
+
+/// Whether `script` is 1-minimal with respect to `keep`: removing any single
+/// step makes the predicate fail. Exposed for the shrinker's own test suite.
+pub fn is_one_minimal<F>(script: &Script, mut keep: F) -> bool
+where
+    F: FnMut(&Script) -> bool,
+{
+    (0..script.steps.len()).all(|i| {
+        let candidate = without_range(script, i, 1);
+        candidate.steps.is_empty() || !keep(&candidate)
+    })
+}
+
+fn without_range(script: &Script, start: usize, len: usize) -> Script {
+    let steps: Vec<ScriptStep> = script
+        .steps
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i < start || *i >= start + len)
+        .map(|(_, s)| s.clone())
+        .collect();
+    Script { name: script.name.clone(), group: script.group.clone(), steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sibylfs_core::commands::OsCommand;
+    use sibylfs_core::flags::FileMode;
+
+    fn script_of(paths: &[&str]) -> Script {
+        let mut sc = Script::new("shrink___t", "explore");
+        for p in paths {
+            sc.call(OsCommand::Mkdir((*p).to_string(), FileMode::new(0o777)));
+        }
+        sc
+    }
+
+    #[test]
+    fn shrinks_to_the_single_relevant_step() {
+        let sc = script_of(&["a", "b", "target", "c", "d", "e", "f", "g"]);
+        let keep = |s: &Script| {
+            s.steps.iter().any(|st| {
+                matches!(st, ScriptStep::Call { cmd: OsCommand::Mkdir(p, _), .. } if p == "target")
+            })
+        };
+        let small = shrink(&sc, keep);
+        assert_eq!(small.steps.len(), 1);
+        assert!(is_one_minimal(&small, keep));
+    }
+
+    #[test]
+    fn preserves_multi_step_dependencies() {
+        // The predicate needs both "x" and "y": neither alone suffices, so
+        // the minimum has exactly two steps.
+        let sc = script_of(&["p", "x", "q", "r", "y", "s"]);
+        let keep = |s: &Script| {
+            let has = |needle: &str| {
+                s.steps.iter().any(|st| {
+                    matches!(st, ScriptStep::Call { cmd: OsCommand::Mkdir(p, _), .. } if p == needle)
+                })
+            };
+            has("x") && has("y")
+        };
+        let small = shrink(&sc, keep);
+        assert_eq!(small.steps.len(), 2);
+        assert!(is_one_minimal(&small, keep));
+    }
+
+    #[test]
+    fn failing_precondition_returns_the_input_unchanged() {
+        let sc = script_of(&["a", "b"]);
+        assert_eq!(shrink(&sc, |_| false), sc);
+    }
+}

@@ -1,0 +1,110 @@
+//! Shrinker guarantees, tested against the *real* execute-and-check pipeline
+//! (not toy predicates): minimality — removing any remaining call loses the
+//! target coverage point — plus a property test that shrinking always
+//! preserves the triggering `(syscall, errno)` pair it was asked to keep.
+
+use proptest::prelude::*;
+
+use sibylfs_check::{check_trace_with_coverage, CheckOptions};
+use sibylfs_core::commands::OsCommand;
+use sibylfs_core::coverage::{CoverageKey, CoverageMap};
+use sibylfs_core::flags::{FileMode, OpenFlags};
+use sibylfs_core::flavor::{Flavor, SpecConfig};
+use sibylfs_exec::{execute_script, ExecOptions};
+use sibylfs_explore::shrink::{is_one_minimal, shrink};
+use sibylfs_fsimpl::{configs, BehaviorProfile};
+use sibylfs_script::Script;
+use sibylfs_testgen::random::{random_script_with_seed, split_seed};
+
+fn profile() -> BehaviorProfile {
+    configs::by_name("linux/tmpfs").expect("registered configuration")
+}
+
+fn coverage_of(profile: &BehaviorProfile, script: &Script) -> CoverageMap {
+    let trace = execute_script(profile, script, ExecOptions::default());
+    let cfg = SpecConfig::standard(Flavor::Linux);
+    check_trace_with_coverage(&cfg, &trace, CheckOptions::default()).1
+}
+
+/// The paper-style scenario: a long script in which only two calls matter
+/// (create a directory, then collide with it). The shrinker must find exactly
+/// that two-call core, and the core must be 1-minimal: removing any remaining
+/// call loses the target coverage point.
+#[test]
+fn shrinking_to_a_transition_keeps_exactly_the_relevant_calls() {
+    let profile = profile();
+    let mut sc = Script::new("shrink___eexist", "explore");
+    sc.call(OsCommand::Stat("/".into()))
+        .call(OsCommand::Mkdir("noise1".into(), FileMode::new(0o777)))
+        .call(OsCommand::Mkdir("d".into(), FileMode::new(0o777)))
+        .call(OsCommand::Symlink("noise2".into(), "n2".into()))
+        .call(OsCommand::Open("noise3".into(), OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Some(FileMode::new(0o644))))
+        .call(OsCommand::Mkdir("d".into(), FileMode::new(0o777)))
+        .call(OsCommand::Unlink("noise3".into()));
+    let target =
+        CoverageKey::Transition { syscall: "mkdir".to_string(), outcome: "EEXIST".to_string() };
+    assert!(coverage_of(&profile, &sc).contains(&target), "precondition");
+
+    let keep = |cand: &Script| coverage_of(&profile, cand).contains(&target);
+    let small = shrink(&sc, keep);
+    // mkdir "d" twice is the entire explanation.
+    assert_eq!(small.call_count(), 2, "{small:?}");
+    assert!(keep(&small));
+    assert!(is_one_minimal(&small, keep));
+    // Spelled out: removing any single remaining call loses the point.
+    for i in 0..small.steps.len() {
+        let mut cand = small.clone();
+        cand.steps.remove(i);
+        assert!(!keep(&cand), "removing step {i} kept the target — not minimal");
+    }
+}
+
+/// Shrinking towards a specification *branch* key behaves the same way.
+#[test]
+fn shrinking_to_a_branch_point_is_minimal() {
+    let profile = profile();
+    let mut sc = Script::new("shrink___branch", "explore");
+    sc.call(OsCommand::Mkdir("a".into(), FileMode::new(0o777)))
+        .call(OsCommand::Mkdir("b".into(), FileMode::new(0o777)))
+        .call(OsCommand::Symlink("a".into(), "s".into()))
+        .call(OsCommand::Stat("x".into()))
+        .call(OsCommand::Rmdir("s/".into()));
+    let target =
+        CoverageKey::Branch("common/symlink_with_trailing_slash_may_enotdir".to_string());
+    let keep = |cand: &Script| coverage_of(&profile, cand).contains(&target);
+    assert!(keep(&sc), "precondition");
+    let small = shrink(&sc, keep);
+    // The minimal witness needs the symlink-to-dir setup and the rmdir:
+    // mkdir a; symlink a s; rmdir s/.
+    assert_eq!(small.call_count(), 3, "{small:?}");
+    assert!(is_one_minimal(&small, keep));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For any random script that produces at least one error return,
+    /// shrinking while preserving the first (syscall, errno) pair keeps
+    /// exactly that behaviour and ends 1-minimal.
+    #[test]
+    fn shrinking_preserves_the_triggering_syscall_errno_pair(seed in any::<u64>()) {
+        let profile = profile();
+        let script = random_script_with_seed(
+            format!("shrink___prop_{seed:016x}"),
+            split_seed(seed, 1),
+            12,
+        );
+        let cov = coverage_of(&profile, &script);
+        // Pick the first observed error transition as the target, if any.
+        let target = cov.iter().find(|k| {
+            matches!(k, CoverageKey::Transition { outcome, .. } if !outcome.starts_with("ok/"))
+        }).cloned();
+        if let Some(target) = target {
+            let keep = |cand: &Script| coverage_of(&profile, cand).contains(&target);
+            let small = shrink(&script, keep);
+            prop_assert!(keep(&small), "shrinking lost {target:?} (seed {seed})");
+            prop_assert!(small.steps.len() <= script.steps.len());
+            prop_assert!(is_one_minimal(&small, keep), "not 1-minimal for {target:?} (seed {seed})");
+        }
+    }
+}

@@ -369,6 +369,13 @@ impl MemFs {
     /// Write `bytes` to a file at `offset`, updating the storage accounting.
     /// Returns the number of bytes written.
     pub fn write(&mut self, ino: Ino, offset: u64, bytes: &[u8]) -> usize {
+        if bytes.is_empty() {
+            // A zero-byte write has no effect — in particular it does not
+            // zero-fill up to the offset (POSIX: "returns 0 and has no
+            // other result"), which also keeps an extreme offset from
+            // forcing a huge allocation.
+            return 0;
+        }
         let mut grown = 0u64;
         let written = match self.node_mut(ino).map(|n| &mut n.kind) {
             Some(NodeKind::File { data }) => {

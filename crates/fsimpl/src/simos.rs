@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 use sibylfs_core::commands::{ErrorOrValue, OsCommand, RetValue, Stat};
 use sibylfs_core::errno::Errno;
 use sibylfs_core::flags::{FileMode, OpenFlags, SeekWhence};
-use sibylfs_core::types::{DirHandleId, Fd, FileKind, Gid, Pid, Uid};
+use sibylfs_core::types::{DirHandleId, Fd, FileKind, Gid, Pid, Uid, MAX_FILE_SIZE};
 
 use crate::behavior::{BehaviorProfile, ReaddirOrder};
 use crate::memfs::{Ino, MemFs, NodeKind, NodeMeta, SimRes};
@@ -407,6 +407,12 @@ impl SimOs {
                 if !self.allowed(&proc, &meta, Want::Write) {
                     return ErrorOrValue::Error(Errno::EACCES);
                 }
+                if len > MAX_FILE_SIZE {
+                    // Past the maximum file size (mirrors the model's limit,
+                    // like a real fs's s_maxbytes): EFBIG, and the in-memory
+                    // store never materializes a fuzzed multi-gigabyte file.
+                    return ErrorOrValue::Error(Errno::EFBIG);
+                }
                 let cur = self.fs.file_size(ino);
                 let grow = (len as u64).saturating_sub(cur);
                 if self.capacity_exceeded(grow) {
@@ -603,6 +609,14 @@ impl SimOs {
                         if self.fs.is_same_or_ancestor(sd, dp) {
                             return ErrorOrValue::Error(Errno::EINVAL);
                         }
+                        // Creating an entry in a deleted directory (e.g. a
+                        // removed cwd) fails — the Fig. 8 scenario; found
+                        // missing here by the exploration engine.
+                        if !self.fs.is_connected(dp)
+                            && !self.profile.create_in_deleted_cwd_succeeds
+                        {
+                            return ErrorOrValue::Error(Errno::ENOENT);
+                        }
                         if let Err(e) = self
                             .check_dir_writable(&proc, sp)
                             .and_then(|_| self.check_dir_writable(&proc, dp))
@@ -648,6 +662,12 @@ impl SimOs {
                     SimRes::Missing { parent: dp, name: dname, trailing_slash: dts } => {
                         if dts {
                             return ErrorOrValue::Error(Errno::ENOTDIR);
+                        }
+                        // As above: no new entries in a deleted directory.
+                        if !self.fs.is_connected(dp)
+                            && !self.profile.create_in_deleted_cwd_succeeds
+                        {
+                            return ErrorOrValue::Error(Errno::ENOENT);
                         }
                         if let Err(e) = self
                             .check_dir_writable(&proc, sp)
@@ -882,6 +902,13 @@ impl SimOs {
                 }
             }
         };
+        if !data.is_empty() && pos.saturating_add(data.len() as u64) > MAX_FILE_SIZE as u64 {
+            // The write would grow the file past the maximum file size
+            // (a descriptor seeked to an extreme offset): EFBIG, mirroring
+            // the model's envelope. Zero-byte writes return 0 regardless of
+            // the offset, as on Linux.
+            return ErrorOrValue::Error(Errno::EFBIG);
+        }
         let cur = self.fs.file_size(entry.ino);
         let grow = (pos + data.len() as u64).saturating_sub(cur);
         if self.capacity_exceeded(grow) {

@@ -14,7 +14,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use serde::{Deserialize, Serialize};
 
 use sibylfs_check::CheckedTrace;
-use sibylfs_core::coverage::CoverageSummary;
+use sibylfs_core::coverage::{CoverageMap, CoverageSummary};
 
 /// A single aggregated deviation signature: the libc function, what was
 /// observed, and what the specification allowed.
@@ -225,6 +225,47 @@ pub fn render_merged_markdown(m: &MergedReport) -> String {
     out
 }
 
+/// Render a full [`CoverageMap`] as markdown: the headline branch-coverage
+/// number, the per-syscall outcome-envelope table (which errnos and success
+/// shapes each libc function has been observed to produce), and the list of
+/// specification points never exercised — the exploration engine's final
+/// report, also pinned by a golden snapshot.
+pub fn render_coverage_map_markdown(map: &CoverageMap) -> String {
+    let mut out = String::new();
+    let branches = map.branch_summary();
+    out.push_str(&format!(
+        "## Model coverage map\n\n\
+         * specification branches: {} of {} exercised ({:.1}%)\n\
+         * observed (syscall, outcome) transitions: {}\n\n",
+        branches.hit,
+        branches.total,
+        branches.percent(),
+        map.transition_count()
+    ));
+    let envelope = map.per_syscall_outcomes();
+    if !envelope.is_empty() {
+        out.push_str("### Per-syscall outcome envelope\n\n");
+        out.push_str("| syscall | outcomes observed |\n|---|---|\n");
+        for (syscall, outcomes) in &envelope {
+            let joined: Vec<&str> = outcomes.iter().map(String::as_str).collect();
+            out.push_str(&format!("| {syscall} | {} |\n", joined.join(", ")));
+        }
+        out.push('\n');
+    }
+    if !branches.missed.is_empty() {
+        out.push_str("### Uncovered specification points\n\n");
+        const MAX_LISTED: usize = 60;
+        for m in branches.missed.iter().take(MAX_LISTED) {
+            out.push_str(&format!("* `{m}`\n"));
+        }
+        if branches.missed.len() > MAX_LISTED {
+            out.push_str(&format!("* … and {} more\n", branches.missed.len() - MAX_LISTED));
+        }
+        out.push('\n');
+    }
+    out
+}
+
 /// Render a coverage summary (§7.2) as markdown.
 pub fn render_coverage_markdown(c: &CoverageSummary) -> String {
     let mut out = String::new();
@@ -337,6 +378,24 @@ mod tests {
         let md = render_merged_markdown(&merged);
         assert!(md.contains("| linux/ext4 | sim |"), "{md}");
         assert!(md.contains("| host/linux | host |"), "{md}");
+    }
+
+    #[test]
+    fn coverage_map_rendering_has_envelope_table_and_uncovered_list() {
+        use sibylfs_core::coverage::CoverageKey;
+        let mut m = CoverageMap::new();
+        m.insert(CoverageKey::Branch("open/existing_file_success".into()));
+        m.insert(CoverageKey::Transition { syscall: "open".into(), outcome: "EEXIST".into() });
+        m.insert(CoverageKey::Transition { syscall: "open".into(), outcome: "ok/fd".into() });
+        m.insert(CoverageKey::Transition { syscall: "rmdir".into(), outcome: "ENOTEMPTY".into() });
+        let md = render_coverage_map_markdown(&m);
+        assert!(md.contains("## Model coverage map"));
+        assert!(md.contains("| open | EEXIST, ok/fd |"), "{md}");
+        assert!(md.contains("| rmdir | ENOTEMPTY |"));
+        assert!(md.contains("Uncovered specification points"));
+        // One real branch is covered, so it must not be in the uncovered list.
+        assert!(!md.contains("* `open/existing_file_success`"));
+        assert!(md.contains("transitions: 3"));
     }
 
     #[test]

@@ -33,6 +33,50 @@ impl Default for RandomOptions {
     }
 }
 
+/// Derive an independent child seed from a base seed and an index
+/// (SplitMix64 over the pair), so that every generated artefact — each random
+/// script, each exploration worker, each mutation — owns a seed of its own
+/// that is a pure function of the one user-supplied seed. Replaying any single
+/// artefact never requires replaying the whole run.
+pub fn split_seed(seed: u64, index: u64) -> u64 {
+    // SplitMix64 finalizer over the combined state; the odd multiplier mixes
+    // the index in so that (seed, 0), (seed, 1), … are decorrelated.
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x243F_6A88_85A3_08D3);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The name given to the random script at `index`, with its own derived seed
+/// embedded (`random___seq_00007_sDEADBEEF…`). Because the name is printed in
+/// the `# Test` header of every rendered script, every generated-corpus file
+/// carries the seed that regenerates it bit-for-bit (see
+/// [`script_seed_from_name`] and [`random_script_with_seed`]).
+pub fn random_script_name(base_seed: u64, index: usize) -> String {
+    format!("random___seq_{index:05}_s{:016x}", split_seed(base_seed, index as u64))
+}
+
+/// Recover the embedded per-script seed from a name produced by
+/// [`random_script_name`].
+pub fn script_seed_from_name(name: &str) -> Option<u64> {
+    let hex = name.rsplit("_s").next()?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// Generate the single random script owned by `seed`: the replay entry point
+/// for a seed recovered from a corpus header.
+pub fn random_script_with_seed(name: impl Into<String>, seed: u64, calls: usize) -> Script {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = Script::new(name, "random");
+    for _ in 0..calls {
+        s.call(random_command(&mut rng));
+    }
+    s
+}
+
 const NAMES: &[&str] = &["a", "b", "c", "d", "e", "dir1", "dir2", "s1", "s2", "deep"];
 
 fn random_path(rng: &mut StdRng) -> String {
@@ -51,7 +95,10 @@ fn random_path(rng: &mut StdRng) -> String {
     p
 }
 
-fn random_command(rng: &mut StdRng) -> OsCommand {
+/// One random libc call over the small colliding name universe. Public so the
+/// exploration engine's mutator can insert fresh calls from the same
+/// distribution.
+pub fn random_command(rng: &mut StdRng) -> OsCommand {
     let fd = Fd(rng.gen_range(3..6));
     let dh = DirHandleId(rng.gen_range(1..3));
     match rng.gen_range(0..18) {
@@ -100,15 +147,18 @@ fn random_command(rng: &mut StdRng) -> OsCommand {
 }
 
 /// Generate seeded random call-sequence scripts.
+///
+/// All randomness derives from the single `opts.seed` through [`split_seed`]:
+/// script `i` is generated by its own RNG seeded with `split_seed(seed, i)`,
+/// and that per-script seed is embedded in the script name (and hence in the
+/// `# Test` header of every corpus file), so any one script can be replayed
+/// bit-for-bit without regenerating the rest of the corpus.
 pub fn random_scripts(opts: RandomOptions) -> Vec<Script> {
-    let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut out = Vec::with_capacity(opts.scripts);
     for i in 0..opts.scripts {
-        let mut s = Script::new(format!("random___seq_{i:05}"), "random");
-        for _ in 0..opts.calls_per_script {
-            s.call(random_command(&mut rng));
-        }
-        out.push(s);
+        let name = random_script_name(opts.seed, i);
+        let seed = split_seed(opts.seed, i as u64);
+        out.push(random_script_with_seed(name, seed, opts.calls_per_script));
     }
     out
 }
@@ -126,6 +176,36 @@ mod tests {
         assert_ne!(a, c);
         assert_eq!(a.len(), 5);
         assert!(a.iter().all(|s| s.call_count() == 10));
+    }
+
+    #[test]
+    fn every_script_replays_from_the_seed_in_its_own_header() {
+        let opts = RandomOptions { seed: 0xC0FF_EE00, scripts: 8, calls_per_script: 12 };
+        for script in random_scripts(opts) {
+            // The rendered corpus file's `# Test` header carries the name…
+            let text = sibylfs_script::render_script(&script);
+            assert!(text.contains(&format!("# Test {}", script.name)), "{text}");
+            // …and the name carries the per-script seed, from which the
+            // script regenerates bit-for-bit in isolation.
+            let seed = script_seed_from_name(&script.name)
+                .unwrap_or_else(|| panic!("no seed in name {:?}", script.name));
+            let replayed =
+                random_script_with_seed(script.name.clone(), seed, opts.calls_per_script);
+            assert_eq!(replayed, script);
+        }
+    }
+
+    #[test]
+    fn split_seed_is_deterministic_and_decorrelated() {
+        assert_eq!(split_seed(42, 7), split_seed(42, 7));
+        // Neighbouring indices and neighbouring seeds give unrelated streams.
+        let distinct: std::collections::BTreeSet<u64> = (0..64)
+            .map(|i| split_seed(42, i))
+            .chain((100..164).map(|s| split_seed(s, 0)))
+            .collect();
+        assert_eq!(distinct.len(), 128);
+        assert!(script_seed_from_name("random___seq_00001_sdeadbeefdeadbeef").is_some());
+        assert!(script_seed_from_name("rename___rename_emptydir___nonemptydir").is_none());
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //! * [`fsimpl`] — simulated file-system configurations under test;
 //! * [`exec`] — the test executor;
 //! * [`testgen`] — the combinatorial test-suite generator;
-//! * [`report`] — result aggregation and reporting.
+//! * [`report`] — result aggregation and reporting;
+//! * [`explore`] — the coverage-guided exploration engine.
 //!
 //! ## Thirty-second tour
 //!
@@ -45,6 +46,7 @@
 pub use sibylfs_check as check;
 pub use sibylfs_core as model;
 pub use sibylfs_exec as exec;
+pub use sibylfs_explore as explore;
 pub use sibylfs_fsimpl as fsimpl;
 pub use sibylfs_report as report;
 pub use sibylfs_script as script;

@@ -1,0 +1,111 @@
+//! Golden snapshots for the serialized `CoverageMap` text format and the
+//! markdown coverage table (`render_coverage_map_markdown`), following the
+//! same regen convention as the golden-trace corpus:
+//!
+//! ```text
+//! SIBYLFS_REGEN_GOLDEN=1 cargo test --test golden_coverage
+//! ```
+//!
+//! The fixture coverage map is produced by a fixed, fully deterministic
+//! pipeline — the model-gap regression fixtures plus the §7.3 defect-scenario
+//! scripts, executed on `linux/tmpfs` and checked against the Linux flavour —
+//! so any change to the model's spec points, the coverage-key derivation, the
+//! serialization format, or the markdown renderer shows up as a reviewable
+//! text diff.
+
+use std::path::PathBuf;
+
+use sibylfs::check::{check_trace_with_coverage, CheckOptions};
+use sibylfs::exec::{execute_script, ExecOptions};
+use sibylfs::fsimpl::configs;
+use sibylfs::model::coverage::CoverageMap;
+use sibylfs::model::flavor::{Flavor, SpecConfig};
+use sibylfs::report::render_coverage_map_markdown;
+use sibylfs::testgen::sequences;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden_coverage")
+}
+
+fn fixture_coverage() -> CoverageMap {
+    let profile = configs::by_name("linux/tmpfs").expect("registered configuration");
+    let cfg = SpecConfig::standard(Flavor::Linux);
+    let scripts: Vec<_> = sequences::model_gap_scripts()
+        .into_iter()
+        .map(|(sc, _)| sc)
+        .chain(sequences::defect_scenario_scripts())
+        .collect();
+    let mut map = CoverageMap::new();
+    for script in scripts {
+        let trace = execute_script(&profile, &script, ExecOptions::default());
+        let (_, cov) = check_trace_with_coverage(&cfg, &trace, CheckOptions::default());
+        map.merge(&cov);
+    }
+    map
+}
+
+fn check_snapshot(name: &str, current: &str, failures: &mut Vec<String>, regen: bool) {
+    let path = golden_dir().join(name);
+    if regen {
+        std::fs::create_dir_all(golden_dir()).expect("create tests/golden_coverage");
+        std::fs::write(&path, current).expect("write golden snapshot");
+        return;
+    }
+    match std::fs::read_to_string(&path) {
+        Err(e) => failures.push(format!("{}: unreadable ({e})", path.display())),
+        Ok(expected) if expected != current => {
+            let diff_line = expected
+                .lines()
+                .zip(current.lines())
+                .position(|(a, b)| a != b)
+                .map(|i| i + 1)
+                .unwrap_or_else(|| expected.lines().count().min(current.lines().count()) + 1);
+            failures.push(format!(
+                "{}: differs from committed snapshot (first difference at line {diff_line}); \
+                 rerun with SIBYLFS_REGEN_GOLDEN=1 and review the diff",
+                path.display()
+            ));
+        }
+        Ok(_) => {}
+    }
+}
+
+#[test]
+fn coverage_map_serialization_and_markdown_match_the_golden_snapshots() {
+    let regen = std::env::var("SIBYLFS_REGEN_GOLDEN").map(|v| v == "1").unwrap_or(false);
+    let map = fixture_coverage();
+    let mut failures = Vec::new();
+    check_snapshot("coverage_map.txt", &map.serialize(), &mut failures, regen);
+    check_snapshot(
+        "coverage_table.md",
+        &render_coverage_map_markdown(&map),
+        &mut failures,
+        regen,
+    );
+    assert!(
+        failures.is_empty(),
+        "{} golden snapshot(s) out of date:\n  {}",
+        failures.len(),
+        failures.join("\n  ")
+    );
+}
+
+/// The serialized snapshot parses back to the identical map — the snapshot
+/// file is itself a round-trip fixture for `CoverageMap::parse`.
+#[test]
+fn committed_snapshot_round_trips_through_parse() {
+    if std::env::var("SIBYLFS_REGEN_GOLDEN").map(|v| v == "1").unwrap_or(false) {
+        // The sibling test is rewriting the snapshots in this very run;
+        // checking the half-written state would only race it.
+        return;
+    }
+    let path = golden_dir().join("coverage_map.txt");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        panic!(
+            "tests/golden_coverage missing; run SIBYLFS_REGEN_GOLDEN=1 cargo test --test golden_coverage"
+        );
+    };
+    let parsed = CoverageMap::parse(&text).expect("snapshot parses");
+    assert_eq!(parsed.serialize(), text);
+    assert_eq!(parsed, fixture_coverage());
+}

@@ -1,0 +1,123 @@
+//! Named regression fixtures for the model/simulation gaps exposed by
+//! differential testing: the six findings of the real-host harness PR plus
+//! the `rmdir "../missing/.."` gap found by the exploration engine in this
+//! one. Each fixture pins two things:
+//!
+//! 1. the behaviour still checks clean (the model keeps the widened
+//!    envelope that fixed the gap), and
+//! 2. the fixture still *exercises the exact specification branch* the fix
+//!    introduced — so a refactor cannot silently stop testing the clause
+//!    while the trace happens to stay accepted.
+//!
+//! The exploration engine seeds its corpus from these scripts (its
+//! "known-hard" starting population), so this file is also the contract that
+//! those seeds stay meaningful.
+
+use sibylfs::check::{check_trace_with_coverage, CheckOptions};
+use sibylfs::exec::{execute_script, ExecOptions};
+use sibylfs::fsimpl::configs;
+use sibylfs::model::coverage::CoverageKey;
+use sibylfs::model::flavor::{Flavor, SpecConfig};
+use sibylfs::testgen::sequences::model_gap_scripts;
+use sibylfs::testgen::{generate_suite, SuiteOptions};
+
+#[test]
+fn every_gap_fixture_checks_clean_and_still_hits_its_target_branch() {
+    let profile = configs::by_name("linux/tmpfs").expect("registered configuration");
+    let cfg = SpecConfig::standard(Flavor::Linux);
+    let gaps = model_gap_scripts();
+    assert!(gaps.len() >= 7, "expected all promoted gap fixtures, got {}", gaps.len());
+    for (script, target) in gaps {
+        let trace = execute_script(&profile, &script, ExecOptions::default());
+        let (checked, cov) = check_trace_with_coverage(&cfg, &trace, CheckOptions::default());
+        assert!(
+            checked.accepted,
+            "gap regression {}: the simulation left the model envelope again: {:?}",
+            script.name, checked.deviations
+        );
+        assert!(
+            cov.contains(&CoverageKey::Branch(target.to_string())),
+            "gap regression {}: no longer exercises its target branch {:?} (hit: {:?})",
+            script.name,
+            target,
+            cov.branch_points()
+        );
+    }
+}
+
+/// The `write` spelling of the maximum-file-size gap, pinned sim-only: a
+/// write after lseek past the modelled cap once drove the eager in-memory
+/// stores into an i64::MAX-byte allocation (found by the exploration engine
+/// as an OOM abort, not a verdict). It cannot ride in the generated suite —
+/// a real kernel's limit is far above the modelled one, so the host
+/// differential harness would see the host succeed where the model answers
+/// EFBIG.
+#[test]
+fn write_beyond_the_modelled_file_size_limit_is_efbig_not_oom() {
+    use sibylfs::model::commands::OsCommand;
+    use sibylfs::model::flags::{FileMode, OpenFlags, SeekWhence};
+    use sibylfs::model::types::Fd;
+    use sibylfs::script::Script;
+
+    let profile = configs::by_name("linux/tmpfs").expect("registered configuration");
+    let cfg = SpecConfig::standard(Flavor::Linux);
+    let mut script = Script::new("write___gap_write_beyond_file_size_limit", "write");
+    script
+        .call(OsCommand::Open(
+            "f".into(),
+            OpenFlags::O_CREAT | OpenFlags::O_RDWR,
+            Some(FileMode::new(0o644)),
+        ))
+        .call(OsCommand::Lseek(Fd(3), i64::MAX, SeekWhence::Set))
+        .call(OsCommand::Write(Fd(3), b"boom".to_vec()));
+    let trace = execute_script(&profile, &script, ExecOptions::default());
+    let (checked, cov) = check_trace_with_coverage(&cfg, &trace, CheckOptions::default());
+    assert!(checked.accepted, "{:?}", checked.deviations);
+    assert!(cov.contains(&CoverageKey::Branch("write/beyond_file_size_limit_efbig".into())));
+    assert!(
+        trace.steps.iter().any(|s| s.label.to_string().contains("EFBIG")),
+        "the simulation should answer EFBIG, not allocate: {trace:?}"
+    );
+
+    // The zero-byte spelling: a write of nothing at the same extreme offset
+    // returns 0 and has no other effect (POSIX) — it must neither EFBIG nor
+    // zero-fill the gap (which once OOM'd both in-memory stores).
+    let mut script = Script::new("write___gap_zero_write_at_extreme_offset", "write");
+    script
+        .call(OsCommand::Open(
+            "f".into(),
+            OpenFlags::O_CREAT | OpenFlags::O_RDWR,
+            Some(FileMode::new(0o644)),
+        ))
+        .call(OsCommand::Lseek(Fd(3), i64::MAX, SeekWhence::Set))
+        .call(OsCommand::Write(Fd(3), Vec::new()))
+        .call(OsCommand::Stat("f".into()));
+    let trace = execute_script(&profile, &script, ExecOptions::default());
+    let (checked, _) = check_trace_with_coverage(&cfg, &trace, CheckOptions::default());
+    assert!(checked.accepted, "{:?}", checked.deviations);
+    assert!(
+        trace.steps.iter().any(|s| s.label.to_string().contains("RV_num(0)")),
+        "zero-byte write should return 0: {trace:?}"
+    );
+}
+
+#[test]
+fn gap_fixtures_ride_in_every_generated_suite() {
+    let quick = generate_suite(SuiteOptions::quick());
+    for (script, _) in model_gap_scripts() {
+        assert!(
+            quick.iter().any(|s| s.name == script.name),
+            "{} missing from the quick suite",
+            script.name
+        );
+    }
+}
+
+#[test]
+fn gap_fixtures_round_trip_through_the_text_format() {
+    for (script, _) in model_gap_scripts() {
+        let text = sibylfs::script::render_script(&script);
+        let parsed = sibylfs::script::parse_script(&text).unwrap();
+        assert_eq!(parsed, script, "{}", script.name);
+    }
+}
