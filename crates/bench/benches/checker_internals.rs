@@ -19,9 +19,9 @@ fn populated_state(cfg: &SpecConfig) -> OsState {
     let mut st = OsState::initial_with_process(cfg, INITIAL_PID);
     let mut labels = Vec::new();
     for d in 0..10 {
-        labels.push(OsCommand::Mkdir(format!("/d{d}"), FileMode::new(0o755)));
+        labels.push(OsCommand::Mkdir(format!("/d{d}").into(), FileMode::new(0o755)));
         for s in 0..5 {
-            labels.push(OsCommand::Mkdir(format!("/d{d}/s{s}"), FileMode::new(0o755)));
+            labels.push(OsCommand::Mkdir(format!("/d{d}/s{s}").into(), FileMode::new(0o755)));
         }
     }
     labels.push(OsCommand::Symlink("/d0/s0".into(), "/link".into()));

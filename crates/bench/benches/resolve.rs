@@ -1,0 +1,88 @@
+//! Benchmark: path resolution over interned symbols.
+//!
+//! The intern-keyed state core resolves pre-parsed paths without touching
+//! string data; this bench separates the three costs a path pays over its
+//! lifetime: the one-time parse+intern at the input boundary, the (hot,
+//! repeated) symbol-walk resolution, and the combined parse+resolve a
+//! string-keyed implementation paid on *every* resolution.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use sibylfs_core::commands::{OsCommand, OsLabel};
+use sibylfs_core::flags::FileMode;
+use sibylfs_core::flavor::{Flavor, SpecConfig};
+use sibylfs_core::os::trans::{default_completion, expand_calls, os_trans};
+use sibylfs_core::os::OsState;
+use sibylfs_core::path::{resolve, resolve_path, FollowLast, ParsedPath, ResolveCtx};
+use sibylfs_core::types::INITIAL_PID;
+
+/// A model state with a moderately deep directory tree and symlinks, built
+/// through the transition engine itself.
+fn populated_state(cfg: &SpecConfig) -> OsState {
+    let mut st = OsState::initial_with_process(cfg, INITIAL_PID);
+    let mut cmds = Vec::new();
+    for d in 0..10 {
+        cmds.push(OsCommand::Mkdir(format!("/d{d}").into(), FileMode::new(0o755)));
+        for s in 0..5 {
+            cmds.push(OsCommand::Mkdir(format!("/d{d}/s{s}").into(), FileMode::new(0o755)));
+        }
+    }
+    cmds.push(OsCommand::Symlink("/d0/s0".into(), "/link".into()));
+    cmds.push(OsCommand::Symlink("d1".into(), "/rel".into()));
+    for cmd in cmds {
+        let st1 = os_trans(cfg, &st, &OsLabel::Call(INITIAL_PID, cmd)).remove(0);
+        let outs = expand_calls(cfg, &st1);
+        let pending = outs.into_iter().last().expect("at least one outcome");
+        let (_, next) = default_completion(&pending, INITIAL_PID).expect("completion");
+        st = next;
+    }
+    st
+}
+
+fn resolve_benches(c: &mut Criterion) {
+    let cfg = SpecConfig::standard(Flavor::Linux);
+    let st = populated_state(&cfg);
+    let ctx = ResolveCtx::new(&st.heap, st.heap.root(), None);
+
+    let paths = [
+        "/d9/s4/../../d0/s0/missing",
+        "/link/f1",
+        "/rel/s2",
+        "/d3/s3",
+        "missing",
+    ];
+    let parsed: Vec<ParsedPath> = paths.iter().map(|p| ParsedPath::parse(p)).collect();
+
+    // The hot path: resolution of an already-interned path. This is what the
+    // checker pays per state branch per command.
+    c.bench_function("resolve_preparsed", |b| {
+        b.iter(|| {
+            for p in &parsed {
+                black_box(resolve_path(&ctx, p, FollowLast::Follow));
+            }
+        })
+    });
+
+    // The boundary cost: parse + intern alone. Paid once per distinct path
+    // string entering the system (parser, generator, FFI), then amortised.
+    c.bench_function("resolve_parse_only", |b| {
+        b.iter(|| {
+            for p in &paths {
+                black_box(ParsedPath::parse(p));
+            }
+        })
+    });
+
+    // What the string-keyed implementation paid on every resolution:
+    // parse + resolve fused.
+    c.bench_function("resolve_parse_and_walk", |b| {
+        b.iter(|| {
+            for p in &paths {
+                black_box(resolve(&ctx, p, FollowLast::Follow));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, resolve_benches);
+criterion_main!(benches);

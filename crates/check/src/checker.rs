@@ -31,6 +31,27 @@ impl Default for CheckOptions {
     }
 }
 
+/// The label a checked step corresponds to, kept structurally: the checker's
+/// inner loop no longer renders labels to text (that cost is paid only at the
+/// output boundary, via `Display`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StepLabel {
+    /// A label observed in the trace.
+    Observed(OsLabel),
+    /// A step synthesised by the checker itself (e.g. the state-set safety
+    /// bound being hit), described by fixed text.
+    Synthetic(&'static str),
+}
+
+impl std::fmt::Display for StepLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StepLabel::Observed(label) => label.fmt(f),
+            StepLabel::Synthetic(text) => f.write_str(text),
+        }
+    }
+}
+
 /// The kind of label a checked step corresponds to, recorded structurally so
 /// consumers never have to parse the rendered label text.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -92,8 +113,8 @@ pub enum StepVerdict {
 pub struct CheckedStep {
     /// Line number in the original trace.
     pub lineno: usize,
-    /// The label that was checked (rendered).
-    pub label: String,
+    /// The label that was checked (structural; render with `Display`).
+    pub label: StepLabel,
     /// The structural kind of the label.
     pub kind: StepKind,
     /// The verdict.
@@ -157,7 +178,6 @@ pub fn check_trace(cfg: &SpecConfig, trace: &Trace, opts: CheckOptions) -> Check
 
     for step in &trace.steps {
         let label = &step.label;
-        let rendered_label = label.to_string();
         if let OsLabel::Call(pid, cmd) = label.clone() {
             last_call.retain(|(p, _)| *p != pid);
             last_call.push((pid, cmd));
@@ -189,7 +209,7 @@ pub fn check_trace(cfg: &SpecConfig, trace: &Trace, opts: CheckOptions) -> Check
         max_states = max_states.max(states.len());
         steps.push(CheckedStep {
             lineno: step.lineno,
-            label: rendered_label,
+            label: StepLabel::Observed(label.clone()),
             kind: StepKind::of_label(label),
             verdict,
             states_tracked: states.len(),
@@ -211,7 +231,7 @@ pub fn check_trace(cfg: &SpecConfig, trace: &Trace, opts: CheckOptions) -> Check
             });
             steps.push(CheckedStep {
                 lineno: step.lineno,
-                label: "<state-set safety bound exceeded; set truncated>".to_string(),
+                label: StepLabel::Synthetic("<state-set safety bound exceeded; set truncated>"),
                 kind: StepKind::Internal,
                 verdict: StepVerdict::StateSetBounded { tracked, bound: opts.max_states },
                 states_tracked: states.len(),

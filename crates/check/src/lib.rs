@@ -17,6 +17,7 @@ pub mod render;
 
 pub use checker::{
     check_trace, check_trace_with_coverage, CheckOptions, CheckedStep, CheckedTrace, Deviation,
+    StepLabel,
     StepKind, StepVerdict,
 };
 pub use parallel::{check_traces_parallel, SuiteCheckStats};

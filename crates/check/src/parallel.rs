@@ -110,13 +110,13 @@ mod tests {
         let mut t = Trace::new(format!("trace_{i}"), "mkdir");
         t.push_call_return(
             INITIAL_PID,
-            OsCommand::Mkdir(format!("/d{i}"), FileMode::new(0o777)),
+            OsCommand::Mkdir(format!("/d{i}").into(), FileMode::new(0o777)),
             ErrorOrValue::Value(RetValue::None),
         );
         if bad {
             t.push_call_return(
                 INITIAL_PID,
-                OsCommand::Rmdir(format!("/d{i}")),
+                OsCommand::Rmdir(format!("/d{i}").into()),
                 ErrorOrValue::Error(Errno::EPERM),
             );
         }

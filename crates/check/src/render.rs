@@ -58,7 +58,7 @@ pub fn summarize_checked_trace(checked: &CheckedTrace) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::checker::{CheckedStep, Deviation, StepKind};
+    use crate::checker::{CheckedStep, Deviation, StepKind, StepLabel};
 
     fn sample() -> CheckedTrace {
         CheckedTrace {
@@ -68,14 +68,14 @@ mod tests {
             steps: vec![
                 CheckedStep {
                     lineno: 1,
-                    label: "p1: call mkdir \"d\" 0o777".into(),
+                    label: StepLabel::Synthetic("p1: call mkdir \"d\" 0o777"),
                     kind: StepKind::Call,
                     verdict: StepVerdict::Ok,
                     states_tracked: 1,
                 },
                 CheckedStep {
                     lineno: 6,
-                    label: "p1: return EPERM".into(),
+                    label: StepLabel::Synthetic("p1: return EPERM"),
                     kind: StepKind::Return,
                     verdict: StepVerdict::Deviation {
                         observed: "EPERM".into(),

@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::errno::Errno;
 use crate::flags::{FileMode, OpenFlags, SeekWhence};
+use crate::path::ParsedPath;
 use crate::types::{DirHandleId, Fd, FileKind, Gid, Pid, Uid};
 
 /// A single libc file-system call together with its arguments
@@ -19,27 +20,27 @@ use crate::types::{DirHandleId, Fd, FileKind, Gid, Pid, Uid};
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum OsCommand {
     /// `chdir(path)`
-    Chdir(String),
+    Chdir(ParsedPath),
     /// `chmod(path, mode)`
-    Chmod(String, FileMode),
+    Chmod(ParsedPath, FileMode),
     /// `chown(path, uid, gid)`
-    Chown(String, Uid, Gid),
+    Chown(ParsedPath, Uid, Gid),
     /// `close(fd)`
     Close(Fd),
     /// `closedir(dh)`
     Closedir(DirHandleId),
     /// `link(src, dst)`
-    Link(String, String),
+    Link(ParsedPath, ParsedPath),
     /// `lseek(fd, offset, whence)`
     Lseek(Fd, i64, SeekWhence),
     /// `lstat(path)`
-    Lstat(String),
+    Lstat(ParsedPath),
     /// `mkdir(path, mode)`
-    Mkdir(String, FileMode),
+    Mkdir(ParsedPath, FileMode),
     /// `open(path, flags, mode)`; `mode` is only meaningful with `O_CREAT`.
-    Open(String, OpenFlags, Option<FileMode>),
+    Open(ParsedPath, OpenFlags, Option<FileMode>),
     /// `opendir(path)`
-    Opendir(String),
+    Opendir(ParsedPath),
     /// `pread(fd, count, offset)`
     Pread(Fd, usize, i64),
     /// `pwrite(fd, data, offset)`
@@ -49,23 +50,24 @@ pub enum OsCommand {
     /// `readdir(dh)`
     Readdir(DirHandleId),
     /// `readlink(path)`
-    Readlink(String),
+    Readlink(ParsedPath),
     /// `rename(src, dst)`
-    Rename(String, String),
+    Rename(ParsedPath, ParsedPath),
     /// `rewinddir(dh)`
     Rewinddir(DirHandleId),
     /// `rmdir(path)`
-    Rmdir(String),
+    Rmdir(ParsedPath),
     /// `stat(path)`
-    Stat(String),
-    /// `symlink(target, linkpath)`
-    Symlink(String, String),
+    Stat(ParsedPath),
+    /// `symlink(target, linkpath)` — the target is also stored pre-parsed,
+    /// since it ends up spliced by the resolver once the link is followed.
+    Symlink(ParsedPath, ParsedPath),
     /// `truncate(path, length)`
-    Truncate(String, i64),
+    Truncate(ParsedPath, i64),
     /// `umask(mask)` — returns the previous mask.
     Umask(FileMode),
     /// `unlink(path)`
-    Unlink(String),
+    Unlink(ParsedPath),
     /// `write(fd, data)`
     Write(Fd, Vec<u8>),
     /// Administrative command used by test scripts to populate the
@@ -117,7 +119,7 @@ impl OsCommand {
     ];
 
     /// The path arguments mentioned by the command, in order.
-    pub fn paths(&self) -> Vec<&str> {
+    pub fn paths(&self) -> Vec<&ParsedPath> {
         match self {
             OsCommand::Chdir(p)
             | OsCommand::Chmod(p, _)
@@ -141,33 +143,33 @@ impl OsCommand {
 impl fmt::Display for OsCommand {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            OsCommand::Chdir(p) => write!(f, "chdir {p:?}"),
-            OsCommand::Chmod(p, m) => write!(f, "chmod {p:?} {m}"),
-            OsCommand::Chown(p, u, g) => write!(f, "chown {p:?} {} {}", u.0, g.0),
+            OsCommand::Chdir(p) => write!(f, "chdir {p}"),
+            OsCommand::Chmod(p, m) => write!(f, "chmod {p} {m}"),
+            OsCommand::Chown(p, u, g) => write!(f, "chown {p} {} {}", u.0, g.0),
             OsCommand::Close(fd) => write!(f, "close (FD {})", fd.0),
             OsCommand::Closedir(dh) => write!(f, "closedir (DH {})", dh.0),
-            OsCommand::Link(a, b) => write!(f, "link {a:?} {b:?}"),
+            OsCommand::Link(a, b) => write!(f, "link {a} {b}"),
             OsCommand::Lseek(fd, off, w) => write!(f, "lseek (FD {}) {off} {w}", fd.0),
-            OsCommand::Lstat(p) => write!(f, "lstat {p:?}"),
-            OsCommand::Mkdir(p, m) => write!(f, "mkdir {p:?} {m}"),
-            OsCommand::Open(p, flags, Some(m)) => write!(f, "open {p:?} {flags} {m}"),
-            OsCommand::Open(p, flags, None) => write!(f, "open {p:?} {flags}"),
-            OsCommand::Opendir(p) => write!(f, "opendir {p:?}"),
+            OsCommand::Lstat(p) => write!(f, "lstat {p}"),
+            OsCommand::Mkdir(p, m) => write!(f, "mkdir {p} {m}"),
+            OsCommand::Open(p, flags, Some(m)) => write!(f, "open {p} {flags} {m}"),
+            OsCommand::Open(p, flags, None) => write!(f, "open {p} {flags}"),
+            OsCommand::Opendir(p) => write!(f, "opendir {p}"),
             OsCommand::Pread(fd, n, off) => write!(f, "pread (FD {}) {n} {off}", fd.0),
             OsCommand::Pwrite(fd, data, off) => {
                 write!(f, "pwrite (FD {}) {:?} {off}", fd.0, String::from_utf8_lossy(data))
             }
             OsCommand::Read(fd, n) => write!(f, "read (FD {}) {n}", fd.0),
             OsCommand::Readdir(dh) => write!(f, "readdir (DH {})", dh.0),
-            OsCommand::Readlink(p) => write!(f, "readlink {p:?}"),
-            OsCommand::Rename(a, b) => write!(f, "rename {a:?} {b:?}"),
+            OsCommand::Readlink(p) => write!(f, "readlink {p}"),
+            OsCommand::Rename(a, b) => write!(f, "rename {a} {b}"),
             OsCommand::Rewinddir(dh) => write!(f, "rewinddir (DH {})", dh.0),
-            OsCommand::Rmdir(p) => write!(f, "rmdir {p:?}"),
-            OsCommand::Stat(p) => write!(f, "stat {p:?}"),
-            OsCommand::Symlink(t, p) => write!(f, "symlink {t:?} {p:?}"),
-            OsCommand::Truncate(p, len) => write!(f, "truncate {p:?} {len}"),
+            OsCommand::Rmdir(p) => write!(f, "rmdir {p}"),
+            OsCommand::Stat(p) => write!(f, "stat {p}"),
+            OsCommand::Symlink(t, p) => write!(f, "symlink {t} {p}"),
+            OsCommand::Truncate(p, len) => write!(f, "truncate {p} {len}"),
             OsCommand::Umask(m) => write!(f, "umask {m}"),
-            OsCommand::Unlink(p) => write!(f, "unlink {p:?}"),
+            OsCommand::Unlink(p) => write!(f, "unlink {p}"),
             OsCommand::Write(fd, data) => {
                 write!(f, "write (FD {}) {:?}", fd.0, String::from_utf8_lossy(data))
             }
@@ -365,8 +367,18 @@ mod tests {
 
     #[test]
     fn paths_extraction() {
-        assert_eq!(OsCommand::Rename("/a".into(), "/b".into()).paths(), vec!["/a", "/b"]);
-        assert_eq!(OsCommand::Symlink("target".into(), "/s".into()).paths(), vec!["/s"]);
+        let texts: Vec<&str> = OsCommand::Rename("/a".into(), "/b".into())
+            .paths()
+            .iter()
+            .map(|p| p.as_str())
+            .collect();
+        assert_eq!(texts, vec!["/a", "/b"]);
+        let texts: Vec<&str> = OsCommand::Symlink("target".into(), "/s".into())
+            .paths()
+            .iter()
+            .map(|p| p.as_str())
+            .collect();
+        assert_eq!(texts, vec!["/s"]);
         assert!(OsCommand::Close(Fd(1)).paths().is_empty());
     }
 

@@ -12,12 +12,12 @@ use crate::errno::Errno;
 use crate::fs_ops::{CmdOutcome, SpecCtx};
 use crate::monad::Checks;
 use crate::os::{DirHandleState, Pending};
-use crate::path::{FollowLast, ResName};
+use crate::path::{FollowLast, ParsedPath, ResName};
 use crate::perms::Access;
 use crate::types::DirHandleId;
 
 /// `opendir(path)`: open a directory stream.
-pub fn spec_opendir(ctx: &SpecCtx<'_>, path: &str) -> CmdOutcome {
+pub fn spec_opendir(ctx: &SpecCtx<'_>, path: &ParsedPath) -> CmdOutcome {
     let res = ctx.resolve(path, FollowLast::Follow);
     match res {
         ResName::Err(e) => {
@@ -153,7 +153,9 @@ mod tests {
         match &out.successes[0].1 {
             Pending::NewDirHandle { handle } => {
                 assert_eq!(handle.must.len(), 2);
-                assert!(handle.must.contains("a") && handle.must.contains("b"));
+                assert!(
+                    handle.must.contains(&"a".into()) && handle.must.contains(&"b".into())
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -197,8 +199,8 @@ mod tests {
         let st = ok(&run(&cfg, &st, OsCommand::Mkdir("/d/b".into(), FileMode::new(0o777))));
         let dh = &st.proc(INITIAL_PID).unwrap().dir_handles[&DirHandleId(1)];
         assert!(dh.must.is_empty());
-        assert!(dh.may.contains("a"));
-        assert!(dh.may.contains("b"));
+        assert!(dh.may.contains(&"a".into()));
+        assert!(dh.may.contains(&"b".into()));
         assert!(dh.may_finish());
     }
 

@@ -8,11 +8,12 @@ use crate::flags::FileMode;
 use crate::flavor::Flavor;
 use crate::fs_ops::{CmdOutcome, SpecCtx};
 use crate::monad::Checks;
+use crate::intern::Name;
 use crate::path::{FollowLast, ParsedPath, ResName};
 use crate::perms::Access;
 
 /// `mkdir(path, mode)`: create a new, empty directory.
-pub fn spec_mkdir(ctx: &SpecCtx<'_>, path: &str, mode: FileMode) -> CmdOutcome {
+pub fn spec_mkdir(ctx: &SpecCtx<'_>, path: &ParsedPath, mode: FileMode) -> CmdOutcome {
     let res = ctx.resolve(path, FollowLast::NoFollow);
     match res {
         ResName::Err(e) => {
@@ -45,8 +46,8 @@ pub fn spec_mkdir(ctx: &SpecCtx<'_>, path: &str, mode: FileMode) -> CmdOutcome {
             }
             let mut new_st = ctx.st.clone();
             let meta = ctx.new_object_meta(mode);
-            new_st.heap.create_dir(parent, &name, meta);
-            new_st.notify_entry_added(parent, &name);
+            new_st.heap.create_dir(parent, name, meta);
+            new_st.notify_entry_added(parent, name);
             spec_point("mkdir/success");
             CmdOutcome::from_checks(checks).with_value(new_st, RetValue::None)
         }
@@ -54,16 +55,15 @@ pub fn spec_mkdir(ctx: &SpecCtx<'_>, path: &str, mode: FileMode) -> CmdOutcome {
 }
 
 /// `rmdir(path)`: remove an empty directory.
-pub fn spec_rmdir(ctx: &SpecCtx<'_>, path: &str) -> CmdOutcome {
-    let parsed = ParsedPath::parse(path);
+pub fn spec_rmdir(ctx: &SpecCtx<'_>, path: &ParsedPath) -> CmdOutcome {
     // POSIX: if the final component is "." the call shall fail with EINVAL;
     // ".." is ENOTEMPTY or EBUSY territory on real systems.
-    match parsed.components.last().map(|s| s.as_str()) {
-        Some(".") => {
+    match path.last_component() {
+        Some(Name::DOT) => {
             spec_point("rmdir/path_ends_in_dot_einval");
             return CmdOutcome::error(Errno::EINVAL);
         }
-        Some("..") => {
+        Some(Name::DOTDOT) => {
             spec_point("rmdir/path_ends_in_dotdot");
             // A real kernel resolves the path before rejecting the final
             // ".."; when resolution fails on the way the resolution error
@@ -129,15 +129,15 @@ pub fn spec_rmdir(ctx: &SpecCtx<'_>, path: &str) -> CmdOutcome {
             }
             spec_point("rmdir/success");
             let mut new_st = ctx.st.clone();
-            new_st.heap.remove_entry(parent_dir, &name);
-            new_st.notify_entry_removed(parent_dir, &name);
+            new_st.heap.remove_entry(parent_dir, name);
+            new_st.notify_entry_removed(parent_dir, name);
             CmdOutcome::from_checks(checks).with_value(new_st, RetValue::None)
         }
     }
 }
 
 /// `chdir(path)`: change the calling process's working directory.
-pub fn spec_chdir(ctx: &SpecCtx<'_>, path: &str) -> CmdOutcome {
+pub fn spec_chdir(ctx: &SpecCtx<'_>, path: &ParsedPath) -> CmdOutcome {
     let res = ctx.resolve(path, FollowLast::Follow);
     match res {
         ResName::Err(e) => {

@@ -6,12 +6,12 @@ use crate::errno::Errno;
 use crate::fs_ops::{stat_of_dir, stat_of_file, CmdOutcome, SpecCtx};
 use crate::monad::Checks;
 use crate::os::Pending;
-use crate::path::{FollowLast, ResName};
+use crate::path::{FollowLast, ParsedPath, ResName};
 use crate::perms::Access;
 use crate::types::{FileKind, MAX_FILE_SIZE};
 
 /// `unlink(path)`: remove a directory entry for a non-directory file.
-pub fn spec_unlink(ctx: &SpecCtx<'_>, path: &str) -> CmdOutcome {
+pub fn spec_unlink(ctx: &SpecCtx<'_>, path: &ParsedPath) -> CmdOutcome {
     let res = ctx.resolve(path, FollowLast::NoFollow);
     match res {
         ResName::Err(e) => {
@@ -32,7 +32,7 @@ pub fn spec_unlink(ctx: &SpecCtx<'_>, path: &str) -> CmdOutcome {
                 .par(ctx.symlink_trailing_slash_checks(path));
             CmdOutcome::from_checks(checks)
         }
-        ResName::File { parent, ref name, trailing_slash, is_symlink, .. } => {
+        ResName::File { parent, name, trailing_slash, is_symlink, .. } => {
             let mut checks = ctx.parent_write_checks(parent);
             if trailing_slash {
                 spec_point("unlink/trailing_slash_on_file");
@@ -54,7 +54,7 @@ pub fn spec_unlink(ctx: &SpecCtx<'_>, path: &str) -> CmdOutcome {
 }
 
 /// `truncate(path, length)`: set the size of a regular file.
-pub fn spec_truncate(ctx: &SpecCtx<'_>, path: &str, len: i64) -> CmdOutcome {
+pub fn spec_truncate(ctx: &SpecCtx<'_>, path: &ParsedPath, len: i64) -> CmdOutcome {
     if len < 0 {
         spec_point("truncate/negative_length_einval");
         return CmdOutcome::error(Errno::EINVAL);
@@ -105,7 +105,7 @@ pub fn spec_truncate(ctx: &SpecCtx<'_>, path: &str, len: i64) -> CmdOutcome {
 }
 
 /// `stat(path)` (follow the final symlink) and `lstat(path)` (do not).
-pub fn spec_stat(ctx: &SpecCtx<'_>, path: &str, follow: FollowLast) -> CmdOutcome {
+pub fn spec_stat(ctx: &SpecCtx<'_>, path: &ParsedPath, follow: FollowLast) -> CmdOutcome {
     let res = ctx.resolve(path, follow);
     match res {
         ResName::Err(e) => {

@@ -6,7 +6,7 @@ use crate::errno::Errno;
 use crate::flavor::LinkSymlinkBehavior;
 use crate::fs_ops::{CmdOutcome, SpecCtx};
 use crate::monad::Checks;
-use crate::path::{FollowLast, ResName};
+use crate::path::{FollowLast, ParsedPath, ResName};
 use crate::state::Meta;
 use crate::types::LINK_MAX;
 
@@ -16,7 +16,7 @@ use crate::types::LINK_MAX;
 /// Linux links the symlink itself, OS X follows it, and the POSIX envelope
 /// admits both. In the `Either` case the outcomes of both interpretations are
 /// merged.
-pub fn spec_link(ctx: &SpecCtx<'_>, src: &str, dst: &str) -> CmdOutcome {
+pub fn spec_link(ctx: &SpecCtx<'_>, src: &ParsedPath, dst: &ParsedPath) -> CmdOutcome {
     match ctx.cfg.flavor.link_follows_symlink() {
         LinkSymlinkBehavior::LinkSymlink => {
             spec_point("link/source_symlink_linked_directly");
@@ -49,8 +49,8 @@ fn merge_outcomes(mut a: CmdOutcome, b: CmdOutcome) -> CmdOutcome {
 
 fn link_with_follow(
     ctx: &SpecCtx<'_>,
-    src: &str,
-    dst: &str,
+    src: &ParsedPath,
+    dst: &ParsedPath,
     follow_src: FollowLast,
 ) -> CmdOutcome {
     let src_res = ctx.resolve(src, follow_src);
@@ -111,15 +111,15 @@ fn link_with_follow(
             }
             spec_point("link/success");
             let mut new_st = ctx.st.clone();
-            new_st.heap.add_link(parent, &name, src_fref);
-            new_st.notify_entry_added(parent, &name);
+            new_st.heap.add_link(parent, name, src_fref);
+            new_st.notify_entry_added(parent, name);
             CmdOutcome::from_checks(checks).with_value(new_st, RetValue::None)
         }
     }
 }
 
 /// `symlink(target, linkpath)`: create a symbolic link containing `target`.
-pub fn spec_symlink(ctx: &SpecCtx<'_>, target: &str, path: &str) -> CmdOutcome {
+pub fn spec_symlink(ctx: &SpecCtx<'_>, target: &ParsedPath, path: &ParsedPath) -> CmdOutcome {
     let res = ctx.resolve(path, FollowLast::NoFollow);
     match res {
         ResName::Err(e) => {
@@ -161,15 +161,15 @@ pub fn spec_symlink(ctx: &SpecCtx<'_>, target: &str, path: &str) -> CmdOutcome {
             let proc = ctx.st.proc(ctx.pid);
             let (uid, gid) = proc.map(|p| (p.euid, p.egid)).unwrap_or_default();
             let meta = Meta::new(mode, uid, gid, ctx.st.heap.now());
-            new_st.heap.create_symlink(parent, &name, target, meta);
-            new_st.notify_entry_added(parent, &name);
+            new_st.heap.create_symlink(parent, name, target.clone(), meta);
+            new_st.notify_entry_added(parent, name);
             CmdOutcome::from_checks(checks).with_value(new_st, RetValue::None)
         }
     }
 }
 
 /// `readlink(path)`: read the target stored in a symbolic link.
-pub fn spec_readlink(ctx: &SpecCtx<'_>, path: &str) -> CmdOutcome {
+pub fn spec_readlink(ctx: &SpecCtx<'_>, path: &ParsedPath) -> CmdOutcome {
     let res = ctx.resolve(path, FollowLast::NoFollow);
     match res {
         ResName::Err(e) => {

@@ -7,7 +7,7 @@ use crate::errno::Errno;
 use crate::flags::FileMode;
 use crate::fs_ops::{CmdOutcome, SpecCtx};
 use crate::monad::Checks;
-use crate::path::{FollowLast, ResName};
+use crate::path::{FollowLast, ParsedPath, ResName};
 use crate::perms::may_change_meta;
 use crate::state::Entry;
 use crate::types::{Gid, Uid};
@@ -17,7 +17,7 @@ use crate::types::{Gid, Uid};
 type MetaUpdate = Box<dyn Fn(&mut crate::os::OsState)>;
 
 /// `chmod(path, mode)`: change the permission bits of a file or directory.
-pub fn spec_chmod(ctx: &SpecCtx<'_>, path: &str, mode: FileMode) -> CmdOutcome {
+pub fn spec_chmod(ctx: &SpecCtx<'_>, path: &ParsedPath, mode: FileMode) -> CmdOutcome {
     let res = ctx.resolve(path, FollowLast::Follow);
     let (meta, apply): (crate::state::Meta, MetaUpdate) = match res {
         ResName::Err(e) => {
@@ -88,7 +88,7 @@ pub fn spec_chmod(ctx: &SpecCtx<'_>, path: &str, mode: FileMode) -> CmdOutcome {
 /// Only the superuser may change the owning uid; the owner may change the
 /// group to one they belong to (modelled loosely: owner group changes are
 /// accepted, non-owners get `EPERM`).
-pub fn spec_chown(ctx: &SpecCtx<'_>, path: &str, uid: Uid, gid: Gid) -> CmdOutcome {
+pub fn spec_chown(ctx: &SpecCtx<'_>, path: &ParsedPath, uid: Uid, gid: Gid) -> CmdOutcome {
     let res = ctx.resolve(path, FollowLast::Follow);
     let target = match res {
         ResName::Err(e) => {

@@ -25,7 +25,7 @@ use crate::flags::FileMode;
 use crate::flavor::SpecConfig;
 use crate::monad::Checks;
 use crate::os::{OsState, Pending, SpecialKind};
-use crate::path::{resolve, FollowLast, ResName, ResolveCtx};
+use crate::path::{resolve_path, FollowLast, ParsedPath, ResName, ResolveCtx};
 use crate::perms::{access_allowed, Access, Creds};
 use crate::state::{DirHeap, DirRef, FileRef, Meta};
 use crate::types::{FileKind, Pid};
@@ -123,10 +123,11 @@ impl<'a> SpecCtx<'a> {
         self.st.proc(self.pid).map(|p| p.cwd).unwrap_or_else(|| self.st.heap.root())
     }
 
-    /// Resolve a path in the caller's context.
-    pub fn resolve(&self, path: &str, follow: FollowLast) -> ResName {
+    /// Resolve a pre-parsed path in the caller's context. No string data is
+    /// touched: the resolver walks interned component symbols.
+    pub fn resolve(&self, path: &ParsedPath, follow: FollowLast) -> ResName {
         let ctx = ResolveCtx::new(&self.st.heap, self.cwd(), self.creds.as_ref());
-        resolve(&ctx, path, follow)
+        resolve_path(&ctx, path, follow)
     }
 
     /// Whether the caller may write into (create/remove entries of) `dir`.
@@ -195,15 +196,14 @@ impl<'a> SpecCtx<'a> {
     /// before following (§7.3.2 "Path resolution, trailing slashes, and
     /// symlinks"; validated against the real kernel by the host differential
     /// harness).
-    pub fn symlink_trailing_slash_checks(&self, path: &str) -> Checks {
-        if !path.ends_with('/') {
+    pub fn symlink_trailing_slash_checks(&self, path: &ParsedPath) -> Checks {
+        if !path.trailing_slash {
             return Checks::ok();
         }
-        let trimmed = path.trim_end_matches('/');
-        if trimmed.is_empty() {
+        if path.components().is_empty() {
             return Checks::ok();
         }
-        match self.resolve(trimmed, FollowLast::NoFollow) {
+        match self.resolve(&path.without_trailing_slash(), FollowLast::NoFollow) {
             ResName::File { is_symlink: true, .. } => {
                 spec_point("common/symlink_with_trailing_slash_may_enotdir");
                 Checks::may_fail(Errno::ENOTDIR)

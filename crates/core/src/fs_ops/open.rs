@@ -8,14 +8,14 @@ use crate::flavor::Flavor;
 use crate::fs_ops::{CmdOutcome, SpecCtx};
 use crate::monad::Checks;
 use crate::os::{FidState, FidTarget, Pending, SpecialKind};
-use crate::path::{FollowLast, ResName};
+use crate::path::{FollowLast, ParsedPath, ResName};
 use crate::perms::Access;
 use crate::types::Fd;
 
 /// `open(path, flags, mode)`: open (and possibly create) a file.
 pub fn spec_open(
     ctx: &SpecCtx<'_>,
-    path: &str,
+    path: &ParsedPath,
     flags: OpenFlags,
     mode: Option<FileMode>,
 ) -> CmdOutcome {
@@ -176,10 +176,10 @@ pub fn spec_open(
             spec_point("open/create_new_file_success");
             let mut new_st = ctx.st.clone();
             let meta = ctx.new_object_meta(mode.unwrap_or_else(|| FileMode::new(0o666)));
-            let Some(fref) = new_st.heap.create_file(parent, &name, meta) else {
+            let Some(fref) = new_st.heap.create_file(parent, name, meta) else {
                 return CmdOutcome::error(Errno::EEXIST);
             };
-            new_st.notify_entry_added(parent, &name);
+            new_st.notify_entry_added(parent, name);
             let fid = new_st.fresh_fid();
             new_st.fids.insert(fid, FidState { target: FidTarget::File(fref), offset: 0, flags });
             CmdOutcome::from_checks(checks).with_success(new_st, Pending::NewFd { fid })

@@ -11,13 +11,14 @@ use crate::coverage::spec_point;
 use crate::errno::Errno;
 use crate::fs_ops::{CmdOutcome, SpecCtx};
 use crate::monad::Checks;
+use crate::intern::Name;
 use crate::path::{FollowLast, ParsedPath, ResName};
 
 /// `rename(src, dst)`: rename a file or directory.
-pub fn spec_rename(ctx: &SpecCtx<'_>, src: &str, dst: &str) -> CmdOutcome {
+pub fn spec_rename(ctx: &SpecCtx<'_>, src: &ParsedPath, dst: &ParsedPath) -> CmdOutcome {
     // POSIX: a final component of "." or ".." shall fail (EINVAL / EBUSY).
     for p in [src, dst] {
-        if ParsedPath::parse(p).ends_in_dot() {
+        if p.ends_in_dot() {
             spec_point("rename/path_ends_in_dot_einval");
             return CmdOutcome::error_any([Errno::EINVAL, Errno::EBUSY]);
         }
@@ -60,7 +61,7 @@ pub fn spec_rename(ctx: &SpecCtx<'_>, src: &str, dst: &str) -> CmdOutcome {
             rename_dir(ctx, src_dir, src_parent, dst_res)
         }
         ResName::File { parent: src_parent, name: src_name, fref: src_file, trailing_slash, .. } => {
-            rename_file(ctx, src_parent, &src_name, src_file, trailing_slash, dst_res)
+            rename_file(ctx, src_parent, src_name, src_file, trailing_slash, dst_res)
         }
     }
 }
@@ -69,7 +70,7 @@ pub fn spec_rename(ctx: &SpecCtx<'_>, src: &str, dst: &str) -> CmdOutcome {
 fn rename_dir(
     ctx: &SpecCtx<'_>,
     src_dir: crate::state::DirRef,
-    src_parent: Option<(crate::state::DirRef, String)>,
+    src_parent: Option<(crate::state::DirRef, Name)>,
     dst_res: ResName,
 ) -> CmdOutcome {
     let heap = &ctx.st.heap;
@@ -127,12 +128,12 @@ fn rename_dir(
             }
             spec_point("rename/dir_replaces_empty_dir_success");
             let mut new_st = ctx.st.clone();
-            new_st.heap.remove_entry(dp, &dname);
-            new_st.notify_entry_removed(dp, &dname);
-            new_st.heap.remove_entry(sp, &sname);
-            new_st.notify_entry_removed(sp, &sname);
-            new_st.heap.attach_dir(dp, &dname, src_dir);
-            new_st.notify_entry_added(dp, &dname);
+            new_st.heap.remove_entry(dp, dname);
+            new_st.notify_entry_removed(dp, dname);
+            new_st.heap.remove_entry(sp, sname);
+            new_st.notify_entry_removed(sp, sname);
+            new_st.heap.attach_dir(dp, dname, src_dir);
+            new_st.notify_entry_added(dp, dname);
             CmdOutcome::from_checks(checks).with_value(new_st, RetValue::None)
         }
         ResName::None { parent: dp, name: dname, .. } => {
@@ -151,10 +152,10 @@ fn rename_dir(
             }
             spec_point("rename/dir_to_new_name_success");
             let mut new_st = ctx.st.clone();
-            new_st.heap.remove_entry(sp, &sname);
-            new_st.notify_entry_removed(sp, &sname);
-            new_st.heap.attach_dir(dp, &dname, src_dir);
-            new_st.notify_entry_added(dp, &dname);
+            new_st.heap.remove_entry(sp, sname);
+            new_st.notify_entry_removed(sp, sname);
+            new_st.heap.attach_dir(dp, dname, src_dir);
+            new_st.notify_entry_added(dp, dname);
             CmdOutcome::from_checks(checks).with_value(new_st, RetValue::None)
         }
     }
@@ -164,7 +165,7 @@ fn rename_dir(
 fn rename_file(
     ctx: &SpecCtx<'_>,
     src_parent: crate::state::DirRef,
-    src_name: &str,
+    src_name: Name,
     src_file: crate::state::FileRef,
     src_trailing_slash: bool,
     dst_res: ResName,
@@ -195,12 +196,12 @@ fn rename_file(
             }
             spec_point("rename/file_replaces_file_success");
             let mut new_st = ctx.st.clone();
-            new_st.heap.remove_entry(dp, &dname);
-            new_st.notify_entry_removed(dp, &dname);
+            new_st.heap.remove_entry(dp, dname);
+            new_st.notify_entry_removed(dp, dname);
             new_st.heap.remove_entry(src_parent, src_name);
             new_st.notify_entry_removed(src_parent, src_name);
-            new_st.heap.add_link(dp, &dname, src_file);
-            new_st.notify_entry_added(dp, &dname);
+            new_st.heap.add_link(dp, dname, src_file);
+            new_st.notify_entry_added(dp, dname);
             checks = checks.par(Checks::ok());
             CmdOutcome::from_checks(checks).with_value(new_st, RetValue::None)
         }
@@ -221,8 +222,8 @@ fn rename_file(
             let mut new_st = ctx.st.clone();
             new_st.heap.remove_entry(src_parent, src_name);
             new_st.notify_entry_removed(src_parent, src_name);
-            new_st.heap.add_link(dp, &dname, src_file);
-            new_st.notify_entry_added(dp, &dname);
+            new_st.heap.add_link(dp, dname, src_file);
+            new_st.notify_entry_added(dp, dname);
             CmdOutcome::from_checks(checks).with_value(new_st, RetValue::None)
         }
     }

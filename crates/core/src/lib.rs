@@ -34,7 +34,7 @@
 //! let st = OsState::initial_with_process(&cfg, INITIAL_PID);
 //!
 //! // The process calls mkdir("/d", 0o777) …
-//! let cmd = OsCommand::Mkdir("/d".to_string(), FileMode::new(0o777));
+//! let cmd = OsCommand::Mkdir("/d".into(), FileMode::new(0o777));
 //! let after_call = os_trans(&cfg, &st, &OsLabel::Call(INITIAL_PID, cmd));
 //! assert_eq!(after_call.len(), 1);
 //!
@@ -50,6 +50,8 @@ pub mod errno;
 pub mod flags;
 pub mod flavor;
 pub mod fs_ops;
+pub mod fxhash;
+pub mod intern;
 pub mod monad;
 pub mod os;
 pub mod path;
@@ -64,7 +66,9 @@ pub mod prelude {
     pub use crate::flags::{AccessMode, FileMode, OpenFlags, SeekWhence};
     pub use crate::flavor::{Flavor, SpecConfig};
     pub use crate::fs_ops::{dispatch, CmdOutcome};
+    pub use crate::intern::Name;
     pub use crate::os::state_set::StateSet;
+    pub use crate::path::ParsedPath;
     pub use crate::os::trans::{os_trans, os_trans_into, tau_close, tau_closure};
     pub use crate::os::{OsState, Pending, ProcRunState};
     pub use crate::perms::{Access, Creds};
@@ -80,7 +84,7 @@ mod lib_tests {
     fn prelude_exposes_a_usable_api() {
         let cfg = SpecConfig::standard(Flavor::Posix);
         let st = OsState::initial_with_process(&cfg, INITIAL_PID);
-        let out = dispatch(&cfg, &st, INITIAL_PID, &OsCommand::Stat("/".to_string()));
+        let out = dispatch(&cfg, &st, INITIAL_PID, &OsCommand::Stat("/".into()));
         assert!(!out.is_empty());
     }
 }

@@ -18,6 +18,7 @@ use crate::commands::{OsCommand, RetValue, Stat};
 use crate::errno::Errno;
 use crate::flags::{FileMode, OpenFlags};
 use crate::flavor::SpecConfig;
+use crate::intern::Name;
 use crate::perms::{Creds, GroupTable};
 use crate::state::{DirHeap, DirRef, FileRef};
 use crate::types::{DirHandleId, Fd, Fid, Gid, Pid, Uid};
@@ -65,17 +66,17 @@ impl FidState {
 pub struct DirHandleState {
     /// The directory being listed.
     pub dir: DirRef,
-    /// Entries that must still be returned.
-    pub must: BTreeSet<String>,
+    /// Entries that must still be returned (interned name symbols).
+    pub must: BTreeSet<Name>,
     /// Entries that may be returned.
-    pub may: BTreeSet<String>,
+    pub may: BTreeSet<Name>,
     /// Entries already returned.
-    pub returned: BTreeSet<String>,
+    pub returned: BTreeSet<Name>,
 }
 
 impl DirHandleState {
     /// A handle freshly opened on `dir` whose current entries are `entries`.
-    pub fn open(dir: DirRef, entries: impl IntoIterator<Item = String>) -> DirHandleState {
+    pub fn open(dir: DirRef, entries: impl IntoIterator<Item = Name>) -> DirHandleState {
         DirHandleState {
             dir,
             must: entries.into_iter().collect(),
@@ -87,9 +88,9 @@ impl DirHandleState {
     /// Record that `name` was removed from the directory while this handle is
     /// open: if it had not yet been returned it may (but need not) still be
     /// returned.
-    pub fn note_removed(&mut self, name: &str) {
-        if self.must.remove(name) {
-            self.may.insert(name.to_string());
+    pub fn note_removed(&mut self, name: Name) {
+        if self.must.remove(&name) {
+            self.may.insert(name);
         }
         // If it was already returned it stays returned; if it was already in
         // `may` it stays there.
@@ -97,17 +98,17 @@ impl DirHandleState {
 
     /// Record that `name` was added to the directory while this handle is
     /// open: it may (but need not) be returned by subsequent reads.
-    pub fn note_added(&mut self, name: &str) {
-        if !self.must.contains(name) {
-            self.may.insert(name.to_string());
+    pub fn note_added(&mut self, name: Name) {
+        if !self.must.contains(&name) {
+            self.may.insert(name);
         }
     }
 
     /// Record that `name` was returned by `readdir`.
-    pub fn note_returned(&mut self, name: &str) {
-        self.must.remove(name);
-        self.may.remove(name);
-        self.returned.insert(name.to_string());
+    pub fn note_returned(&mut self, name: Name) {
+        self.must.remove(&name);
+        self.may.remove(&name);
+        self.returned.insert(name);
     }
 
     /// Whether end-of-directory may be reported now.
@@ -116,8 +117,8 @@ impl DirHandleState {
     }
 
     /// The set of entries that may be returned by the next `readdir`.
-    pub fn candidates(&self) -> BTreeSet<String> {
-        self.must.union(&self.may).cloned().collect()
+    pub fn candidates(&self) -> BTreeSet<Name> {
+        self.must.union(&self.may).copied().collect()
     }
 }
 
@@ -438,7 +439,7 @@ impl OsState {
     }
 
     /// Notify every open directory handle on `dir` that `name` was removed.
-    pub fn notify_entry_removed(&mut self, dir: DirRef, name: &str) {
+    pub fn notify_entry_removed(&mut self, dir: DirRef, name: Name) {
         self.fingerprint.invalidate();
         for proc in self.procs.values_mut() {
             // Only unshare processes that actually hold a handle on `dir`.
@@ -453,7 +454,7 @@ impl OsState {
     }
 
     /// Notify every open directory handle on `dir` that `name` was added.
-    pub fn notify_entry_added(&mut self, dir: DirRef, name: &str) {
+    pub fn notify_entry_added(&mut self, dir: DirRef, name: Name) {
         self.fingerprint.invalidate();
         for proc in self.procs.values_mut() {
             if proc.dir_handles.values().any(|dh| dh.dir == dir) {
@@ -523,27 +524,28 @@ mod tests {
 
     #[test]
     fn dir_handle_must_may_transitions() {
-        let mut dh = DirHandleState::open(DirRef(1), ["a".to_string(), "b".to_string()]);
+        let mut dh = DirHandleState::open(DirRef(1), [Name::intern("a"), Name::intern("b")]);
         assert!(!dh.may_finish());
         assert_eq!(dh.candidates().len(), 2);
 
         // Deleting an unreturned entry moves it to `may`.
-        dh.note_removed("a");
-        assert!(dh.may.contains("a"));
-        assert!(!dh.must.contains("a"));
+        let (a, b, c) = (Name::intern("a"), Name::intern("b"), Name::intern("c"));
+        dh.note_removed(a);
+        assert!(dh.may.contains(&a));
+        assert!(!dh.must.contains(&a));
         // It can still be returned — or the directory can finish once `must`
         // is drained.
-        dh.note_returned("b");
+        dh.note_returned(b);
         assert!(dh.may_finish());
-        assert!(dh.candidates().contains("a"));
+        assert!(dh.candidates().contains(&a));
 
         // Once returned, an entry is not offered again.
-        dh.note_returned("a");
+        dh.note_returned(a);
         assert!(dh.candidates().is_empty());
 
         // A new entry added while open becomes a `may` entry.
-        dh.note_added("c");
-        assert!(dh.candidates().contains("c"));
+        dh.note_added(c);
+        assert!(dh.candidates().contains(&c));
         assert!(dh.may_finish());
     }
 
@@ -552,13 +554,14 @@ mod tests {
         let cfg = SpecConfig::standard(Flavor::Posix);
         let mut st = OsState::initial_with_process(&cfg, Pid(1));
         let root = st.heap.root();
-        let dh_state = DirHandleState::open(root, ["x".to_string()]);
+        let (x, y) = (Name::intern("x"), Name::intern("y"));
+        let dh_state = DirHandleState::open(root, [x]);
         st.proc_mut(Pid(1)).unwrap().dir_handles.insert(DirHandleId(1), dh_state);
-        st.notify_entry_added(root, "y");
-        st.notify_entry_removed(root, "x");
+        st.notify_entry_added(root, y);
+        st.notify_entry_removed(root, x);
         let dh = &st.proc(Pid(1)).unwrap().dir_handles[&DirHandleId(1)];
-        assert!(dh.may.contains("x"));
-        assert!(dh.may.contains("y"));
+        assert!(dh.may.contains(&x));
+        assert!(dh.may.contains(&y));
         assert!(dh.must.is_empty());
     }
 

@@ -11,68 +11,14 @@
 //! comparisons a `Vec::contains`-based set performs.
 
 use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
+use std::hash::BuildHasherDefault;
 
 use crate::os::OsState;
 
-/// A fast, deterministic, non-cryptographic hasher (the FxHash algorithm used
-/// by the Rust compiler). Used both to compute state fingerprints and to hash
-/// the (already well-mixed) fingerprints in the set index, where the standard
-/// library's SipHash would be wasted work.
-#[derive(Default)]
-pub struct FxHasher64 {
-    hash: u64,
-}
-
-impl FxHasher64 {
-    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
-
-    #[inline]
-    fn add_word(&mut self, word: u64) {
-        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
-    }
-}
-
-impl Hasher for FxHasher64 {
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.hash
-    }
-
-    #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        let mut chunks = bytes.chunks_exact(8);
-        for chunk in &mut chunks {
-            self.add_word(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
-        }
-        let rest = chunks.remainder();
-        if !rest.is_empty() {
-            let mut word = [0u8; 8];
-            word[..rest.len()].copy_from_slice(rest);
-            self.add_word(u64::from_le_bytes(word) ^ rest.len() as u64);
-        }
-    }
-
-    #[inline]
-    fn write_u8(&mut self, n: u8) {
-        self.add_word(n as u64);
-    }
-
-    #[inline]
-    fn write_u32(&mut self, n: u32) {
-        self.add_word(n as u64);
-    }
-
-    #[inline]
-    fn write_u64(&mut self, n: u64) {
-        self.add_word(n);
-    }
-
-    #[inline]
-    fn write_usize(&mut self, n: usize) {
-        self.add_word(n as u64);
-    }
-}
+// The FxHash hasher now lives in `crate::fxhash` (it is shared with the name
+// interner); re-exported here so existing `os::state_set::FxHasher64` paths
+// keep working.
+pub use crate::fxhash::FxHasher64;
 
 /// The index maps fingerprints to positions in the insertion-ordered state
 /// vector; fingerprints are already uniformly mixed, so the index hashes them
@@ -213,6 +159,7 @@ mod tests {
     use super::*;
     use crate::flavor::{Flavor, SpecConfig};
     use crate::types::{Pid, INITIAL_PID};
+    use std::hash::Hasher;
 
     fn initial() -> OsState {
         OsState::initial_with_process(&SpecConfig::standard(Flavor::Linux), INITIAL_PID)

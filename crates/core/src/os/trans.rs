@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use crate::commands::{ErrorOrValue, OsCommand, OsLabel, RetValue};
 use crate::coverage::spec_point;
+use crate::intern::Name;
 use crate::errno::Errno;
 use crate::flavor::SpecConfig;
 use crate::fs_ops;
@@ -294,14 +295,16 @@ pub fn match_pending(
             let proc = new_st.proc_mut(pid)?;
             let handle = proc.dir_handles.get_mut(dh)?;
             match entry {
-                Some(name) => {
-                    if handle.candidates().contains(name) {
-                        handle.note_returned(name);
+                // The observed name arrives as text; probing (not interning)
+                // keeps foreign observation strings out of the table — a name
+                // that was never interned cannot be a candidate.
+                Some(name) => match Name::lookup(name) {
+                    Some(sym) if handle.candidates().contains(&sym) => {
+                        handle.note_returned(sym);
                         true
-                    } else {
-                        false
                     }
-                }
+                    _ => false,
+                },
                 None => handle.may_finish(),
             }
         }
@@ -385,7 +388,13 @@ pub fn describe_pending(st: &OsState, pid: Pid, pending: &Pending) -> Vec<String
         Pending::ReaddirEntry { dh } => {
             let mut out = Vec::new();
             if let Some(handle) = st.procs.get(&pid).and_then(|p| p.dir_handles.get(dh)) {
-                for c in handle.candidates() {
+                // Resolve symbols to text only here, at the diagnostics
+                // boundary, and sort lexicographically so the rendered
+                // "allowed" list is deterministic and human-ordered.
+                let mut names: Vec<&'static str> =
+                    handle.candidates().iter().map(|n| n.as_str()).collect();
+                names.sort_unstable();
+                for c in names {
                     out.push(format!("RV_readdir({c:?})"));
                 }
                 if handle.may_finish() {
@@ -435,8 +444,12 @@ pub fn default_completion(st: &OsState, pid: Pid) -> Option<(ErrorOrValue, OsSta
         }
         Pending::ReaddirEntry { dh } => {
             let handle = proc.dir_handles.get(dh)?;
-            match handle.must.iter().next() {
-                Some(name) => ErrorOrValue::Value(RetValue::ReaddirEntry(Some(name.clone()))),
+            // Lexicographically-first must entry: matches the pre-intern
+            // behaviour (string-keyed sets iterated in byte order).
+            match handle.must.iter().min_by_key(|n| n.as_str()) {
+                Some(name) => {
+                    ErrorOrValue::Value(RetValue::ReaddirEntry(Some(name.as_str().to_string())))
+                }
                 None => ErrorOrValue::Value(RetValue::ReaddirEntry(None)),
             }
         }

@@ -6,40 +6,117 @@
 //! resolved names. All the "tricky details" — trailing slashes, symlink
 //! following, `ELOOP`, permission checks during traversal — are confined to
 //! this module (§4 "Modules", §5 "Path resolution module").
+//!
+//! Paths are parsed (and their components interned) **once**, at the point
+//! they enter the system — the script parser, the test generator, the FFI
+//! boundary — and the resolution loop below works entirely over `u32`
+//! [`Name`] symbols: component comparison, `.`/`..` detection, and
+//! directory-entry lookup never touch string data. Symlink targets are stored
+//! pre-parsed, so splicing a target into the remaining components is a small
+//! `memcpy` of symbols, not a re-parse.
+
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use crate::coverage::spec_point;
 use crate::errno::Errno;
+use crate::intern::Name;
 use crate::perms::{access_allowed, Access, Creds};
 use crate::state::{DirHeap, DirRef, Entry, FileRef};
 use crate::types::{NAME_MAX, PATH_MAX, SYMLOOP_MAX};
 
-/// A parsed (but not yet resolved) path.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// A parsed (but not yet resolved) path: the raw text interned as a single
+/// symbol plus its interned components.
+///
+/// Parsing happens once per distinct path string; everything downstream —
+/// equality, hashing, resolution, storage in commands and symlink objects —
+/// is symbol arithmetic. The component list sits behind an `Arc`, so cloning
+/// a command that carries a path is a reference-count bump.
+///
+/// **Serde caveat**: the derives below are the workspace's no-op stub
+/// markers. When real serde is wired in, this type MUST get a custom impl
+/// serializing `as_str()` text and deserializing via `parse` — symbol ids
+/// are interning-order-dependent and must never cross the process boundary
+/// (DESIGN_INTERN.md, invariant 2).
+#[derive(Clone, Serialize, Deserialize)]
 pub struct ParsedPath {
-    /// The original string.
-    pub raw: String,
+    /// The original string, interned whole (for printing and `readlink`).
+    raw: Name,
+    /// Byte length of the raw string (cached so `stat` of a symlink never
+    /// resolves the symbol).
+    raw_len: u32,
     /// Whether the path begins with a slash.
     pub absolute: bool,
     /// Number of leading slashes (POSIX gives `//` implementation-defined
     /// meaning; the test generator uses this property for partitioning).
     pub leading_slashes: usize,
     /// Path components, with empty components removed but `.` and `..` kept.
-    pub components: Vec<String>,
+    components: Arc<[Name]>,
     /// Whether the path ends with a slash.
     pub trailing_slash: bool,
+    /// Index of the first component longer than [`NAME_MAX`], computed at
+    /// intern time — the single enforcement point for `ENAMETOOLONG` shared
+    /// by the model's resolver and the simulated kernel's.
+    first_overlong: Option<u32>,
+    /// Whether the raw string exceeds [`PATH_MAX`].
+    raw_too_long: bool,
 }
 
 impl ParsedPath {
-    /// Parse a raw path string into components.
+    /// Parse a raw path string into interned components.
     pub fn parse(raw: &str) -> ParsedPath {
         let leading_slashes = raw.chars().take_while(|c| *c == '/').count();
         let absolute = leading_slashes > 0;
         let trailing_slash = raw.len() > leading_slashes && raw.ends_with('/');
-        let components: Vec<String> =
-            raw.split('/').filter(|c| !c.is_empty()).map(|c| c.to_string()).collect();
-        ParsedPath { raw: raw.to_string(), absolute, leading_slashes, components, trailing_slash }
+        let mut components: Vec<Name> = Vec::new();
+        let mut first_overlong = None;
+        for c in raw.split('/').filter(|c| !c.is_empty()) {
+            if c.len() > NAME_MAX && first_overlong.is_none() {
+                first_overlong = Some(components.len() as u32);
+            }
+            components.push(Name::intern(c));
+        }
+        ParsedPath {
+            raw: Name::intern(raw),
+            raw_len: raw.len() as u32,
+            absolute,
+            leading_slashes,
+            components: components.into(),
+            trailing_slash,
+            first_overlong,
+            raw_too_long: raw.len() > PATH_MAX,
+        }
+    }
+
+    /// The original path text.
+    pub fn as_str(&self) -> &'static str {
+        self.raw.as_str()
+    }
+
+    /// The interned symbol of the whole raw path.
+    pub fn raw_name(&self) -> Name {
+        self.raw
+    }
+
+    /// Byte length of the original text.
+    pub fn raw_len(&self) -> usize {
+        self.raw_len as usize
+    }
+
+    /// The interned path components (empty components removed, `.`/`..` kept).
+    pub fn components(&self) -> &[Name] {
+        &self.components
+    }
+
+    /// Index of the first component longer than `NAME_MAX`, if any.
+    pub fn first_overlong(&self) -> Option<usize> {
+        self.first_overlong.map(|i| i as usize)
+    }
+
+    /// Whether the raw text exceeds `PATH_MAX`.
+    pub fn exceeds_path_max(&self) -> bool {
+        self.raw_too_long
     }
 
     /// Whether the path is the empty string.
@@ -47,9 +124,131 @@ impl ParsedPath {
         self.raw.is_empty()
     }
 
+    /// The final component, if any.
+    pub fn last_component(&self) -> Option<Name> {
+        self.components.last().copied()
+    }
+
     /// Whether the final component is `.` or `..`.
     pub fn ends_in_dot(&self) -> bool {
-        matches!(self.components.last().map(|s| s.as_str()), Some(".") | Some(".."))
+        matches!(self.last_component(), Some(Name::DOT) | Some(Name::DOTDOT))
+    }
+
+    /// This path with any trailing slash dropped (components shared).
+    pub fn without_trailing_slash(&self) -> ParsedPath {
+        let mut p = self.clone();
+        p.trailing_slash = false;
+        p
+    }
+
+    /// Splice this path (a symlink target) into a partially-walked component
+    /// list: the walker stood at `components[idx]` (the symlink) with
+    /// `overlong_at`/`trailing` describing the original path, and resolution
+    /// continues with the target's components followed by the remainder.
+    ///
+    /// Returns `(spliced components, re-based overlong index, new trailing
+    /// flag)`. This is the one place the subtle overlong-index re-base lives
+    /// — the model's resolver and the simulated kernel's both call it, so
+    /// their `ENAMETOOLONG` placement cannot drift apart. An overlong
+    /// component at or before `idx` is impossible here (the walk would have
+    /// failed there), which the `i > idx` filter makes explicit.
+    pub fn splice_into(
+        &self,
+        components: &[Name],
+        idx: usize,
+        overlong_at: Option<usize>,
+        trailing: bool,
+    ) -> (Vec<Name>, Option<usize>, bool) {
+        let rest = &components[idx + 1..];
+        let tcomps = self.components();
+        let mut spliced: Vec<Name> = Vec::with_capacity(tcomps.len() + rest.len());
+        spliced.extend_from_slice(tcomps);
+        spliced.extend_from_slice(rest);
+        let spliced_overlong = self.first_overlong().or_else(|| {
+            overlong_at.filter(|&i| i > idx).map(|i| i - (idx + 1) + tcomps.len())
+        });
+        let new_trailing =
+            if rest.is_empty() { trailing || self.trailing_slash } else { trailing };
+        (spliced, spliced_overlong, new_trailing)
+    }
+}
+
+impl PartialEq for ParsedPath {
+    fn eq(&self, other: &ParsedPath) -> bool {
+        // The raw symbol determines every derived field.
+        self.raw == other.raw
+    }
+}
+
+impl Eq for ParsedPath {}
+
+impl std::hash::Hash for ParsedPath {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.raw.hash(state);
+    }
+}
+
+impl PartialOrd for ParsedPath {
+    fn partial_cmp(&self, other: &ParsedPath) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ParsedPath {
+    fn cmp(&self, other: &ParsedPath) -> std::cmp::Ordering {
+        // Lexicographic by raw text: stable across runs (symbol ids are not),
+        // and only ever used on cold paths (ordered collections of commands).
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl PartialEq<str> for ParsedPath {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for ParsedPath {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl AsRef<str> for ParsedPath {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl From<&str> for ParsedPath {
+    fn from(s: &str) -> ParsedPath {
+        ParsedPath::parse(s)
+    }
+}
+
+impl From<String> for ParsedPath {
+    fn from(s: String) -> ParsedPath {
+        ParsedPath::parse(&s)
+    }
+}
+
+impl From<&String> for ParsedPath {
+    fn from(s: &String) -> ParsedPath {
+        ParsedPath::parse(s)
+    }
+}
+
+impl std::fmt::Display for ParsedPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Quoted/escaped exactly like the `String` the path was parsed from,
+        // so rendered scripts and traces are byte-identical to before.
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl std::fmt::Debug for ParsedPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.as_str())
     }
 }
 
@@ -63,7 +262,7 @@ pub enum ResName {
         /// The directory's parent and the name under which it was found, when
         /// the path did not end in `.`, `..` or the root. Needed by commands
         /// such as `rmdir` and `rename` that must modify the parent.
-        parent: Option<(DirRef, String)>,
+        parent: Option<(DirRef, Name)>,
         /// Whether the path carried a trailing slash.
         trailing_slash: bool,
     },
@@ -73,7 +272,7 @@ pub enum ResName {
         /// The directory containing the entry.
         parent: DirRef,
         /// The entry name within the parent.
-        name: String,
+        name: Name,
         /// The file object.
         fref: FileRef,
         /// Whether the final component is a symlink that was *not* followed.
@@ -89,7 +288,7 @@ pub enum ResName {
         /// The directory that would contain the entry.
         parent: DirRef,
         /// The name of the missing entry.
-        name: String,
+        name: Name,
         /// Whether the path carried a trailing slash.
         trailing_slash: bool,
     },
@@ -159,30 +358,54 @@ impl<'a> ResolveCtx<'a> {
     }
 }
 
-/// Resolve `raw` relative to the context, following the final symlink
-/// according to `follow_last`.
+/// Resolve a raw path string relative to the context. Thin wrapper over
+/// [`resolve_path`] for callers (tests, examples) holding plain strings; the
+/// transition engine resolves pre-parsed [`ParsedPath`]s and never re-parses.
 pub fn resolve(ctx: &ResolveCtx<'_>, raw: &str, follow_last: FollowLast) -> ResName {
-    let parsed = ParsedPath::parse(raw);
+    resolve_path(ctx, &ParsedPath::parse(raw), follow_last)
+}
+
+/// Resolve a pre-parsed path relative to the context, following the final
+/// symlink according to `follow_last`. The hot entry point: no string data is
+/// touched anywhere below here.
+pub fn resolve_path(
+    ctx: &ResolveCtx<'_>,
+    parsed: &ParsedPath,
+    follow_last: FollowLast,
+) -> ResName {
     if parsed.is_empty() {
         spec_point("path/empty_path_enoent");
         return ResName::Err(Errno::ENOENT);
     }
-    if parsed.raw.len() > PATH_MAX {
+    if parsed.exceeds_path_max() {
         spec_point("path/path_too_long");
         return ResName::Err(Errno::ENAMETOOLONG);
     }
     let start = if parsed.absolute { ctx.heap.root() } else { ctx.cwd };
-    resolve_from(ctx, start, &parsed.components, parsed.trailing_slash, follow_last, 0)
+    resolve_from(
+        ctx,
+        start,
+        parsed.components(),
+        parsed.first_overlong(),
+        parsed.trailing_slash,
+        follow_last,
+        0,
+    )
 }
 
 /// Resolve a component list starting from `start`.
 ///
+/// `overlong_at` is the index (within `components`) of the first component
+/// longer than [`NAME_MAX`], carried from parse time; reaching it yields
+/// `ENAMETOOLONG` exactly where a kernel walking the path would notice.
 /// `depth` counts the number of symlinks expanded so far; exceeding
 /// [`SYMLOOP_MAX`] yields `ELOOP`.
+#[allow(clippy::too_many_arguments)]
 fn resolve_from(
     ctx: &ResolveCtx<'_>,
     start: DirRef,
-    components: &[String],
+    components: &[Name],
+    overlong_at: Option<usize>,
     trailing_slash: bool,
     follow_last: FollowLast,
     depth: usize,
@@ -192,14 +415,14 @@ fn resolve_from(
         return ResName::Err(Errno::ELOOP);
     }
     let mut cur = start;
-    let mut came_via: Option<(DirRef, String)> = None;
+    let mut came_via: Option<(DirRef, Name)> = None;
 
     let mut idx = 0usize;
     while idx < components.len() {
-        let comp = &components[idx];
+        let comp = components[idx];
         let is_last = idx + 1 == components.len();
 
-        if comp.len() > NAME_MAX {
+        if overlong_at == Some(idx) {
             spec_point("path/name_too_long");
             return ResName::Err(Errno::ENAMETOOLONG);
         }
@@ -208,13 +431,13 @@ fn resolve_from(
             spec_point("path/search_permission_denied");
             return ResName::Err(Errno::EACCES);
         }
-        if comp == "." {
+        if comp == Name::DOT {
             spec_point("path/dot_component");
             came_via = None;
             idx += 1;
             continue;
         }
-        if comp == ".." {
+        if comp == Name::DOTDOT {
             spec_point("path/dotdot_component");
             // `..` of the root is the root; `..` of a disconnected directory
             // has no parent and resolution fails with ENOENT.
@@ -240,7 +463,7 @@ fn resolve_from(
                     spec_point("path/last_component_missing");
                     return ResName::None {
                         parent: cur,
-                        name: comp.clone(),
+                        name: comp,
                         trailing_slash,
                     };
                 }
@@ -248,7 +471,7 @@ fn resolve_from(
                 return ResName::Err(Errno::ENOENT);
             }
             Some(Entry::Dir(d)) => {
-                came_via = Some((cur, comp.clone()));
+                came_via = Some((cur, comp));
                 cur = d;
                 idx += 1;
                 if is_last {
@@ -257,34 +480,28 @@ fn resolve_from(
                 }
             }
             Some(Entry::File(f)) => {
-                let is_symlink = ctx.heap.symlink_target(f).is_some();
-                if is_symlink {
+                let target = ctx.heap.symlink_target_parsed(f);
+                if let Some(target) = target {
                     let follow = !is_last
                         || matches!(follow_last, FollowLast::Follow)
                         || trailing_slash;
                     if follow {
                         spec_point("path/symlink_followed");
-                        let target = ctx.heap.symlink_target(f).unwrap_or("").to_string();
                         if target.is_empty() {
                             spec_point("path/empty_symlink_target");
                             return ResName::Err(Errno::ENOENT);
                         }
-                        let tparsed = ParsedPath::parse(&target);
-                        let tstart = if tparsed.absolute { ctx.heap.root() } else { cur };
-                        // Splice: resolve the target, then continue with the
-                        // remaining components of the original path.
-                        let rest = &components[idx + 1..];
-                        let mut spliced: Vec<String> = tparsed.components.clone();
-                        spliced.extend(rest.iter().cloned());
-                        let new_trailing = if rest.is_empty() {
-                            trailing_slash || tparsed.trailing_slash
-                        } else {
-                            trailing_slash
-                        };
+                        let tstart = if target.absolute { ctx.heap.root() } else { cur };
+                        // Splice: resolve the (pre-parsed) target, then
+                        // continue with the remaining components of the
+                        // original path. A memcpy of u32 symbols.
+                        let (spliced, spliced_overlong, new_trailing) =
+                            target.splice_into(components, idx, overlong_at, trailing_slash);
                         return resolve_from(
                             ctx,
                             tstart,
                             &spliced,
+                            spliced_overlong,
                             new_trailing,
                             follow_last,
                             depth + 1,
@@ -294,7 +511,7 @@ fn resolve_from(
                     spec_point("path/final_symlink_not_followed");
                     return ResName::File {
                         parent: cur,
-                        name: comp.clone(),
+                        name: comp,
                         fref: f,
                         is_symlink: true,
                         trailing_slash,
@@ -308,7 +525,7 @@ fn resolve_from(
                 spec_point("path/resolved_to_file");
                 return ResName::File {
                     parent: cur,
-                    name: comp.clone(),
+                    name: comp,
                     fref: f,
                     is_symlink: false,
                     trailing_slash,
@@ -352,12 +569,18 @@ mod tests {
         ResolveCtx::new(h, cwd, None)
     }
 
+    fn comps(p: &ParsedPath) -> Vec<&'static str> {
+        p.components().iter().map(|n| n.as_str()).collect()
+    }
+
     #[test]
     fn parse_basic_paths() {
         let p = ParsedPath::parse("/a/b/c");
         assert!(p.absolute);
-        assert_eq!(p.components, vec!["a", "b", "c"]);
+        assert_eq!(comps(&p), vec!["a", "b", "c"]);
         assert!(!p.trailing_slash);
+        assert_eq!(p.as_str(), "/a/b/c");
+        assert_eq!(p.raw_len(), 6);
 
         let p = ParsedPath::parse("a/b/");
         assert!(!p.absolute);
@@ -365,15 +588,42 @@ mod tests {
 
         let p = ParsedPath::parse("///x");
         assert_eq!(p.leading_slashes, 3);
-        assert_eq!(p.components, vec!["x"]);
+        assert_eq!(comps(&p), vec!["x"]);
 
         let p = ParsedPath::parse("/");
         assert!(p.absolute);
-        assert!(p.components.is_empty());
+        assert!(p.components().is_empty());
         assert!(!p.trailing_slash, "a bare slash is not counted as trailing");
 
         assert!(ParsedPath::parse("").is_empty());
         assert!(ParsedPath::parse("a/..").ends_in_dot());
+    }
+
+    #[test]
+    fn parse_interns_and_round_trips() {
+        let p = ParsedPath::parse("/a/./../b\n/");
+        // Parsing is idempotent: same raw string, same symbols.
+        let q = ParsedPath::parse("/a/./../b\n/");
+        assert_eq!(p, q);
+        assert_eq!(p.raw_name(), q.raw_name());
+        assert_eq!(p.components(), q.components());
+        // `.`/`..` intern to the pre-seeded constants.
+        assert_eq!(p.components()[1], Name::DOT);
+        assert_eq!(p.components()[2], Name::DOTDOT);
+        // The raw text survives exactly (escaping happens only in Display).
+        assert_eq!(p.as_str(), "/a/./../b\n/");
+        assert_eq!(format!("{p}"), "\"/a/./../b\\n/\"");
+    }
+
+    #[test]
+    fn parse_marks_overlong_components() {
+        let long = "x".repeat(NAME_MAX + 1);
+        let p = ParsedPath::parse(&format!("/ok/{long}/tail"));
+        assert_eq!(p.first_overlong(), Some(1));
+        let p = ParsedPath::parse("/ok/fine");
+        assert_eq!(p.first_overlong(), None);
+        let edge = "y".repeat(NAME_MAX);
+        assert_eq!(ParsedPath::parse(&edge).first_overlong(), None);
     }
 
     #[test]
@@ -507,6 +757,36 @@ mod tests {
         let long_path = format!("/{}", "a/".repeat(PATH_MAX));
         assert_eq!(
             resolve(&c, &long_path, FollowLast::Follow),
+            ResName::Err(Errno::ENAMETOOLONG)
+        );
+        // An overlong component *behind* a failing prefix is not reached: the
+        // prefix error wins, exactly as on a real kernel walking the path.
+        assert_eq!(
+            resolve(&c, &format!("/nope/{long_name}"), FollowLast::Follow),
+            ResName::Err(Errno::ENOENT)
+        );
+        // A component of exactly NAME_MAX bytes resolves (to a missing entry).
+        let edge = "y".repeat(NAME_MAX);
+        assert!(matches!(
+            resolve(&c, &format!("/{edge}"), FollowLast::Follow),
+            ResName::None { .. }
+        ));
+    }
+
+    #[test]
+    fn overlong_component_behind_symlink_splice_is_detected() {
+        let (mut h, root) = fixture();
+        let long_name = "z".repeat(NAME_MAX + 1);
+        h.create_symlink(root, "s_long", format!("d1/{long_name}").as_str(), meta()).unwrap();
+        let c = ctx(&h, root);
+        // The overlong component lives inside the spliced target.
+        assert_eq!(
+            resolve(&c, "/s_long", FollowLast::Follow),
+            ResName::Err(Errno::ENAMETOOLONG)
+        );
+        // The overlong component lives in the original tail after the splice.
+        assert_eq!(
+            resolve(&c, &format!("/s_d1/{long_name}"), FollowLast::Follow),
             ResName::Err(Errno::ENAMETOOLONG)
         );
     }

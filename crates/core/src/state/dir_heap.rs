@@ -15,6 +15,8 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use crate::flags::FileMode;
+use crate::intern::Name;
+use crate::path::ParsedPath;
 use crate::state::meta::Meta;
 use crate::types::{FileKind, Gid, Uid};
 
@@ -51,8 +53,10 @@ impl Entry {
 pub enum FileContent {
     /// A regular file with byte contents.
     Regular(Vec<u8>),
-    /// A symbolic link with a target path.
-    Symlink(String),
+    /// A symbolic link with its target path stored pre-parsed: the raw text
+    /// interned whole (for `readlink` and `stat` sizes) plus interned
+    /// components, so following the link splices symbols without re-parsing.
+    Symlink(ParsedPath),
 }
 
 impl FileContent {
@@ -68,7 +72,7 @@ impl FileContent {
     pub fn size(&self) -> u64 {
         match self {
             FileContent::Regular(data) => data.len() as u64,
-            FileContent::Symlink(target) => target.len() as u64,
+            FileContent::Symlink(target) => target.raw_len() as u64,
         }
     }
 }
@@ -76,8 +80,12 @@ impl FileContent {
 /// A directory object.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Dir {
-    /// Named entries (excluding the implicit `.` and `..`).
-    pub entries: BTreeMap<String, Entry>,
+    /// Named entries (excluding the implicit `.` and `..`), keyed by interned
+    /// name symbol. The `BTreeMap` ordering is the symbols' `u32` order —
+    /// arbitrary but fixed, so lookups on the resolve hot path compare
+    /// integers; anything needing lexicographic order goes through
+    /// [`DirHeap::entry_names`], which sorts at the boundary.
+    pub entries: BTreeMap<Name, Entry>,
     /// The parent directory, or `None` for the root and for disconnected
     /// directories.
     pub parent: Option<DirRef>,
@@ -188,14 +196,32 @@ impl DirHeap {
         Arc::make_mut(&mut self.files).get_mut(&f.0).map(Arc::make_mut)
     }
 
-    /// Look up a named entry in a directory.
-    pub fn lookup(&self, d: DirRef, name: &str) -> Option<Entry> {
-        self.dir(d).and_then(|dir| dir.entries.get(name).copied())
+    /// Look up a named entry in a directory. The hot-path callers pass a
+    /// [`Name`] (a no-op conversion); string arguments (tests, boundaries)
+    /// intern on the way in.
+    pub fn lookup(&self, d: DirRef, name: impl Into<Name>) -> Option<Entry> {
+        let name = name.into();
+        self.dir(d).and_then(|dir| dir.entries.get(&name).copied())
     }
 
-    /// The names of the entries in a directory, in sorted order.
-    pub fn entry_names(&self, d: DirRef) -> Vec<String> {
-        self.dir(d).map(|dir| dir.entries.keys().cloned().collect()).unwrap_or_default()
+    /// The interned names of the entries in a directory.
+    ///
+    /// **Ordering guarantee**: lexicographic by name bytes — the model's
+    /// deterministic dirent order, relied on by the simulated kernels'
+    /// `readdir` profiles and by rendered listings. The entry map itself is
+    /// keyed by symbol id (for integer-compare lookups), so this accessor
+    /// sorts at the boundary; no per-name `String` is allocated — resolving
+    /// symbols back to text is left to the render layer.
+    pub fn entry_names(&self, d: DirRef) -> Vec<Name> {
+        // Resolve each symbol once, then sort — one interner read per element
+        // rather than per comparison.
+        let mut pairs: Vec<(&'static str, Name)> = self
+            .dir(d)
+            .map(|dir| dir.entries.keys().map(|n| (n.as_str(), *n)).collect())
+            .unwrap_or_default();
+        pairs.sort_unstable_by_key(|(s, _)| *s);
+        debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0));
+        pairs.into_iter().map(|(_, n)| n).collect()
     }
 
     /// Whether a directory has no entries.
@@ -243,8 +269,14 @@ impl DirHeap {
     /// Create a new empty directory as `name` within `parent`.
     ///
     /// Returns `None` if `parent` does not exist or `name` is already taken.
-    pub fn create_dir(&mut self, parent: DirRef, name: &str, meta: Meta) -> Option<DirRef> {
-        if self.dir(parent)?.entries.contains_key(name) {
+    pub fn create_dir(
+        &mut self,
+        parent: DirRef,
+        name: impl Into<Name>,
+        meta: Meta,
+    ) -> Option<DirRef> {
+        let name = name.into();
+        if self.dir(parent)?.entries.contains_key(&name) {
             return None;
         }
         let id = self.fresh_id();
@@ -252,59 +284,65 @@ impl DirHeap {
             .insert(id, Arc::new(Dir { entries: BTreeMap::new(), parent: Some(parent), meta }));
         let now = self.tick();
         let pdir = self.dir_mut(parent)?;
-        pdir.entries.insert(name.to_string(), Entry::Dir(DirRef(id)));
+        pdir.entries.insert(name, Entry::Dir(DirRef(id)));
         pdir.meta.times.touch_mtime(now);
         Some(DirRef(id))
     }
 
     /// Create a new regular file as `name` within `parent`.
-    pub fn create_file(&mut self, parent: DirRef, name: &str, meta: Meta) -> Option<FileRef> {
-        self.create_file_with(parent, name, meta, FileContent::Regular(Vec::new()))
+    pub fn create_file(
+        &mut self,
+        parent: DirRef,
+        name: impl Into<Name>,
+        meta: Meta,
+    ) -> Option<FileRef> {
+        self.create_file_with(parent, name.into(), meta, FileContent::Regular(Vec::new()))
     }
 
     /// Create a new symlink as `name` within `parent` pointing at `target`.
     pub fn create_symlink(
         &mut self,
         parent: DirRef,
-        name: &str,
-        target: &str,
+        name: impl Into<Name>,
+        target: impl Into<ParsedPath>,
         meta: Meta,
     ) -> Option<FileRef> {
-        self.create_file_with(parent, name, meta, FileContent::Symlink(target.to_string()))
+        self.create_file_with(parent, name.into(), meta, FileContent::Symlink(target.into()))
     }
 
     fn create_file_with(
         &mut self,
         parent: DirRef,
-        name: &str,
+        name: Name,
         meta: Meta,
         content: FileContent,
     ) -> Option<FileRef> {
-        if self.dir(parent)?.entries.contains_key(name) {
+        if self.dir(parent)?.entries.contains_key(&name) {
             return None;
         }
         let id = self.fresh_id();
         Arc::make_mut(&mut self.files).insert(id, Arc::new(File { content, meta, nlink: 1 }));
         let now = self.tick();
         let pdir = self.dir_mut(parent)?;
-        pdir.entries.insert(name.to_string(), Entry::File(FileRef(id)));
+        pdir.entries.insert(name, Entry::File(FileRef(id)));
         pdir.meta.times.touch_mtime(now);
         Some(FileRef(id))
     }
 
     /// Add a hard link: insert `name -> file` into `parent` and bump the link
     /// count. Returns `false` if the name is taken or anything is missing.
-    pub fn add_link(&mut self, parent: DirRef, name: &str, file: FileRef) -> bool {
+    pub fn add_link(&mut self, parent: DirRef, name: impl Into<Name>, file: FileRef) -> bool {
+        let name = name.into();
         if self.file(file).is_none() {
             return false;
         }
         match self.dir(parent) {
-            Some(d) if !d.entries.contains_key(name) => {}
+            Some(d) if !d.entries.contains_key(&name) => {}
             _ => return false,
         }
         let now = self.tick();
         if let Some(d) = self.dir_mut(parent) {
-            d.entries.insert(name.to_string(), Entry::File(file));
+            d.entries.insert(name, Entry::File(file));
             d.meta.times.touch_mtime(now);
         }
         if let Some(f) = self.file_mut(file) {
@@ -316,9 +354,10 @@ impl DirHeap {
 
     /// Insert an existing directory as `name` within `parent` (used by
     /// `rename`). The directory's parent pointer is updated.
-    pub fn attach_dir(&mut self, parent: DirRef, name: &str, d: DirRef) -> bool {
+    pub fn attach_dir(&mut self, parent: DirRef, name: impl Into<Name>, d: DirRef) -> bool {
+        let name = name.into();
         match self.dir(parent) {
-            Some(p) if !p.entries.contains_key(name) => {}
+            Some(p) if !p.entries.contains_key(&name) => {}
             _ => return false,
         }
         if self.dir(d).is_none() {
@@ -326,7 +365,7 @@ impl DirHeap {
         }
         let now = self.tick();
         if let Some(p) = self.dir_mut(parent) {
-            p.entries.insert(name.to_string(), Entry::Dir(d));
+            p.entries.insert(name, Entry::Dir(d));
             p.meta.times.touch_mtime(now);
         }
         if let Some(dd) = self.dir_mut(d) {
@@ -341,11 +380,12 @@ impl DirHeap {
     /// is retained even at zero links so that open file descriptions keep
     /// working). For directory entries the directory becomes disconnected
     /// (its parent pointer is cleared) but is likewise retained.
-    pub fn remove_entry(&mut self, parent: DirRef, name: &str) -> Option<Entry> {
-        let entry = self.dir(parent)?.entries.get(name).copied()?;
+    pub fn remove_entry(&mut self, parent: DirRef, name: impl Into<Name>) -> Option<Entry> {
+        let name = name.into();
+        let entry = self.dir(parent)?.entries.get(&name).copied()?;
         let now = self.tick();
         if let Some(p) = self.dir_mut(parent) {
-            p.entries.remove(name);
+            p.entries.remove(&name);
             p.meta.times.touch_mtime(now);
         }
         match entry {
@@ -374,10 +414,16 @@ impl DirHeap {
         self.file(f).map(|file| file.content.kind())
     }
 
-    /// The target of a symlink, if `f` is one.
-    pub fn symlink_target(&self, f: FileRef) -> Option<&str> {
+    /// The target text of a symlink, if `f` is one (render boundary only).
+    pub fn symlink_target(&self, f: FileRef) -> Option<&'static str> {
+        self.symlink_target_parsed(f).map(|t| t.as_str())
+    }
+
+    /// The pre-parsed target of a symlink, if `f` is one: what the resolver
+    /// splices, with no re-parse and no allocation.
+    pub fn symlink_target_parsed(&self, f: FileRef) -> Option<&ParsedPath> {
         match self.file(f).map(|file| &file.content) {
-            Some(FileContent::Symlink(t)) => Some(t.as_str()),
+            Some(FileContent::Symlink(t)) => Some(t),
             _ => None,
         }
     }

@@ -263,7 +263,8 @@ fn raw_open_flags(flags: OpenFlags) -> i32 {
 /// A NUL-terminated copy of a script path. Script paths are arbitrary
 /// strings; one containing an interior NUL cannot reach the kernel, which is
 /// indistinguishable from the path not existing.
-fn c_path(p: &str) -> Result<Vec<u8>, Errno> {
+fn c_path(p: impl AsRef<str>) -> Result<Vec<u8>, Errno> {
+    let p = p.as_ref();
     if p.as_bytes().contains(&0) {
         return Err(Errno::ENOENT);
     }
@@ -579,7 +580,7 @@ impl HostWorld {
         self.procs.get(&pid.0).and_then(|p| p.fds.get(&vfd.0)).copied()
     }
 
-    fn do_stat(&self, path: &str, follow: bool) -> ErrorOrValue {
+    fn do_stat(&self, path: &sibylfs_core::path::ParsedPath, follow: bool) -> ErrorOrValue {
         let p = match c_path(path) {
             Ok(v) => v,
             Err(e) => return ErrorOrValue::Error(e),

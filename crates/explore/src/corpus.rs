@@ -89,20 +89,42 @@ pub struct Corpus {
     fingerprints: HashSet<u64>,
 }
 
-/// FxHash-style fingerprint of a script's *steps* (rendered without the
-/// `# Test` header, so the generated name plays no part): cheap,
-/// deterministic and stable across runs — two behaviourally identical
-/// scripts always collide, whatever they are called. Keys only the dedup
-/// set, never persistence.
+/// FxHash fingerprint of a script's *steps* (the generated name plays no
+/// part): cheap, deterministic and stable across runs — two behaviourally
+/// identical scripts always collide, whatever they are called. Keys only the
+/// dedup set, never persistence.
+///
+/// The step content is streamed straight into the hasher through a
+/// `fmt::Write` adapter: no clone of the step list, no intermediate `String`
+/// render, and path symbols are resolved to their *content* (symbol ids are
+/// interning-order-dependent and would not be stable across runs).
 pub fn fingerprint(script: &Script) -> u64 {
-    const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
-    let nameless =
-        Script { name: String::new(), group: String::new(), steps: script.steps.clone() };
-    let mut h: u64 = 0;
-    for b in render_script(&nameless).bytes() {
-        h = (h.rotate_left(5) ^ b as u64).wrapping_mul(K);
+    use std::fmt::Write as _;
+    use std::hash::Hasher as _;
+
+    struct HashWrite(sibylfs_core::fxhash::FxHasher64);
+    impl std::fmt::Write for HashWrite {
+        fn write_str(&mut self, s: &str) -> std::fmt::Result {
+            self.0.write(s.as_bytes());
+            Ok(())
+        }
     }
-    h
+
+    let mut h = HashWrite(sibylfs_core::fxhash::FxHasher64::default());
+    for step in &script.steps {
+        match step {
+            sibylfs_script::ScriptStep::Call { pid, cmd } => {
+                let _ = write!(h, "c{}:{cmd};", pid.0);
+            }
+            sibylfs_script::ScriptStep::CreateProcess { pid, uid, gid } => {
+                let _ = write!(h, "+{}:{}:{};", pid.0, uid.0, gid.0);
+            }
+            sibylfs_script::ScriptStep::DestroyProcess { pid } => {
+                let _ = write!(h, "-{};", pid.0);
+            }
+        }
+    }
+    h.0.finish()
 }
 
 impl Corpus {
@@ -253,7 +275,7 @@ mod tests {
 
     fn entry(name: &str, path: &str) -> CorpusEntry {
         let mut sc = Script::new(name, "explore");
-        sc.call(OsCommand::Mkdir(path.to_string(), FileMode::new(0o777)));
+        sc.call(OsCommand::Mkdir(path.into(), FileMode::new(0o777)));
         CorpusEntry {
             script: sc,
             kind: EntryKind::Coverage,

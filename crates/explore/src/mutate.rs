@@ -184,23 +184,37 @@ impl Mutator {
     }
 }
 
-fn perturb_path(path: &mut String, rng: &mut StdRng) {
+fn perturb_path(path: &mut sibylfs_core::path::ParsedPath, rng: &mut StdRng) {
+    // Perturbation is a text-level operation (it deliberately produces
+    // un-normalised paths: doubled slashes, overlong components); the result
+    // re-enters the interner through one parse. The interner is append-only
+    // (strings are leaked by design), so the mutator must not manufacture an
+    // unbounded stream of ever-longer texts: a long-running fuzz would grow
+    // process memory monotonically. Capping at just past PATH_MAX keeps the
+    // path-too-long envelope reachable while bounding each interned string;
+    // slash-append chains reset once they blow past the cap.
+    const MAX_PERTURBED_LEN: usize = 4200;
+    let mut text = path.as_str().to_string();
+    if text.len() > MAX_PERTURBED_LEN {
+        text = (*PATHS.choose(rng).expect("non-empty")).to_string();
+    }
     match rng.gen_range(0..5) {
-        0 => *path = (*PATHS.choose(rng).expect("non-empty")).to_string(),
-        1 => path.push('/'),
+        0 => text = (*PATHS.choose(rng).expect("non-empty")).to_string(),
+        1 => text.push('/'),
         2 => {
-            if path.starts_with('/') {
-                path.remove(0);
+            if text.starts_with('/') {
+                text.remove(0);
             } else {
-                path.insert(0, '/');
+                text.insert(0, '/');
             }
         }
         3 => {
-            path.push('/');
-            path.push_str(PATHS.choose(rng).expect("non-empty"));
+            text.push('/');
+            text.push_str(PATHS.choose(rng).expect("non-empty"));
         }
-        _ => *path = "n".repeat(rng.gen_range(250..300)),
+        _ => text = "n".repeat(rng.gen_range(250..300)),
     }
+    *path = sibylfs_core::path::ParsedPath::parse(&text);
 }
 
 fn perturb_command(cmd: &mut OsCommand, rng: &mut StdRng) {

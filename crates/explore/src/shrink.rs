@@ -106,7 +106,7 @@ mod tests {
     fn script_of(paths: &[&str]) -> Script {
         let mut sc = Script::new("shrink___t", "explore");
         for p in paths {
-            sc.call(OsCommand::Mkdir((*p).to_string(), FileMode::new(0o777)));
+            sc.call(OsCommand::Mkdir((*p).into(), FileMode::new(0o777)));
         }
         sc
     }

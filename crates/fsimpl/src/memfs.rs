@@ -11,6 +11,8 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 
 use sibylfs_core::errno::Errno;
+use sibylfs_core::intern::Name;
+use sibylfs_core::path::ParsedPath;
 
 /// An inode number.
 #[derive(
@@ -39,15 +41,18 @@ pub enum NodeKind {
     },
     /// A directory with named entries and a parent pointer.
     Dir {
-        /// Name → inode of each entry (`.` and `..` are implicit).
-        entries: BTreeMap<String, Ino>,
+        /// Interned name → inode of each entry (`.` and `..` are implicit).
+        /// Keyed by symbol id like the model's heap; lexicographic listings
+        /// go through [`MemFs::entries`].
+        entries: BTreeMap<Name, Ino>,
         /// Parent directory (self for the root; `None` once unlinked).
         parent: Option<Ino>,
     },
-    /// A symbolic link and its target path.
+    /// A symbolic link and its target path, stored pre-parsed so the
+    /// simulated resolver splices interned components like the model's.
     Symlink {
         /// The stored target path.
-        target: String,
+        target: ParsedPath,
     },
 }
 
@@ -80,7 +85,7 @@ impl Node {
         match &self.kind {
             NodeKind::File { data } => data.len() as u64,
             NodeKind::Dir { .. } => 0,
-            NodeKind::Symlink { target } => target.len() as u64,
+            NodeKind::Symlink { target } => target.raw_len() as u64,
         }
     }
 }
@@ -95,14 +100,14 @@ pub enum SimRes {
         /// The containing directory and entry name, when the path reached the
         /// directory through an ordinary entry (absent for the root and for
         /// paths ending in `.` or `..`).
-        parent: Option<(Ino, String)>,
+        parent: Option<(Ino, Name)>,
     },
     /// Resolved to a non-directory inode (file or unfollowed symlink).
     NonDir {
         /// Containing directory.
         parent: Ino,
         /// Entry name.
-        name: String,
+        name: Name,
         /// The inode.
         ino: Ino,
         /// Whether the original path had a trailing slash.
@@ -113,7 +118,7 @@ pub enum SimRes {
         /// The directory that would contain the entry.
         parent: Ino,
         /// The missing name.
-        name: String,
+        name: Name,
         /// Whether the original path had a trailing slash.
         trailing_slash: bool,
     },
@@ -178,27 +183,37 @@ impl MemFs {
     }
 
     /// Look up `name` within directory `dir`.
-    pub fn lookup(&self, dir: Ino, name: &str) -> Option<Ino> {
+    pub fn lookup(&self, dir: Ino, name: impl Into<Name>) -> Option<Ino> {
+        let name = name.into();
         match &self.node(dir)?.kind {
-            NodeKind::Dir { entries, .. } => entries.get(name).copied(),
+            NodeKind::Dir { entries, .. } => entries.get(&name).copied(),
             _ => None,
         }
     }
 
-    /// The entry names of a directory in lexicographic order.
-    pub fn entries(&self, dir: Ino) -> Vec<String> {
+    /// The entry names of a directory in lexicographic order (by name bytes;
+    /// the entry map itself is keyed by symbol id, so this sorts at the
+    /// boundary — same guarantee as the model heap's `entry_names`).
+    pub fn entries(&self, dir: Ino) -> Vec<Name> {
         match self.node(dir).map(|n| &n.kind) {
-            Some(NodeKind::Dir { entries, .. }) => entries.keys().cloned().collect(),
+            Some(NodeKind::Dir { entries, .. }) => {
+                // Resolve each symbol once, then sort — one interner read per
+                // element rather than per comparison.
+                let mut pairs: Vec<(&'static str, Name)> =
+                    entries.keys().map(|n| (n.as_str(), *n)).collect();
+                pairs.sort_unstable_by_key(|(s, _)| *s);
+                pairs.into_iter().map(|(_, n)| n).collect()
+            }
             _ => Vec::new(),
         }
     }
 
     /// The entry names together with the insertion sequence of their inodes.
-    pub fn entries_with_seq(&self, dir: Ino) -> Vec<(String, u64)> {
+    pub fn entries_with_seq(&self, dir: Ino) -> Vec<(Name, u64)> {
         match self.node(dir).map(|n| &n.kind) {
             Some(NodeKind::Dir { entries, .. }) => entries
                 .iter()
-                .map(|(k, v)| (k.clone(), self.node(*v).map(|n| n.seq).unwrap_or(0)))
+                .map(|(k, v)| (*k, self.node(*v).map(|n| n.seq).unwrap_or(0)))
                 .collect(),
             _ => Vec::new(),
         }
@@ -267,7 +282,14 @@ impl MemFs {
     }
 
     /// Create a directory entry `name` in `parent` for a brand-new node.
-    pub fn create(&mut self, parent: Ino, name: &str, kind: NodeKind, meta: NodeMeta) -> Option<Ino> {
+    pub fn create(
+        &mut self,
+        parent: Ino,
+        name: impl Into<Name>,
+        kind: NodeKind,
+        meta: NodeMeta,
+    ) -> Option<Ino> {
+        let name = name.into();
         if self.lookup(parent, name).is_some() {
             return None;
         }
@@ -281,7 +303,7 @@ impl MemFs {
         }
         match self.node_mut(parent).map(|n| &mut n.kind) {
             Some(NodeKind::Dir { entries, .. }) => {
-                entries.insert(name.to_string(), ino);
+                entries.insert(name, ino);
             }
             _ => return None,
         }
@@ -289,13 +311,14 @@ impl MemFs {
     }
 
     /// Add a hard link `name -> ino` in `parent`, bumping the link count.
-    pub fn add_link(&mut self, parent: Ino, name: &str, ino: Ino) -> bool {
+    pub fn add_link(&mut self, parent: Ino, name: impl Into<Name>, ino: Ino) -> bool {
+        let name = name.into();
         if self.lookup(parent, name).is_some() || self.node(ino).is_none() {
             return false;
         }
         match self.node_mut(parent).map(|n| &mut n.kind) {
             Some(NodeKind::Dir { entries, .. }) => {
-                entries.insert(name.to_string(), ino);
+                entries.insert(name, ino);
             }
             _ => return false,
         }
@@ -309,11 +332,17 @@ impl MemFs {
     ///
     /// If `decrement_nlink` is false the link count of the removed inode is
     /// left untouched (the posixovl leak).
-    pub fn remove_entry(&mut self, parent: Ino, name: &str, decrement_nlink: bool) -> Option<Ino> {
+    pub fn remove_entry(
+        &mut self,
+        parent: Ino,
+        name: impl Into<Name>,
+        decrement_nlink: bool,
+    ) -> Option<Ino> {
+        let name = name.into();
         let ino = self.lookup(parent, name)?;
         match self.node_mut(parent).map(|n| &mut n.kind) {
             Some(NodeKind::Dir { entries, .. }) => {
-                entries.remove(name);
+                entries.remove(&name);
             }
             _ => return None,
         }
@@ -338,13 +367,14 @@ impl MemFs {
     }
 
     /// Move a directory `ino` to live under `new_parent` as `name`.
-    pub fn attach_dir(&mut self, new_parent: Ino, name: &str, ino: Ino) -> bool {
+    pub fn attach_dir(&mut self, new_parent: Ino, name: impl Into<Name>, ino: Ino) -> bool {
+        let name = name.into();
         if self.lookup(new_parent, name).is_some() {
             return false;
         }
         match self.node_mut(new_parent).map(|n| &mut n.kind) {
             Some(NodeKind::Dir { entries, .. }) => {
-                entries.insert(name.to_string(), ino);
+                entries.insert(name, ino);
             }
             _ => return false,
         }
@@ -424,10 +454,15 @@ impl MemFs {
         ok
     }
 
-    /// The target of a symlink.
-    pub fn symlink_target(&self, ino: Ino) -> Option<&str> {
+    /// The target text of a symlink (render boundary only).
+    pub fn symlink_target(&self, ino: Ino) -> Option<&'static str> {
+        self.symlink_target_parsed(ino).map(|t| t.as_str())
+    }
+
+    /// The pre-parsed target of a symlink: what the resolver splices.
+    pub fn symlink_target_parsed(&self, ino: Ino) -> Option<&ParsedPath> {
         match self.node(ino).map(|n| &n.kind) {
-            Some(NodeKind::Symlink { target }) => Some(target.as_str()),
+            Some(NodeKind::Symlink { target }) => Some(target),
             _ => None,
         }
     }
@@ -439,37 +474,47 @@ impl MemFs {
     /// trailing slash. Returns single concrete errors (`ENOENT`, `ENOTDIR`,
     /// `ELOOP`, `ENAMETOOLONG`), the way a real kernel does.
     pub fn resolve(&self, cwd: Ino, path: &str, follow_last: bool) -> SimRes {
-        self.resolve_with(cwd, path, follow_last, None)
+        self.resolve_parsed(cwd, &ParsedPath::parse(path), follow_last, None)
     }
 
-    /// Path resolution with a search-permission check: `search` is consulted
-    /// with the metadata of every directory traversed, and resolution fails
-    /// with `EACCES` when it refuses (real kernels check execute permission
-    /// on every path component).
-    pub fn resolve_with(
+    /// Path resolution over a pre-parsed path, with an optional
+    /// search-permission check: `search` is consulted with the metadata of
+    /// every directory traversed, and resolution fails with `EACCES` when it
+    /// refuses (real kernels check execute permission on every path
+    /// component). Shares the model's parse-time `ENAMETOOLONG` enforcement:
+    /// the overlong-component index computed when the path was interned is
+    /// consulted exactly where a kernel walking the path would notice.
+    pub fn resolve_parsed(
         &self,
         cwd: Ino,
-        path: &str,
+        path: &ParsedPath,
         follow_last: bool,
         search: Option<&dyn Fn(&NodeMeta) -> bool>,
     ) -> SimRes {
         if path.is_empty() {
             return SimRes::Error(Errno::ENOENT);
         }
-        if path.len() > 4096 {
+        if path.exceeds_path_max() {
             return SimRes::Error(Errno::ENAMETOOLONG);
         }
-        let absolute = path.starts_with('/');
-        let trailing = path.len() > 1 && path.ends_with('/');
-        let comps: Vec<&str> = path.split('/').filter(|c| !c.is_empty()).collect();
-        let start = if absolute { self.root } else { cwd };
-        self.resolve_from(start, &comps, trailing, follow_last, 0, search)
+        let start = if path.absolute { self.root } else { cwd };
+        self.resolve_from(
+            start,
+            path.components(),
+            path.first_overlong(),
+            path.trailing_slash,
+            follow_last,
+            0,
+            search,
+        )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn resolve_from(
         &self,
         start: Ino,
-        comps: &[&str],
+        comps: &[Name],
+        overlong_at: Option<usize>,
         trailing: bool,
         follow_last: bool,
         depth: usize,
@@ -483,7 +528,7 @@ impl MemFs {
         while idx < comps.len() {
             let comp = comps[idx];
             let is_last = idx + 1 == comps.len();
-            if comp.len() > 255 {
+            if overlong_at == Some(idx) {
                 return SimRes::Error(Errno::ENAMETOOLONG);
             }
             if let Some(check) = search {
@@ -493,11 +538,11 @@ impl MemFs {
                     }
                 }
             }
-            if comp == "." {
+            if comp == Name::DOT {
                 idx += 1;
                 continue;
             }
-            if comp == ".." {
+            if comp == Name::DOTDOT {
                 if cur == self.root {
                     idx += 1;
                     continue;
@@ -516,7 +561,7 @@ impl MemFs {
                     if is_last {
                         return SimRes::Missing {
                             parent: cur,
-                            name: comp.to_string(),
+                            name: comp,
                             trailing_slash: trailing,
                         };
                     }
@@ -529,7 +574,7 @@ impl MemFs {
                             if is_last {
                                 return SimRes::Dir {
                                     ino,
-                                    parent: Some((cur, comp.to_string())),
+                                    parent: Some((cur, comp)),
                                 };
                             }
                             cur = ino;
@@ -540,7 +585,7 @@ impl MemFs {
                             if !follow {
                                 return SimRes::NonDir {
                                     parent: cur,
-                                    name: comp.to_string(),
+                                    name: comp,
                                     ino,
                                     trailing_slash: trailing,
                                 };
@@ -548,19 +593,16 @@ impl MemFs {
                             if target.is_empty() {
                                 return SimRes::Error(Errno::ENOENT);
                             }
-                            let tstart = if target.starts_with('/') { self.root } else { cur };
-                            let tcomps: Vec<&str> =
-                                target.split('/').filter(|c| !c.is_empty()).collect();
-                            let mut spliced: Vec<&str> = tcomps;
-                            spliced.extend_from_slice(&comps[idx + 1..]);
-                            let new_trailing = if comps[idx + 1..].is_empty() {
-                                trailing || (target.len() > 1 && target.ends_with('/'))
-                            } else {
-                                trailing
-                            };
+                            let tstart = if target.absolute { self.root } else { cur };
+                            // Shares the model resolver's splice + overlong
+                            // re-base, so ENAMETOOLONG placement cannot drift
+                            // between sim and model.
+                            let (spliced, spliced_overlong, new_trailing) =
+                                target.splice_into(comps, idx, overlong_at, trailing);
                             return self.resolve_from(
                                 tstart,
                                 &spliced,
+                                spliced_overlong,
                                 new_trailing,
                                 follow_last,
                                 depth + 1,
@@ -573,7 +615,7 @@ impl MemFs {
                             }
                             return SimRes::NonDir {
                                 parent: cur,
-                                name: comp.to_string(),
+                                name: comp,
                                 ino,
                                 trailing_slash: trailing,
                             };

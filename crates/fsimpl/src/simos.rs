@@ -15,6 +15,8 @@ use serde::{Deserialize, Serialize};
 use sibylfs_core::commands::{ErrorOrValue, OsCommand, RetValue, Stat};
 use sibylfs_core::errno::Errno;
 use sibylfs_core::flags::{FileMode, OpenFlags, SeekWhence};
+use sibylfs_core::intern::Name;
+use sibylfs_core::path::ParsedPath;
 use sibylfs_core::types::{DirHandleId, Fd, FileKind, Gid, Pid, Uid, MAX_FILE_SIZE};
 
 use crate::behavior::{BehaviorProfile, ReaddirOrder};
@@ -38,9 +40,10 @@ pub struct SimFd {
 pub struct SimDh {
     /// The directory being listed.
     pub dir: Ino,
-    /// The snapshot of entry names, in the order this configuration returns
-    /// them.
-    pub entries: Vec<String>,
+    /// The snapshot of entry names (interned), in the order this
+    /// configuration returns them; resolved back to text only when a
+    /// `readdir` return value is produced.
+    pub entries: Vec<Name>,
     /// The position of the next entry to return.
     pub pos: usize,
 }
@@ -216,7 +219,7 @@ impl SimOs {
             },
             NodeKind::Symlink { target } => Stat {
                 kind: FileKind::Symlink,
-                size: target.len() as u64,
+                size: target.raw_len() as u64,
                 nlink: if self.profile.supports_file_nlink { node.nlink } else { 1 },
                 mode: FileMode::new(self.profile.symlink_mode),
                 uid: Uid(node.meta.uid),
@@ -225,7 +228,7 @@ impl SimOs {
         }
     }
 
-    fn ordered_entries(&self, dir: Ino) -> Vec<String> {
+    fn ordered_entries(&self, dir: Ino) -> Vec<Name> {
         match self.profile.readdir_order {
             ReaddirOrder::Sorted => self.fs.entries(dir),
             ReaddirOrder::Reverse => {
@@ -280,22 +283,22 @@ impl SimOs {
         }
     }
 
-    fn resolve(&self, pid: Pid, path: &str, follow_last: bool) -> SimRes {
+    fn resolve(&self, pid: Pid, path: &ParsedPath, follow_last: bool) -> SimRes {
         let Some(proc) = self.procs.get(&pid.0) else {
             return SimRes::Error(Errno::EINVAL);
         };
         let cwd = proc.cwd;
         if self.profile.permissions_not_enforced || proc.euid == 0 {
-            return self.fs.resolve(cwd, path, follow_last);
+            return self.fs.resolve_parsed(cwd, path, follow_last, None);
         }
         let proc = proc.clone();
         let check = |meta: &NodeMeta| self.allowed(&proc, meta, Want::Exec);
-        self.fs.resolve_with(cwd, path, follow_last, Some(&check))
+        self.fs.resolve_parsed(cwd, path, follow_last, Some(&check))
     }
 
     // --- directories ---------------------------------------------------------
 
-    fn do_mkdir(&mut self, pid: Pid, path: &str, mode: u32) -> ErrorOrValue {
+    fn do_mkdir(&mut self, pid: Pid, path: &ParsedPath, mode: u32) -> ErrorOrValue {
         let proc = self.procs[&pid.0].clone();
         match self.resolve(pid, path, false) {
             SimRes::Error(e) => ErrorOrValue::Error(e),
@@ -312,7 +315,7 @@ impl SimOs {
                 let meta = NodeMeta { mode: self.creation_mode(&proc, mode), uid, gid };
                 self.fs.create(
                     parent,
-                    &name,
+                    name,
                     NodeKind::Dir { entries: BTreeMap::new(), parent: None },
                     meta,
                 );
@@ -321,10 +324,9 @@ impl SimOs {
         }
     }
 
-    fn do_rmdir(&mut self, pid: Pid, path: &str) -> ErrorOrValue {
+    fn do_rmdir(&mut self, pid: Pid, path: &ParsedPath) -> ErrorOrValue {
         let proc = self.procs[&pid.0].clone();
-        let last = path.trim_end_matches('/').rsplit('/').next().unwrap_or("");
-        if last == "." {
+        if path.last_component() == Some(Name::DOT) {
             return ErrorOrValue::Error(Errno::EINVAL);
         }
         match self.resolve(pid, path, false) {
@@ -346,13 +348,13 @@ impl SimOs {
                 if let Err(e) = self.check_dir_writable(&proc, pdir) {
                     return ErrorOrValue::Error(e);
                 }
-                self.fs.remove_entry(pdir, &name, true);
+                self.fs.remove_entry(pdir, name, true);
                 ErrorOrValue::Value(RetValue::None)
             }
         }
     }
 
-    fn do_chdir(&mut self, pid: Pid, path: &str) -> ErrorOrValue {
+    fn do_chdir(&mut self, pid: Pid, path: &ParsedPath) -> ErrorOrValue {
         let proc = self.procs[&pid.0].clone();
         match self.resolve(pid, path, true) {
             SimRes::Error(e) => ErrorOrValue::Error(e),
@@ -371,7 +373,7 @@ impl SimOs {
 
     // --- files ---------------------------------------------------------------
 
-    fn do_unlink(&mut self, pid: Pid, path: &str) -> ErrorOrValue {
+    fn do_unlink(&mut self, pid: Pid, path: &ParsedPath) -> ErrorOrValue {
         let proc = self.procs[&pid.0].clone();
         match self.resolve(pid, path, false) {
             SimRes::Error(e) => ErrorOrValue::Error(e),
@@ -384,13 +386,13 @@ impl SimOs {
                 if let Err(e) = self.check_dir_writable(&proc, parent) {
                     return ErrorOrValue::Error(e);
                 }
-                self.fs.remove_entry(parent, &name, true);
+                self.fs.remove_entry(parent, name, true);
                 ErrorOrValue::Value(RetValue::None)
             }
         }
     }
 
-    fn do_truncate(&mut self, pid: Pid, path: &str, len: i64) -> ErrorOrValue {
+    fn do_truncate(&mut self, pid: Pid, path: &ParsedPath, len: i64) -> ErrorOrValue {
         let proc = self.procs[&pid.0].clone();
         if len < 0 {
             return ErrorOrValue::Error(Errno::EINVAL);
@@ -424,7 +426,7 @@ impl SimOs {
         }
     }
 
-    fn do_stat(&mut self, pid: Pid, path: &str, follow: bool) -> ErrorOrValue {
+    fn do_stat(&mut self, pid: Pid, path: &ParsedPath, follow: bool) -> ErrorOrValue {
         match self.resolve(pid, path, follow) {
             SimRes::Error(e) => ErrorOrValue::Error(e),
             SimRes::Missing { .. } => ErrorOrValue::Error(Errno::ENOENT),
@@ -443,7 +445,7 @@ impl SimOs {
 
     // --- links ---------------------------------------------------------------
 
-    fn do_link(&mut self, pid: Pid, src: &str, dst: &str) -> ErrorOrValue {
+    fn do_link(&mut self, pid: Pid, src: &ParsedPath, dst: &ParsedPath) -> ErrorOrValue {
         let proc = self.procs[&pid.0].clone();
         // Examine the source without following, to apply per-configuration
         // symlink handling.
@@ -494,13 +496,13 @@ impl SimOs {
                 if let Err(e) = self.check_dir_writable(&proc, parent) {
                     return ErrorOrValue::Error(e);
                 }
-                self.fs.add_link(parent, &name, src_ino);
+                self.fs.add_link(parent, name, src_ino);
                 ErrorOrValue::Value(RetValue::None)
             }
         }
     }
 
-    fn do_symlink(&mut self, pid: Pid, target: &str, path: &str) -> ErrorOrValue {
+    fn do_symlink(&mut self, pid: Pid, target: &ParsedPath, path: &ParsedPath) -> ErrorOrValue {
         let proc = self.procs[&pid.0].clone();
         match self.resolve(pid, path, false) {
             SimRes::Error(e) => ErrorOrValue::Error(e),
@@ -517,13 +519,13 @@ impl SimOs {
                 }
                 let (uid, gid) = self.creation_owner(&proc);
                 let meta = NodeMeta { mode: self.profile.symlink_mode, uid, gid };
-                self.fs.create(parent, &name, NodeKind::Symlink { target: target.to_string() }, meta);
+                self.fs.create(parent, name, NodeKind::Symlink { target: target.clone() }, meta);
                 ErrorOrValue::Value(RetValue::None)
             }
         }
     }
 
-    fn do_readlink(&mut self, pid: Pid, path: &str) -> ErrorOrValue {
+    fn do_readlink(&mut self, pid: Pid, path: &ParsedPath) -> ErrorOrValue {
         match self.resolve(pid, path, false) {
             SimRes::Error(e) => ErrorOrValue::Error(e),
             SimRes::Missing { .. } => ErrorOrValue::Error(Errno::ENOENT),
@@ -537,11 +539,10 @@ impl SimOs {
 
     // --- rename ---------------------------------------------------------------
 
-    fn do_rename(&mut self, pid: Pid, src: &str, dst: &str) -> ErrorOrValue {
+    fn do_rename(&mut self, pid: Pid, src: &ParsedPath, dst: &ParsedPath) -> ErrorOrValue {
         let proc = self.procs[&pid.0].clone();
         for p in [src, dst] {
-            let last = p.trim_end_matches('/').rsplit('/').next().unwrap_or("");
-            if last == "." || last == ".." {
+            if p.ends_in_dot() {
                 return ErrorOrValue::Error(Errno::EINVAL);
             }
         }
@@ -600,9 +601,9 @@ impl SimOs {
                         {
                             return ErrorOrValue::Error(e);
                         }
-                        self.fs.remove_entry(dp, &dname, true);
-                        self.fs.remove_entry(sp, &sname, true);
-                        self.fs.attach_dir(dp, &dname, sd);
+                        self.fs.remove_entry(dp, dname, true);
+                        self.fs.remove_entry(sp, sname, true);
+                        self.fs.attach_dir(dp, dname, sd);
                         ErrorOrValue::Value(RetValue::None)
                     }
                     SimRes::Missing { parent: dp, name: dname, .. } => {
@@ -623,8 +624,8 @@ impl SimOs {
                         {
                             return ErrorOrValue::Error(e);
                         }
-                        self.fs.remove_entry(sp, &sname, true);
-                        self.fs.attach_dir(dp, &dname, sd);
+                        self.fs.remove_entry(sp, sname, true);
+                        self.fs.attach_dir(dp, dname, sd);
                         ErrorOrValue::Value(RetValue::None)
                     }
                 }
@@ -646,9 +647,9 @@ impl SimOs {
                         {
                             return ErrorOrValue::Error(e);
                         }
-                        self.fs.remove_entry(dp, &dname, true);
-                        self.fs.remove_entry(sp, &sname, false);
-                        self.fs.add_link(dp, &dname, sino);
+                        self.fs.remove_entry(dp, dname, true);
+                        self.fs.remove_entry(sp, sname, false);
+                        self.fs.add_link(dp, dname, sino);
                         // posixovl/VFAT leak (§7.3.5): the moved file's link
                         // count is left one too high, so a later unlink never
                         // reaches zero and the blocks are never reclaimed.
@@ -675,8 +676,8 @@ impl SimOs {
                         {
                             return ErrorOrValue::Error(e);
                         }
-                        self.fs.remove_entry(sp, &sname, false);
-                        self.fs.add_link(dp, &dname, sino);
+                        self.fs.remove_entry(sp, sname, false);
+                        self.fs.add_link(dp, dname, sino);
                         if let Some(n) = self.fs.node_mut(sino) {
                             n.nlink = n.nlink.saturating_sub(1);
                         }
@@ -689,7 +690,7 @@ impl SimOs {
 
     // --- open / close / lseek --------------------------------------------------
 
-    fn do_open(&mut self, pid: Pid, path: &str, flags: OpenFlags, mode: Option<FileMode>) -> ErrorOrValue {
+    fn do_open(&mut self, pid: Pid, path: &ParsedPath, flags: OpenFlags, mode: Option<FileMode>) -> ErrorOrValue {
         let proc = self.procs[&pid.0].clone();
         let Some(access) = flags.access_mode() else {
             return ErrorOrValue::Error(Errno::EINVAL);
@@ -705,10 +706,10 @@ impl SimOs {
                 if self.fs.node(ino).map(|n| n.is_symlink()).unwrap_or(false) {
                     let (uid, gid) = self.creation_owner(&proc);
                     let m = self.creation_mode(&proc, mode.map(|m| m.bits()).unwrap_or(0o666));
-                    self.fs.remove_entry(parent, &name, true);
+                    self.fs.remove_entry(parent, name, true);
                     self.fs.create(
                         parent,
-                        &name,
+                        name,
                         NodeKind::File { data: Vec::new() },
                         NodeMeta { mode: m, uid, gid },
                     );
@@ -786,7 +787,7 @@ impl SimOs {
                 let m = self.creation_mode(&proc, mode.map(|m| m.bits()).unwrap_or(0o666));
                 let Some(ino) = self.fs.create(
                     parent,
-                    &name,
+                    name,
                     NodeKind::File { data: Vec::new() },
                     NodeMeta { mode: m, uid, gid },
                 ) else {
@@ -925,7 +926,7 @@ impl SimOs {
 
     // --- metadata ---------------------------------------------------------------
 
-    fn do_chmod(&mut self, pid: Pid, path: &str, mode: u32) -> ErrorOrValue {
+    fn do_chmod(&mut self, pid: Pid, path: &ParsedPath, mode: u32) -> ErrorOrValue {
         let proc = self.procs[&pid.0].clone();
         if !self.profile.chmod_supported {
             return ErrorOrValue::Error(Errno::EOPNOTSUPP);
@@ -953,7 +954,7 @@ impl SimOs {
         ErrorOrValue::Value(RetValue::None)
     }
 
-    fn do_chown(&mut self, pid: Pid, path: &str, uid: u32, gid: u32) -> ErrorOrValue {
+    fn do_chown(&mut self, pid: Pid, path: &ParsedPath, uid: u32, gid: u32) -> ErrorOrValue {
         let proc = self.procs[&pid.0].clone();
         let ino = match self.resolve(pid, path, true) {
             SimRes::Error(e) => return ErrorOrValue::Error(e),
@@ -990,7 +991,7 @@ impl SimOs {
 
     // --- directory streams --------------------------------------------------------
 
-    fn do_opendir(&mut self, pid: Pid, path: &str) -> ErrorOrValue {
+    fn do_opendir(&mut self, pid: Pid, path: &ParsedPath) -> ErrorOrValue {
         let proc = self.procs[&pid.0].clone();
         match self.resolve(pid, path, true) {
             SimRes::Error(e) => ErrorOrValue::Error(e),
@@ -1017,9 +1018,9 @@ impl SimOs {
             return ErrorOrValue::Error(Errno::EBADF);
         };
         if stream.pos < stream.entries.len() {
-            let name = stream.entries[stream.pos].clone();
+            let name = stream.entries[stream.pos];
             stream.pos += 1;
-            ErrorOrValue::Value(RetValue::ReaddirEntry(Some(name)))
+            ErrorOrValue::Value(RetValue::ReaddirEntry(Some(name.as_str().to_string())))
         } else {
             ErrorOrValue::Value(RetValue::ReaddirEntry(None))
         }
@@ -1174,7 +1175,7 @@ mod tests {
             let b = format!("/b{i}");
             let fd = match os.call(
                 p,
-                &OsCommand::Open(a.clone(), OpenFlags::O_CREAT | OpenFlags::O_RDWR, Some(FileMode::new(0o644))),
+                &OsCommand::Open(a.as_str().into(), OpenFlags::O_CREAT | OpenFlags::O_RDWR, Some(FileMode::new(0o644))),
             ) {
                 ErrorOrValue::Value(RetValue::Fd(fd)) => fd,
                 ErrorOrValue::Error(Errno::ENOSPC) => {
@@ -1194,12 +1195,12 @@ mod tests {
             os.call(p, &OsCommand::Close(fd));
             os.call(
                 p,
-                &OsCommand::Open(b.clone(), OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Some(FileMode::new(0o644))),
+                &OsCommand::Open(b.as_str().into(), OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Some(FileMode::new(0o644))),
             );
-            os.call(p, &OsCommand::Rename(a, b.clone()));
+            os.call(p, &OsCommand::Rename(a.into(), b.as_str().into()));
             // Deleting the renamed file should release the space, but the
             // leak keeps it accounted.
-            os.call(p, &OsCommand::Unlink(b));
+            os.call(p, &OsCommand::Unlink(b.into()));
         }
         assert!(saw_enospc, "the storage leak should eventually exhaust the volume");
         // A correct overlay on the same small volume never runs out of space.
@@ -1211,7 +1212,7 @@ mod tests {
             let b = format!("/b{i}");
             let fd = match value(os.call(
                 p,
-                &OsCommand::Open(a.clone(), OpenFlags::O_CREAT | OpenFlags::O_RDWR, Some(FileMode::new(0o644))),
+                &OsCommand::Open(a.as_str().into(), OpenFlags::O_CREAT | OpenFlags::O_RDWR, Some(FileMode::new(0o644))),
             )) {
                 RetValue::Fd(fd) => fd,
                 other => panic!("unexpected {other}"),
@@ -1220,10 +1221,10 @@ mod tests {
             value(os.call(p, &OsCommand::Close(fd)));
             value(os.call(
                 p,
-                &OsCommand::Open(b.clone(), OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Some(FileMode::new(0o644))),
+                &OsCommand::Open(b.as_str().into(), OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Some(FileMode::new(0o644))),
             ));
-            value(os.call(p, &OsCommand::Rename(a, b.clone())));
-            value(os.call(p, &OsCommand::Unlink(b)));
+            value(os.call(p, &OsCommand::Rename(a.into(), b.as_str().into())));
+            value(os.call(p, &OsCommand::Unlink(b.into())));
         }
     }
 

@@ -287,7 +287,7 @@ pub fn render_coverage_markdown(c: &CoverageSummary) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sibylfs_check::{CheckedStep, Deviation, StepKind, StepVerdict};
+    use sibylfs_check::{CheckedStep, Deviation, StepKind, StepLabel, StepVerdict};
 
     fn fake_trace(name: &str, dev: Option<(&str, &str)>) -> CheckedTrace {
         let deviations = dev
@@ -307,7 +307,7 @@ mod tests {
             accepted: deviations.is_empty(),
             steps: vec![CheckedStep {
                 lineno: 1,
-                label: "p1: call stat \"x\"".into(),
+                label: StepLabel::Synthetic("p1: call stat \"x\""),
                 kind: StepKind::Call,
                 verdict: StepVerdict::Ok,
                 states_tracked: 1,

@@ -231,17 +231,17 @@ pub fn parse_command(text: &str, line: usize) -> Result<OsCommand, ParseError> {
     let mut c = Cursor::new(text, line);
     let name = c.word()?.to_string();
     let cmd = match name.as_str() {
-        "chdir" => OsCommand::Chdir(c.quoted()?),
-        "chmod" => OsCommand::Chmod(c.quoted()?, c.mode()?),
+        "chdir" => OsCommand::Chdir(c.quoted()?.into()),
+        "chmod" => OsCommand::Chmod(c.quoted()?.into(), c.mode()?),
         "chown" => {
             let p = c.quoted()?;
             let uid = c.int()? as u32;
             let gid = c.int()? as u32;
-            OsCommand::Chown(p, Uid(uid), Gid(gid))
+            OsCommand::Chown(p.into(), Uid(uid), Gid(gid))
         }
         "close" => OsCommand::Close(c.fd()?),
         "closedir" => OsCommand::Closedir(c.dh()?),
-        "link" => OsCommand::Link(c.quoted()?, c.quoted()?),
+        "link" => OsCommand::Link(c.quoted()?.into(), c.quoted()?.into()),
         "lseek" => {
             let fd = c.fd()?;
             let off = c.int()?;
@@ -250,15 +250,15 @@ pub fn parse_command(text: &str, line: usize) -> Result<OsCommand, ParseError> {
                 w.parse().map_err(|_| c.err(format!("unknown whence {w:?}")))?;
             OsCommand::Lseek(fd, off, whence)
         }
-        "lstat" => OsCommand::Lstat(c.quoted()?),
-        "mkdir" => OsCommand::Mkdir(c.quoted()?, c.mode()?),
+        "lstat" => OsCommand::Lstat(c.quoted()?.into()),
+        "mkdir" => OsCommand::Mkdir(c.quoted()?.into(), c.mode()?),
         "open" => {
             let p = c.quoted()?;
             let flags = c.flags()?;
             let mode = if c.at_end() { None } else { Some(c.mode()?) };
-            OsCommand::Open(p, flags, mode)
+            OsCommand::Open(p.into(), flags, mode)
         }
-        "opendir" => OsCommand::Opendir(c.quoted()?),
+        "opendir" => OsCommand::Opendir(c.quoted()?.into()),
         "pread" => {
             let fd = c.fd()?;
             let count = c.int()? as usize;
@@ -273,15 +273,15 @@ pub fn parse_command(text: &str, line: usize) -> Result<OsCommand, ParseError> {
         }
         "read" => OsCommand::Read(c.fd()?, c.int()? as usize),
         "readdir" => OsCommand::Readdir(c.dh()?),
-        "readlink" => OsCommand::Readlink(c.quoted()?),
-        "rename" => OsCommand::Rename(c.quoted()?, c.quoted()?),
+        "readlink" => OsCommand::Readlink(c.quoted()?.into()),
+        "rename" => OsCommand::Rename(c.quoted()?.into(), c.quoted()?.into()),
         "rewinddir" => OsCommand::Rewinddir(c.dh()?),
-        "rmdir" => OsCommand::Rmdir(c.quoted()?),
-        "stat" => OsCommand::Stat(c.quoted()?),
-        "symlink" => OsCommand::Symlink(c.quoted()?, c.quoted()?),
-        "truncate" => OsCommand::Truncate(c.quoted()?, c.int()?),
+        "rmdir" => OsCommand::Rmdir(c.quoted()?.into()),
+        "stat" => OsCommand::Stat(c.quoted()?.into()),
+        "symlink" => OsCommand::Symlink(c.quoted()?.into(), c.quoted()?.into()),
+        "truncate" => OsCommand::Truncate(c.quoted()?.into(), c.int()?),
         "umask" => OsCommand::Umask(c.mode()?),
-        "unlink" => OsCommand::Unlink(c.quoted()?),
+        "unlink" => OsCommand::Unlink(c.quoted()?.into()),
         "write" => OsCommand::Write(c.fd()?, c.quoted()?.into_bytes()),
         "add_user_to_group" => {
             let uid = c.int()? as u32;

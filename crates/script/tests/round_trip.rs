@@ -11,6 +11,7 @@ use proptest::prelude::*;
 use proptest::strategy::Union;
 
 use sibylfs_core::commands::{ErrorOrValue, OsCommand, RetValue, Stat};
+use sibylfs_core::path::ParsedPath;
 use sibylfs_core::errno::Errno;
 use sibylfs_core::flags::{FileMode, OpenFlags, SeekWhence};
 use sibylfs_core::types::{DirHandleId, Fd, FileKind, Gid, Pid, Uid};
@@ -77,25 +78,25 @@ fn command_strategy() -> BoxedStrategy<OsCommand> {
     let f = fd_strategy();
     let d = dh_strategy();
     Union::new(vec![
-        p.clone().prop_map(OsCommand::Chdir).boxed(),
-        (p.clone(), m.clone()).prop_map(|(a, b)| OsCommand::Chmod(a, b)).boxed(),
+        p.clone().prop_map(|a| OsCommand::Chdir(a.into())).boxed(),
+        (p.clone(), m.clone()).prop_map(|(a, b)| OsCommand::Chmod(a.into(), b)).boxed(),
         (p.clone(), 0u32..5000, 0u32..5000)
-            .prop_map(|(a, u, g)| OsCommand::Chown(a, Uid(u), Gid(g)))
+            .prop_map(|(a, u, g)| OsCommand::Chown(a.into(), Uid(u), Gid(g)))
             .boxed(),
         f.clone().prop_map(OsCommand::Close).boxed(),
         d.clone().prop_map(OsCommand::Closedir).boxed(),
-        (p.clone(), p.clone()).prop_map(|(a, b)| OsCommand::Link(a, b)).boxed(),
+        (p.clone(), p.clone()).prop_map(|(a, b)| OsCommand::Link(a.into(), b.into())).boxed(),
         (f.clone(), -1000i64..1000, whence_strategy())
             .prop_map(|(fd, off, w)| OsCommand::Lseek(fd, off, w))
             .boxed(),
-        p.clone().prop_map(OsCommand::Lstat).boxed(),
-        (p.clone(), m.clone()).prop_map(|(a, b)| OsCommand::Mkdir(a, b)).boxed(),
+        p.clone().prop_map(|a| OsCommand::Lstat(a.into())).boxed(),
+        (p.clone(), m.clone()).prop_map(|(a, b)| OsCommand::Mkdir(a.into(), b)).boxed(),
         (p.clone(), flags_strategy(), m.clone(), 0usize..2)
             .prop_map(|(a, fl, mo, has)| {
-                OsCommand::Open(a, fl, if has == 1 { Some(mo) } else { None })
+                OsCommand::Open(a.into(), fl, if has == 1 { Some(mo) } else { None })
             })
             .boxed(),
-        p.clone().prop_map(OsCommand::Opendir).boxed(),
+        p.clone().prop_map(|a| OsCommand::Opendir(a.into())).boxed(),
         (f.clone(), 0usize..4096, -10i64..10_000)
             .prop_map(|(fd, n, off)| OsCommand::Pread(fd, n, off))
             .boxed(),
@@ -104,15 +105,15 @@ fn command_strategy() -> BoxedStrategy<OsCommand> {
             .boxed(),
         (f.clone(), 0usize..4096).prop_map(|(fd, n)| OsCommand::Read(fd, n)).boxed(),
         d.clone().prop_map(OsCommand::Readdir).boxed(),
-        p.clone().prop_map(OsCommand::Readlink).boxed(),
-        (p.clone(), p.clone()).prop_map(|(a, b)| OsCommand::Rename(a, b)).boxed(),
+        p.clone().prop_map(|a| OsCommand::Readlink(a.into())).boxed(),
+        (p.clone(), p.clone()).prop_map(|(a, b)| OsCommand::Rename(a.into(), b.into())).boxed(),
         d.prop_map(OsCommand::Rewinddir).boxed(),
-        p.clone().prop_map(OsCommand::Rmdir).boxed(),
-        p.clone().prop_map(OsCommand::Stat).boxed(),
-        (p.clone(), p.clone()).prop_map(|(a, b)| OsCommand::Symlink(a, b)).boxed(),
-        (p.clone(), -10i64..1_000_000).prop_map(|(a, n)| OsCommand::Truncate(a, n)).boxed(),
+        p.clone().prop_map(|a| OsCommand::Rmdir(a.into())).boxed(),
+        p.clone().prop_map(|a| OsCommand::Stat(a.into())).boxed(),
+        (p.clone(), p.clone()).prop_map(|(a, b)| OsCommand::Symlink(a.into(), b.into())).boxed(),
+        (p.clone(), -10i64..1_000_000).prop_map(|(a, n)| OsCommand::Truncate(a.into(), n)).boxed(),
         m.prop_map(OsCommand::Umask).boxed(),
-        p.prop_map(OsCommand::Unlink).boxed(),
+        p.prop_map(|a| OsCommand::Unlink(a.into())).boxed(),
         (f, data_strategy()).prop_map(|(fd, data)| OsCommand::Write(fd, data)).boxed(),
         (0u32..5000, 0u32..5000)
             .prop_map(|(u, g)| OsCommand::AddUserToGroup(Uid(u), Gid(g)))
@@ -202,6 +203,26 @@ fn trace_strategy() -> BoxedStrategy<Trace> {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// parse→intern→print: a path string entering through the parser interns
+    /// to symbols that resolve back to exactly the original text (including
+    /// names needing escapes), and a second parse of the same text reuses the
+    /// same symbols — the interner is idempotent through the text format.
+    #[test]
+    fn path_intern_round_trips(text in path_strategy()) {
+        let p = ParsedPath::parse(&text);
+        prop_assert_eq!(p.as_str(), text.as_str());
+        let again = ParsedPath::parse(&text);
+        prop_assert_eq!(p.raw_name(), again.raw_name());
+        prop_assert_eq!(p.components(), again.components());
+        // Components resolve back to the non-empty slash-separated pieces.
+        let expect: Vec<&str> = text.split('/').filter(|c| !c.is_empty()).collect();
+        let got: Vec<&str> = p.components().iter().map(|n| n.as_str()).collect();
+        prop_assert_eq!(got, expect);
+        // And the quoted Display form is what the String printed before the
+        // intern refactor: the rendered text formats are unchanged.
+        prop_assert_eq!(format!("{p}"), format!("{text:?}"));
+    }
 
     /// Every renderable command round-trips through its display form.
     #[test]

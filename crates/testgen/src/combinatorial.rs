@@ -15,16 +15,16 @@ pub fn single_path_scripts() -> Vec<Script> {
     let mut out = Vec::new();
     for p in PATH_POOL {
         let tok = path_token(p.path);
-        let path = p.path.to_string();
+        let path = p.path;
 
         for (case, cmd) in [
-            ("stat", OsCommand::Stat(path.clone())),
-            ("lstat", OsCommand::Lstat(path.clone())),
-            ("unlink", OsCommand::Unlink(path.clone())),
-            ("rmdir", OsCommand::Rmdir(path.clone())),
-            ("opendir", OsCommand::Opendir(path.clone())),
-            ("readlink", OsCommand::Readlink(path.clone())),
-            ("chdir", OsCommand::Chdir(path.clone())),
+            ("stat", OsCommand::Stat(path.into())),
+            ("lstat", OsCommand::Lstat(path.into())),
+            ("unlink", OsCommand::Unlink(path.into())),
+            ("rmdir", OsCommand::Rmdir(path.into())),
+            ("opendir", OsCommand::Opendir(path.into())),
+            ("readlink", OsCommand::Readlink(path.into())),
+            ("chdir", OsCommand::Chdir(path.into())),
         ] {
             let mut s = script_with_fixture(case, &tok);
             s.call(cmd);
@@ -33,23 +33,23 @@ pub fn single_path_scripts() -> Vec<Script> {
 
         for mode in [0o777u32, 0o700, 0o000] {
             let mut s = script_with_fixture("mkdir", &format!("{tok}___mode{mode:o}"));
-            s.call(OsCommand::Mkdir(path.clone(), FileMode::new(mode)));
+            s.call(OsCommand::Mkdir(path.into(), FileMode::new(mode)));
             out.push(s);
         }
         for mode in [0o644u32, 0o000] {
             let mut s = script_with_fixture("chmod", &format!("{tok}___mode{mode:o}"));
-            s.call(OsCommand::Chmod(path.clone(), FileMode::new(mode)));
+            s.call(OsCommand::Chmod(path.into(), FileMode::new(mode)));
             out.push(s);
         }
         for len in [0i64, 17, -1] {
             let mut s = script_with_fixture("truncate", &format!("{tok}___len{len}"));
-            s.call(OsCommand::Truncate(path.clone(), len));
+            s.call(OsCommand::Truncate(path.into(), len));
             out.push(s);
         }
         {
             let mut s = script_with_fixture("chown", &tok);
             s.call(OsCommand::Chown(
-                path.clone(),
+                path.into(),
                 sibylfs_core::types::Uid(1000),
                 sibylfs_core::types::Gid(1000),
             ));
@@ -74,15 +74,15 @@ pub fn two_path_scripts() -> Vec<Script> {
             let case = format!("{ta}___{tb}");
 
             let mut s = script_with_fixture("rename", &case);
-            s.call(OsCommand::Rename(a.path.to_string(), b.path.to_string()));
+            s.call(OsCommand::Rename(a.path.into(), b.path.into()));
             out.push(s);
 
             let mut s = script_with_fixture("link", &case);
-            s.call(OsCommand::Link(a.path.to_string(), b.path.to_string()));
+            s.call(OsCommand::Link(a.path.into(), b.path.into()));
             out.push(s);
 
             let mut s = script_with_fixture("symlink", &case);
-            s.call(OsCommand::Symlink(a.path.to_string(), b.path.to_string()));
+            s.call(OsCommand::Symlink(a.path.into(), b.path.into()));
             out.push(s);
         }
     }
@@ -131,7 +131,7 @@ pub fn open_scripts() -> Vec<Script> {
                 } else {
                     None
                 };
-                s.call(OsCommand::Open(p.path.to_string(), flags, mode));
+                s.call(OsCommand::Open(p.path.into(), flags, mode));
                 out.push(s);
             }
         }
@@ -165,7 +165,7 @@ pub fn open_scripts_quick() -> Vec<Script> {
             } else {
                 None
             };
-            s.call(OsCommand::Open(p.path.to_string(), *flags, mode));
+            s.call(OsCommand::Open(p.path.into(), *flags, mode));
             out.push(s);
         }
     }

@@ -102,8 +102,8 @@ pub fn random_command(rng: &mut StdRng) -> OsCommand {
     let fd = Fd(rng.gen_range(3..6));
     let dh = DirHandleId(rng.gen_range(1..3));
     match rng.gen_range(0..18) {
-        0 => OsCommand::Mkdir(random_path(rng), FileMode::new(0o777)),
-        1 => OsCommand::Rmdir(random_path(rng)),
+        0 => OsCommand::Mkdir(random_path(rng).into(), FileMode::new(0o777)),
+        1 => OsCommand::Rmdir(random_path(rng).into()),
         2 => {
             let mut flags = match rng.gen_range(0..3) {
                 0 => OpenFlags::O_RDONLY,
@@ -122,7 +122,7 @@ pub fn random_command(rng: &mut StdRng) -> OsCommand {
             if rng.gen_bool(0.2) {
                 flags = flags | OpenFlags::O_TRUNC;
             }
-            OsCommand::Open(random_path(rng), flags, Some(FileMode::new(0o644)))
+            OsCommand::Open(random_path(rng).into(), flags, Some(FileMode::new(0o644)))
         }
         3 => OsCommand::Close(fd),
         4 => OsCommand::Write(fd, vec![b'x'; rng.gen_range(0..32)]),
@@ -134,15 +134,15 @@ pub fn random_command(rng: &mut StdRng) -> OsCommand {
             rng.gen_range(-8..64),
             *[SeekWhence::Set, SeekWhence::Cur, SeekWhence::End].choose(rng).expect("non-empty"),
         ),
-        9 => OsCommand::Rename(random_path(rng), random_path(rng)),
-        10 => OsCommand::Link(random_path(rng), random_path(rng)),
-        11 => OsCommand::Symlink(random_path(rng), random_path(rng)),
-        12 => OsCommand::Unlink(random_path(rng)),
-        13 => OsCommand::Stat(random_path(rng)),
-        14 => OsCommand::Lstat(random_path(rng)),
-        15 => OsCommand::Opendir(random_path(rng)),
+        9 => OsCommand::Rename(random_path(rng).into(), random_path(rng).into()),
+        10 => OsCommand::Link(random_path(rng).into(), random_path(rng).into()),
+        11 => OsCommand::Symlink(random_path(rng).into(), random_path(rng).into()),
+        12 => OsCommand::Unlink(random_path(rng).into()),
+        13 => OsCommand::Stat(random_path(rng).into()),
+        14 => OsCommand::Lstat(random_path(rng).into()),
+        15 => OsCommand::Opendir(random_path(rng).into()),
         16 => OsCommand::Readdir(dh),
-        _ => OsCommand::Truncate(random_path(rng), rng.gen_range(-1..128)),
+        _ => OsCommand::Truncate(random_path(rng).into(), rng.gen_range(-1..128)),
     }
 }
 

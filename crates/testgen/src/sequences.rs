@@ -436,9 +436,9 @@ pub fn coverage_gap_scripts() -> Vec<Script> {
         let long_name = "n".repeat(300);
         let long_path = format!("/{}", "d/".repeat(2200));
         let mut sc = s("name_and_path_too_long", "stat");
-        sc.call(OsCommand::Stat(format!("/{long_name}")))
-            .call(OsCommand::Mkdir(format!("/{long_name}"), mode(0o777)))
-            .call(OsCommand::Stat(long_path));
+        sc.call(OsCommand::Stat(format!("/{long_name}").into()))
+            .call(OsCommand::Mkdir(format!("/{long_name}").into(), mode(0o777)))
+            .call(OsCommand::Stat(long_path.into()));
         out.push(sc);
     }
     {
@@ -535,15 +535,15 @@ pub fn coverage_gap_scripts() -> Vec<Script> {
         for i in 0..40 {
             let a = format!("a{i}");
             let b = format!("b{i}");
-            sc.call(OsCommand::Open(a.clone(), OpenFlags::O_CREAT | OpenFlags::O_RDWR, Some(mode(0o644))));
+            sc.call(OsCommand::Open(a.as_str().into(), OpenFlags::O_CREAT | OpenFlags::O_RDWR, Some(mode(0o644))));
             sc.call(OsCommand::Write(Fd(fd), vec![b'z'; 8192]));
             sc.call(OsCommand::Close(Fd(fd)));
             fd += 1;
-            sc.call(OsCommand::Open(b.clone(), OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Some(mode(0o644))));
+            sc.call(OsCommand::Open(b.as_str().into(), OpenFlags::O_CREAT | OpenFlags::O_WRONLY, Some(mode(0o644))));
             sc.call(OsCommand::Close(Fd(fd)));
             fd += 1;
-            sc.call(OsCommand::Rename(a, b.clone()));
-            sc.call(OsCommand::Unlink(b));
+            sc.call(OsCommand::Rename(a.into(), b.as_str().into()));
+            sc.call(OsCommand::Unlink(b.into()));
         }
         out.push(sc);
     }
@@ -720,6 +720,32 @@ pub fn model_gap_scripts() -> Vec<(Script, &'static str)> {
         .call(OsCommand::Close(FD3))
         .call(OsCommand::Truncate("f".into(), i64::MAX));
         out.push((sc, "truncate/length_beyond_file_size_limit"));
+    }
+    {
+        // Gap 11 — the ENAMETOOLONG envelope, enforced at the name interner:
+        // a component longer than NAME_MAX (255 bytes) must fail with
+        // ENAMETOOLONG in the model, the simulation, and on the real kernel
+        // alike, while a component of exactly NAME_MAX is legal. The
+        // overlong-component index is computed once, when the path is parsed
+        // and its components interned, and both resolvers consult it at the
+        // position a kernel walking the path would notice — so an overlong
+        // component *behind* a failing prefix still reports the prefix error
+        // (the `open` below reports ENAMETOOLONG for the first component,
+        // never ENOENT for the second). Asserted against the real kernel by
+        // the host differential suite, which runs every gap fixture.
+        let long = "n".repeat(256);
+        let edge = "e".repeat(255);
+        let mut sc = s("gap_component_longer_than_name_max", "mkdir");
+        sc.call(OsCommand::Mkdir(format!("/{long}").into(), mode(0o777)))
+            .call(OsCommand::Stat(format!("/{long}").into()))
+            .call(OsCommand::Open(
+                format!("/{long}/f").into(),
+                OpenFlags::O_CREAT | OpenFlags::O_WRONLY,
+                Some(mode(0o644)),
+            ))
+            .call(OsCommand::Mkdir(format!("/{edge}").into(), mode(0o777)))
+            .call(OsCommand::Rmdir(format!("/{edge}").into()));
+        out.push((sc, "path/name_too_long"));
     }
     out
 }

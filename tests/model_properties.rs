@@ -34,19 +34,20 @@ fn arb_command() -> impl Strategy<Value = OsCommand> {
     let fd = (0i32..6).prop_map(Fd);
     let dh = (0i32..3).prop_map(DirHandleId);
     prop_oneof![
-        path.clone().prop_map(|p| OsCommand::Mkdir(p, FileMode::new(0o777))),
-        path.clone().prop_map(OsCommand::Rmdir),
-        path.clone().prop_map(OsCommand::Unlink),
-        path.clone().prop_map(OsCommand::Stat),
-        path.clone().prop_map(OsCommand::Lstat),
-        path.clone().prop_map(OsCommand::Opendir),
-        path.clone().prop_map(OsCommand::Readlink),
-        path.clone().prop_map(OsCommand::Chdir),
-        (path.clone(), path.clone()).prop_map(|(a, b)| OsCommand::Rename(a, b)),
-        (path.clone(), path.clone()).prop_map(|(a, b)| OsCommand::Link(a, b)),
-        (path.clone(), path.clone()).prop_map(|(a, b)| OsCommand::Symlink(a, b)),
-        (path.clone(), 0u32..0o1000).prop_map(|(p, m)| OsCommand::Chmod(p, FileMode::new(m))),
-        (path.clone(), -4i64..64).prop_map(|(p, l)| OsCommand::Truncate(p, l)),
+        path.clone().prop_map(|p| OsCommand::Mkdir(p.into(), FileMode::new(0o777))),
+        path.clone().prop_map(|p| OsCommand::Rmdir(p.into())),
+        path.clone().prop_map(|p| OsCommand::Unlink(p.into())),
+        path.clone().prop_map(|p| OsCommand::Stat(p.into())),
+        path.clone().prop_map(|p| OsCommand::Lstat(p.into())),
+        path.clone().prop_map(|p| OsCommand::Opendir(p.into())),
+        path.clone().prop_map(|p| OsCommand::Readlink(p.into())),
+        path.clone().prop_map(|p| OsCommand::Chdir(p.into())),
+        (path.clone(), path.clone()).prop_map(|(a, b)| OsCommand::Rename(a.into(), b.into())),
+        (path.clone(), path.clone()).prop_map(|(a, b)| OsCommand::Link(a.into(), b.into())),
+        (path.clone(), path.clone()).prop_map(|(a, b)| OsCommand::Symlink(a.into(), b.into())),
+        (path.clone(), 0u32..0o1000)
+            .prop_map(|(p, m)| OsCommand::Chmod(p.into(), FileMode::new(m))),
+        (path.clone(), -4i64..64).prop_map(|(p, l)| OsCommand::Truncate(p.into(), l)),
         (path, any::<bool>(), any::<bool>()).prop_map(|(p, creat, excl)| {
             let mut flags = OpenFlags::O_RDWR;
             if creat {
@@ -55,7 +56,7 @@ fn arb_command() -> impl Strategy<Value = OsCommand> {
             if excl {
                 flags = flags | OpenFlags::O_EXCL;
             }
-            OsCommand::Open(p, flags, Some(FileMode::new(0o644)))
+            OsCommand::Open(p.into(), flags, Some(FileMode::new(0o644)))
         }),
         fd.clone().prop_map(|f| OsCommand::Read(f, 16)),
         (fd.clone(), proptest::collection::vec(any::<u8>(), 0..32))

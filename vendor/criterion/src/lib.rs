@@ -156,6 +156,10 @@ fn run_one<F: FnMut(&mut Bencher)>(
         let mut b = Bencher { iterations: 1, elapsed: Duration::ZERO };
         f(&mut b);
         println!("{id:<48} ok (smoke)");
+        // Even a smoke run contributes a (rough, single-iteration) number to
+        // the machine-readable record, so CI's smoke step produces a
+        // non-empty artifact.
+        emit_json_record(id, b.elapsed, 1, throughput, "smoke");
         return;
     }
     let iterations = settings.sample_size.max(10) as u64;
@@ -172,6 +176,57 @@ fn run_one<F: FnMut(&mut Bencher)>(
         _ => String::new(),
     };
     println!("{id:<48} {per_iter:>12.2?}/iter over {iterations} iters{rate}");
+    emit_json_record(id, per_iter, iterations, throughput, "timed");
+}
+
+/// Append one benchmark record to the JSON file named by the
+/// `SIBYLFS_BENCH_JSON` environment variable (no-op when unset).
+///
+/// The file is maintained as a single JSON array so several bench binaries
+/// can contribute to one run's artifact; this stub is the only writer, so the
+/// append is a simple read-strip-rewrite of the closing bracket. `ns_per_iter`
+/// is the stub's point estimate (mean over the timed loop — the stand-in for
+/// real criterion's median until it is swapped in); `elems_per_sec` is
+/// derived from the group's `Throughput::Elements` annotation when present.
+fn emit_json_record(
+    id: &str,
+    per_iter: Duration,
+    iterations: u64,
+    throughput: Option<Throughput>,
+    mode: &str,
+) {
+    let Ok(path) = std::env::var("SIBYLFS_BENCH_JSON") else { return };
+    if path.is_empty() {
+        return;
+    }
+    let elems = match throughput {
+        Some(Throughput::Elements(n)) if !per_iter.is_zero() => {
+            format!("{:.1}", n as f64 / per_iter.as_secs_f64())
+        }
+        _ => "null".to_string(),
+    };
+    let record = format!(
+        "  {{\"name\": {id:?}, \"ns_per_iter\": {}, \"iters\": {iterations}, \
+         \"elems_per_sec\": {elems}, \"mode\": {mode:?}}}",
+        per_iter.as_nanos()
+    );
+    let existing = std::fs::read_to_string(&path).unwrap_or_default();
+    let body = existing.trim();
+    let new_text = if let Some(inner) =
+        body.strip_prefix('[').and_then(|r| r.strip_suffix(']'))
+    {
+        let inner = inner.trim_end();
+        if inner.is_empty() {
+            format!("[\n{record}\n]\n")
+        } else {
+            format!("[{inner},\n{record}\n]\n")
+        }
+    } else {
+        format!("[\n{record}\n]\n")
+    };
+    if let Err(e) = std::fs::write(&path, new_text) {
+        eprintln!("warning: could not write {path}: {e}");
+    }
 }
 
 /// Collect benchmark functions into a runnable group.
