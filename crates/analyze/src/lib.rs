@@ -1,0 +1,28 @@
+//! # SibylFS static analyses
+//!
+//! Two static passes over the artefacts the rest of the workspace treats
+//! dynamically:
+//!
+//! * [`audit`] — the **spec-consistency audit**: parses the embedded model
+//!   source (`sibylfs_core::coverage::model_sources`) and cross-checks it
+//!   against the declared registry in `sibylfs_core::spec_registry` — every
+//!   `spec_point` unique and registered, every reachable errno declared in
+//!   its syscall's envelope, every declared errno actually reachable.
+//!   `sibylfs audit` renders the result as a machine-readable report that CI
+//!   gates on.
+//! * [`lint`] — the **flow-sensitive script linter**: an abstract
+//!   interpretation over parsed scripts tracking per-process fd/dh lifecycle,
+//!   process liveness, and path sanity. Diagnostics carry stable rule ids and
+//!   step spans; for steps whose outcome is statically certain the linter
+//!   also predicts the coverage keys the step could contribute, which lets
+//!   the exploration engine drop statically-doomed mutant steps without
+//!   losing coverage (`lint::repair_for_explore`).
+//!
+//! See `crates/analyze/DESIGN.md` for the abstract domain and the audit's
+//! reachability closure.
+
+pub mod audit;
+pub mod lint;
+
+pub use audit::{audit_model, AuditFinding, AuditReport};
+pub use lint::{lint_script, render_diagnostics, repair_for_explore, Diagnostic, RepairOutcome, Severity};

@@ -1,0 +1,765 @@
+//! Flow-sensitive script linter.
+//!
+//! An abstract interpretation over parsed scripts. The domain mirrors the
+//! allocation discipline both execution backends share: file descriptors are
+//! handed out per process starting at 3, directory handles starting at 1,
+//! both strictly monotonically and only on success, and neither is ever
+//! reused. That makes a cheap *watermark* abstraction exact for the
+//! judgements the linter cares about:
+//!
+//! * fd `n` is **maybe open** in a process iff `3 ≤ n < 3 + opens-so-far`
+//!   (and `n` has not been closed), where opens-so-far counts `open` *calls*
+//!   — the maximum number of descriptors that could have been allocated;
+//! * after a `close` of a maybe-open fd the fd is **definitely not open**
+//!   forever (whether or not the close succeeded, since ids are never
+//!   reused); directory handles behave the same with base 1;
+//! * a fd outside the maybe-open range was **never opened** and every use is
+//!   statically doomed to `EBADF`.
+//!
+//! Process liveness is tracked exactly (create/destroy are deterministic in
+//! the model), and path arguments get shallow sanity checks (empty,
+//! overlong) that map to deterministic model behaviour.
+//!
+//! Diagnostics carry stable rule ids, the step index they anchor to, and —
+//! when the step's outcome is statically certain — the exact coverage keys
+//! the step could contribute. The exploration engine uses those predictions
+//! to drop doomed mutant steps *only* when every predicted key is already
+//! covered, so the pre-exec filter can never cost coverage
+//! ([`repair_for_explore`]).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use sibylfs_core::commands::OsCommand;
+use sibylfs_core::coverage::CoverageKey;
+use sibylfs_core::coverage::CoverageMap;
+use sibylfs_core::flags::OpenFlags;
+use sibylfs_core::types::{Pid, INITIAL_PID, NAME_MAX, PATH_MAX};
+use sibylfs_script::{Script, ScriptStep};
+
+/// Diagnostic severity. Only `Error` diagnostics make a script "not
+/// lint-clean"; warnings flag suspicious-but-spec-exercising constructs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but model-legal behaviour worth exercising.
+    Warning,
+    /// A statically-invalid step (doomed call or lifecycle violation).
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "Warning"),
+            Severity::Error => write!(f, "Error"),
+        }
+    }
+}
+
+/// One linter diagnostic, anchored to a script step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule id (`use-after-close`, `double-close`, …).
+    pub rule: &'static str,
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// Index of the offending step in `script.steps` (0-based).
+    pub step: usize,
+    /// The process performing the step.
+    pub pid: Pid,
+    /// Human-readable description.
+    pub message: String,
+    /// When the step's outcome is statically certain: every coverage key the
+    /// step could contribute (its transition plus the model branches it can
+    /// hit). Empty when the outcome is not statically certain, in which case
+    /// the exploration filter must not drop the step.
+    pub predicted: Vec<CoverageKey>,
+}
+
+/// All lint rule ids, for docs and for the golden-fixture harness.
+pub const RULES: &[&str] = &[
+    "fd-never-opened",
+    "use-after-close",
+    "double-close",
+    "dh-never-opened",
+    "use-after-closedir",
+    "double-closedir",
+    "write-on-dirhandle",
+    "dead-process-call",
+    "empty-path",
+    "overlong-path",
+];
+
+/// Watermark state of one live process.
+#[derive(Debug, Default, Clone)]
+struct ProcAbs {
+    /// Number of `open` calls so far (upper bound on fds allocated).
+    opens: usize,
+    /// Whether each `open` call (in order) carried `O_DIRECTORY`.
+    open_dirflag: Vec<bool>,
+    /// Number of `opendir` calls so far.
+    opendirs: usize,
+    /// Fds that are definitely not open any more.
+    closed_fds: BTreeSet<i32>,
+    /// Directory handles that are definitely not open any more.
+    closed_dhs: BTreeSet<i32>,
+}
+
+#[derive(Debug, PartialEq)]
+enum HandleStatus {
+    /// Below the base or above the allocation watermark.
+    NeverOpened,
+    /// Explicitly closed earlier (never reused afterwards).
+    Closed,
+    /// Possibly open.
+    MaybeOpen,
+}
+
+impl ProcAbs {
+    fn fd_status(&self, n: i32) -> HandleStatus {
+        if self.closed_fds.contains(&n) {
+            HandleStatus::Closed
+        } else if n < 3 || (n as i64) >= 3 + self.opens as i64 {
+            HandleStatus::NeverOpened
+        } else {
+            HandleStatus::MaybeOpen
+        }
+    }
+
+    fn dh_status(&self, n: i32) -> HandleStatus {
+        if self.closed_dhs.contains(&n) {
+            HandleStatus::Closed
+        } else if n < 1 || (n as i64) > self.opendirs as i64 {
+            HandleStatus::NeverOpened
+        } else {
+            HandleStatus::MaybeOpen
+        }
+    }
+
+    /// The `open` calls (0-based indices) that could have produced fd `n`:
+    /// with fds handed out from 3 on success only, the `j`-th open (1-based)
+    /// can produce fd `n` iff at least `n - 3` opens precede it.
+    fn candidate_opens(&self, n: i32) -> std::ops::Range<usize> {
+        let first = (n as usize).saturating_sub(3);
+        first..self.opens
+    }
+}
+
+fn transition(syscall: &str, outcome: &str) -> CoverageKey {
+    CoverageKey::Transition { syscall: syscall.to_string(), outcome: outcome.to_string() }
+}
+
+fn branch(point: &str) -> CoverageKey {
+    CoverageKey::Branch(point.to_string())
+}
+
+/// Lint a parsed script, returning diagnostics in step order.
+pub fn lint_script(script: &Script) -> Vec<Diagnostic> {
+    let mut procs: BTreeMap<Pid, ProcAbs> = BTreeMap::new();
+    procs.insert(INITIAL_PID, ProcAbs::default());
+    let mut diags = Vec::new();
+
+    for (step, s) in script.steps.iter().enumerate() {
+        match s {
+            ScriptStep::CreateProcess { pid, .. } => {
+                if procs.contains_key(pid) {
+                    diags.push(Diagnostic {
+                        rule: "dead-process-call",
+                        severity: Severity::Error,
+                        step,
+                        pid: *pid,
+                        message: format!(
+                            "@process create of p{} which is already live; the model rejects the label",
+                            pid.0
+                        ),
+                        predicted: Vec::new(),
+                    });
+                } else {
+                    procs.insert(*pid, ProcAbs::default());
+                }
+            }
+            ScriptStep::DestroyProcess { pid } => {
+                if procs.remove(pid).is_none() {
+                    diags.push(Diagnostic {
+                        rule: "dead-process-call",
+                        severity: Severity::Error,
+                        step,
+                        pid: *pid,
+                        message: format!(
+                            "@process destroy of p{} which is not live; the model rejects the label",
+                            pid.0
+                        ),
+                        predicted: Vec::new(),
+                    });
+                }
+            }
+            ScriptStep::Call { pid, cmd } => {
+                if !procs.contains_key(pid) {
+                    diags.push(Diagnostic {
+                        rule: "dead-process-call",
+                        severity: Severity::Error,
+                        step,
+                        pid: *pid,
+                        message: format!(
+                            "call by p{} which is not live; the model rejects the label",
+                            pid.0
+                        ),
+                        predicted: Vec::new(),
+                    });
+                    continue;
+                }
+                lint_paths(&mut diags, step, *pid, cmd);
+                let p = procs.get_mut(pid).unwrap_or_else(|| unreachable!("checked live above"));
+                lint_call(&mut diags, step, *pid, cmd, p);
+            }
+        }
+    }
+    diags
+}
+
+/// Per-call fd/dh lifecycle analysis over one live process's state.
+fn lint_call(diags: &mut Vec<Diagnostic>, step: usize, pid: Pid, cmd: &OsCommand, p: &mut ProcAbs) {
+    let name = cmd.name();
+    let fd_diag = |p: &ProcAbs, n: i32, predicted: Vec<CoverageKey>| -> Option<Diagnostic> {
+        let (rule, what) = match p.fd_status(n) {
+            HandleStatus::NeverOpened => ("fd-never-opened", "was never opened"),
+            HandleStatus::Closed => ("use-after-close", "was closed earlier"),
+            HandleStatus::MaybeOpen => return None,
+        };
+        Some(Diagnostic {
+            rule,
+            severity: Severity::Error,
+            step,
+            pid,
+            message: format!("p{}: {} on (FD {}), which {}", pid.0, name, n, what),
+            predicted,
+        })
+    };
+
+    match cmd {
+        OsCommand::Open(_, flags, _) => {
+            p.open_dirflag.push(flags.contains(OpenFlags::O_DIRECTORY));
+            p.opens += 1;
+        }
+        OsCommand::Opendir(_) => {
+            p.opendirs += 1;
+        }
+        OsCommand::Close(fd) => match p.fd_status(fd.0) {
+            HandleStatus::MaybeOpen => {
+                // Whether or not the close succeeds, the fd is never valid
+                // again: ids are allocated monotonically and never reused.
+                p.closed_fds.insert(fd.0);
+            }
+            status => {
+                let (rule, what) = if status == HandleStatus::Closed {
+                    ("double-close", "was already closed")
+                } else {
+                    ("fd-never-opened", "was never opened")
+                };
+                diags.push(Diagnostic {
+                    rule,
+                    severity: Severity::Error,
+                    step,
+                    pid,
+                    message: format!("p{}: close of (FD {}), which {}", pid.0, fd.0, what),
+                    predicted: vec![transition("close", "EBADF"), branch("close/bad_fd_ebadf")],
+                });
+            }
+        },
+        OsCommand::Lseek(fd, _, _) => {
+            if let Some(d) =
+                fd_diag(p, fd.0, vec![transition("lseek", "EBADF"), branch("lseek/bad_fd_ebadf")])
+            {
+                diags.push(d);
+            }
+        }
+        OsCommand::Read(fd, _) => {
+            if let Some(d) =
+                fd_diag(p, fd.0, vec![transition("read", "EBADF"), branch("read/bad_fd_ebadf")])
+            {
+                diags.push(d);
+            }
+        }
+        OsCommand::Pread(fd, _, off) => {
+            // The model checks the offset before the fd, so a negative
+            // offset makes EINVAL the certain outcome even on a bad fd.
+            let predicted = if *off < 0 {
+                vec![transition("pread", "EINVAL"), branch("pread/negative_offset_einval")]
+            } else {
+                vec![transition("pread", "EBADF"), branch("pread/bad_fd_ebadf")]
+            };
+            if let Some(d) = fd_diag(p, fd.0, predicted) {
+                diags.push(d);
+            }
+        }
+        // A zero-byte write on a bad fd is implementation-defined (it may
+        // report success), so only non-empty writes are doomed.
+        OsCommand::Write(fd, data) if !data.is_empty() => {
+            if let Some(d) = fd_diag(
+                p,
+                fd.0,
+                vec![transition("write", "EBADF"), branch("write/bad_fd_ebadf")],
+            ) {
+                diags.push(d);
+            } else if let Some(d) = write_on_dirhandle(p, step, pid, "write", fd.0) {
+                diags.push(d);
+            }
+        }
+        OsCommand::Pwrite(fd, data, off) => {
+            if *off < 0 {
+                let predicted =
+                    vec![transition("pwrite", "EINVAL"), branch("pwrite/negative_offset_einval")];
+                if let Some(d) = fd_diag(p, fd.0, predicted) {
+                    diags.push(d);
+                }
+            } else if !data.is_empty() {
+                if let Some(d) = fd_diag(
+                    p,
+                    fd.0,
+                    vec![transition("pwrite", "EBADF"), branch("pwrite/bad_fd_ebadf")],
+                ) {
+                    diags.push(d);
+                } else if let Some(d) = write_on_dirhandle(p, step, pid, "pwrite", fd.0) {
+                    diags.push(d);
+                }
+            }
+        }
+        OsCommand::Readdir(dh) | OsCommand::Rewinddir(dh) | OsCommand::Closedir(dh) => {
+            let closing = matches!(cmd, OsCommand::Closedir(..));
+            match p.dh_status(dh.0) {
+                HandleStatus::MaybeOpen => {
+                    if closing {
+                        p.closed_dhs.insert(dh.0);
+                    }
+                }
+                status => {
+                    let (rule, what) = match (status == HandleStatus::Closed, closing) {
+                        (true, true) => ("double-closedir", "was already closed"),
+                        (true, false) => ("use-after-closedir", "was closed earlier"),
+                        (false, _) => ("dh-never-opened", "was never opened"),
+                    };
+                    diags.push(Diagnostic {
+                        rule,
+                        severity: Severity::Error,
+                        step,
+                        pid,
+                        message: format!("p{}: {} on (DH {}), which {}", pid.0, name, dh.0, what),
+                        predicted: vec![
+                            transition(name, "EBADF"),
+                            branch(&format!("{name}/bad_handle_ebadf")),
+                        ],
+                    });
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// `write`/`pwrite` on a maybe-open fd all of whose possible producers are
+/// `O_DIRECTORY` opens. If such an open succeeded the fd is a read-only
+/// directory descriptor (`open` with `O_DIRECTORY` and write access fails
+/// with EISDIR and allocates nothing), and writing to it yields EBADF; if it
+/// failed the fd was never allocated — EBADF either way.
+fn write_on_dirhandle(
+    p: &ProcAbs,
+    step: usize,
+    pid: Pid,
+    syscall: &str,
+    n: i32,
+) -> Option<Diagnostic> {
+    let candidates = p.candidate_opens(n);
+    if candidates.is_empty() || !candidates.clone().all(|j| p.open_dirflag[j]) {
+        return None;
+    }
+    Some(Diagnostic {
+        rule: "write-on-dirhandle",
+        severity: Severity::Error,
+        step,
+        pid,
+        message: format!(
+            "p{}: {} on (FD {}), which can only be a directory descriptor (every open that could \
+             produce it uses O_DIRECTORY)",
+            pid.0, syscall, n
+        ),
+        predicted: vec![
+            transition(syscall, "EBADF"),
+            branch(&format!("{syscall}/bad_fd_ebadf")),
+            branch(&format!("{syscall}/fd_not_open_for_writing_ebadf")),
+        ],
+    })
+}
+
+/// Shallow path sanity checks (warnings only; both map to deterministic but
+/// spec-exercising model behaviour, so the exploration filter keeps them).
+fn lint_paths(diags: &mut Vec<Diagnostic>, step: usize, pid: Pid, cmd: &OsCommand) {
+    for path in cmd.paths() {
+        if path.is_empty() {
+            diags.push(Diagnostic {
+                rule: "empty-path",
+                severity: Severity::Warning,
+                step,
+                pid,
+                message: format!("p{}: {} with an empty path (always ENOENT)", pid.0, cmd.name()),
+                predicted: Vec::new(),
+            });
+        } else if path.exceeds_path_max() {
+            diags.push(Diagnostic {
+                rule: "overlong-path",
+                severity: Severity::Warning,
+                step,
+                pid,
+                message: format!(
+                    "p{}: {} path is {} bytes, over PATH_MAX={} (always ENAMETOOLONG)",
+                    pid.0,
+                    cmd.name(),
+                    path.raw_len(),
+                    PATH_MAX
+                ),
+                predicted: Vec::new(),
+            });
+        } else if let Some(i) = path.first_overlong() {
+            diags.push(Diagnostic {
+                rule: "overlong-path",
+                severity: Severity::Warning,
+                step,
+                pid,
+                message: format!(
+                    "p{}: {} has a path component of {} bytes, over NAME_MAX={}",
+                    pid.0,
+                    cmd.name(),
+                    path.components()[i].as_str().len(),
+                    NAME_MAX
+                ),
+                predicted: Vec::new(),
+            });
+        }
+    }
+}
+
+/// Whether the diagnostics leave the script lint-clean: no `Error`-severity
+/// findings (warnings are allowed — they exercise the spec).
+pub fn is_clean(diags: &[Diagnostic]) -> bool {
+    diags.iter().all(|d| d.severity != Severity::Error)
+}
+
+/// Outcome of the exploration pre-exec filter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepairOutcome {
+    /// Nothing to drop: execute the script as-is.
+    Clean,
+    /// Some statically-doomed steps were dropped; the repaired script still
+    /// has calls and should be executed instead.
+    Repaired(Script, usize),
+    /// After dropping doomed steps no calls remain: skip execution entirely.
+    Rejected,
+}
+
+/// Drop statically-doomed steps whose every predicted coverage key is already
+/// in `covered`.
+///
+/// Dropping such a step is semantics-preserving for the rest of the script: a
+/// doomed call fails without mutating filesystem state and without allocating
+/// a descriptor or handle, so the abstract state of every later step is
+/// unchanged. Steps whose predictions contain a *novel* key are kept — the
+/// first discovery of e.g. `close/bad_fd_ebadf` still pays its way — as are
+/// diagnostics with no prediction at all (`dead-process-call` is rejected by
+/// the model before execution and never reaches a syscall).
+pub fn repair_for_explore(script: &Script, covered: &CoverageMap) -> RepairOutcome {
+    let diags = lint_script(script);
+    let doomed: BTreeSet<usize> = diags
+        .iter()
+        .filter(|d| {
+            d.severity == Severity::Error
+                && !d.predicted.is_empty()
+                && d.predicted.iter().all(|k| covered.contains(k))
+        })
+        .map(|d| d.step)
+        .collect();
+    if doomed.is_empty() {
+        return RepairOutcome::Clean;
+    }
+    let mut repaired = Script::new(script.name.clone(), script.group.clone());
+    repaired.steps = script
+        .steps
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !doomed.contains(i))
+        .map(|(_, s)| s.clone())
+        .collect();
+    if repaired.call_count() == 0 {
+        RepairOutcome::Rejected
+    } else {
+        RepairOutcome::Repaired(repaired, doomed.len())
+    }
+}
+
+/// Render diagnostics in the structural style of the trace checker's Fig. 4
+/// blocks (shared with `sibylfs_check::render`). `linenos`, when given, maps
+/// step indices to source lines of the script file; otherwise steps are
+/// reported 1-based.
+pub fn render_diagnostics(
+    script: &Script,
+    diags: &[Diagnostic],
+    linenos: Option<&[usize]>,
+) -> String {
+    use sibylfs_check::render::{render_diagnostic_block, DiagnosticBlock};
+    let mut out = String::new();
+    out.push_str("@type lint-report\n");
+    out.push_str(&format!("# Script {}\n", script.name));
+    let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+    let warnings = diags.len() - errors;
+    if diags.is_empty() {
+        out.push_str("# Verdict: clean\n");
+        return out;
+    }
+    out.push_str(&format!("# Verdict: {errors} error(s), {warnings} warning(s)\n"));
+    for d in diags {
+        let lineno = linenos
+            .and_then(|l| l.get(d.step).copied())
+            .unwrap_or(d.step + 1);
+        let mut notes = Vec::new();
+        if !d.predicted.is_empty() {
+            let keys: Vec<String> = d
+                .predicted
+                .iter()
+                .map(|k| match k {
+                    CoverageKey::Branch(p) => format!("branch {p}"),
+                    CoverageKey::Transition { syscall, outcome } => {
+                        format!("transition {syscall} {outcome}")
+                    }
+                })
+                .collect();
+            notes.push(format!("certain outcome; coverage keys: {}", keys.join(", ")));
+        }
+        render_diagnostic_block(
+            &mut out,
+            &DiagnosticBlock {
+                lineno,
+                severity: if d.severity == Severity::Error { "Error" } else { "Warning" },
+                title: format!("[{}] {}", d.rule, d.message),
+                notes,
+            },
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sibylfs_core::flags::FileMode;
+    use sibylfs_core::types::{DirHandleId, Fd, Gid, Uid};
+
+    fn open_cmd(path: &str) -> OsCommand {
+        OsCommand::Open(path.into(), OpenFlags::O_CREAT | OpenFlags::O_RDWR, Some(FileMode::new(0o644)))
+    }
+
+    #[test]
+    fn clean_open_use_close_sequence() {
+        let mut s = Script::new("ok", "open");
+        s.call(open_cmd("f"))
+            .call(OsCommand::Write(Fd(3), b"hi".to_vec()))
+            .call(OsCommand::Close(Fd(3)));
+        assert!(lint_script(&s).is_empty());
+    }
+
+    #[test]
+    fn use_after_close_and_double_close() {
+        let mut s = Script::new("bad", "open");
+        s.call(open_cmd("f"))
+            .call(OsCommand::Close(Fd(3)))
+            .call(OsCommand::Read(Fd(3), 10))
+            .call(OsCommand::Close(Fd(3)));
+        let d = lint_script(&s);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].rule, "use-after-close");
+        assert_eq!(d[0].step, 2);
+        assert_eq!(d[1].rule, "double-close");
+        assert!(!is_clean(&d));
+    }
+
+    #[test]
+    fn watermark_tracks_possible_allocations() {
+        let mut s = Script::new("wm", "open");
+        // Two opens: fds 3 and 4 are maybe-open, 5 is not.
+        s.call(open_cmd("a"))
+            .call(open_cmd("b"))
+            .call(OsCommand::Read(Fd(4), 1))
+            .call(OsCommand::Read(Fd(5), 1))
+            .call(OsCommand::Read(Fd(0), 1));
+        let d = lint_script(&s);
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().all(|x| x.rule == "fd-never-opened"));
+        assert_eq!(d[0].step, 3);
+        assert_eq!(d[1].step, 4);
+    }
+
+    #[test]
+    fn fd_state_is_per_process() {
+        let mut s = Script::new("pp", "open");
+        s.call(open_cmd("f"))
+            .create_process(Pid(2), Uid(0), Gid(0))
+            .call_as(Pid(2), OsCommand::Read(Fd(3), 1));
+        let d = lint_script(&s);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "fd-never-opened");
+        assert_eq!(d[0].pid, Pid(2));
+    }
+
+    #[test]
+    fn dh_lifecycle_rules() {
+        let mut s = Script::new("dh", "opendir");
+        s.call(OsCommand::Readdir(DirHandleId(1)))
+            .call(OsCommand::Opendir("/".into()))
+            .call(OsCommand::Closedir(DirHandleId(1)))
+            .call(OsCommand::Rewinddir(DirHandleId(1)))
+            .call(OsCommand::Closedir(DirHandleId(1)));
+        let d = lint_script(&s);
+        let rules: Vec<&str> = d.iter().map(|x| x.rule).collect();
+        assert_eq!(rules, vec!["dh-never-opened", "use-after-closedir", "double-closedir"]);
+    }
+
+    #[test]
+    fn zero_byte_write_and_negative_offsets_are_not_doomed_to_ebadf() {
+        let mut s = Script::new("loose", "write");
+        s.call(OsCommand::Write(Fd(9), Vec::new()))
+            .call(OsCommand::Pwrite(Fd(9), b"x".to_vec(), -1))
+            .call(OsCommand::Pread(Fd(9), 4, -2));
+        let d = lint_script(&s);
+        // The zero-byte write is implementation-defined: no diagnostic.
+        assert_eq!(d.len(), 2);
+        for diag in &d {
+            assert_eq!(diag.rule, "fd-never-opened");
+            assert!(
+                diag.predicted.contains(&transition(
+                    if diag.step == 1 { "pwrite" } else { "pread" },
+                    "EINVAL"
+                )),
+                "negative offsets hit EINVAL before the fd check: {diag:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn write_on_dirhandle_requires_all_candidates_directory() {
+        let mut s = Script::new("wod", "write");
+        s.call(OsCommand::Mkdir("d".into(), FileMode::new(0o755)))
+            .call(OsCommand::Open("d".into(), OpenFlags::O_RDONLY | OpenFlags::O_DIRECTORY, None))
+            .call(OsCommand::Write(Fd(3), b"x".to_vec()));
+        let d = lint_script(&s);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "write-on-dirhandle");
+
+        // A non-O_DIRECTORY candidate open makes the write possibly valid.
+        let mut s2 = Script::new("wod2", "write");
+        s2.call(open_cmd("f"))
+            .call(OsCommand::Open("d".into(), OpenFlags::O_RDONLY | OpenFlags::O_DIRECTORY, None))
+            .call(OsCommand::Write(Fd(3), b"x".to_vec()));
+        assert!(lint_script(&s2).is_empty());
+    }
+
+    #[test]
+    fn process_liveness_rules() {
+        let mut s = Script::new("proc", "os");
+        s.call_as(Pid(7), OsCommand::Stat("/".into()))
+            .create_process(Pid(2), Uid(0), Gid(0))
+            .create_process(Pid(2), Uid(0), Gid(0))
+            .destroy_process(Pid(2))
+            .call_as(Pid(2), OsCommand::Stat("/".into()))
+            .destroy_process(Pid(2))
+            .create_process(Pid(2), Uid(0), Gid(0))
+            .call_as(Pid(2), OsCommand::Stat("/".into()));
+        let d = lint_script(&s);
+        assert_eq!(d.iter().filter(|x| x.rule == "dead-process-call").count(), 4);
+        // The re-created p2 (after a successful destroy) is live again: the
+        // final stat is clean.
+        assert!(d.iter().all(|x| x.step != 7));
+        // Liveness violations carry no prediction — never dropped by repair.
+        assert!(d.iter().all(|x| x.predicted.is_empty()));
+    }
+
+    #[test]
+    fn path_sanity_warnings() {
+        let mut s = Script::new("paths", "path");
+        s.call(OsCommand::Stat("".into()))
+            .call(OsCommand::Mkdir("n".repeat(300).into(), FileMode::new(0o755)))
+            .call(OsCommand::Stat(format!("a/{}", "n".repeat(5000)).into()));
+        let d = lint_script(&s);
+        let rules: Vec<&str> = d.iter().map(|x| x.rule).collect();
+        assert_eq!(rules, vec!["empty-path", "overlong-path", "overlong-path"]);
+        assert!(d.iter().all(|x| x.severity == Severity::Warning));
+        assert!(is_clean(&d));
+    }
+
+    #[test]
+    fn repair_drops_only_covered_doomed_steps() {
+        let mut s = Script::new("rep", "mixed");
+        s.call(open_cmd("f"))
+            .call(OsCommand::Read(Fd(9), 4))
+            .call(OsCommand::Close(Fd(3)));
+
+        // Nothing covered: the doomed read's keys are novel, keep the script.
+        assert_eq!(repair_for_explore(&s, &CoverageMap::new()), RepairOutcome::Clean);
+
+        // Once its keys are covered the doomed step is dropped.
+        let mut covered = CoverageMap::new();
+        covered.insert(transition("read", "EBADF"));
+        covered.insert(branch("read/bad_fd_ebadf"));
+        match repair_for_explore(&s, &covered) {
+            RepairOutcome::Repaired(r, dropped) => {
+                assert_eq!(dropped, 1);
+                assert_eq!(r.call_count(), 2);
+                assert!(lint_script(&r).is_empty());
+            }
+            other => panic!("expected repair, got {other:?}"),
+        }
+
+        // A script that is nothing but covered doomed steps is rejected.
+        let mut all_bad = Script::new("allbad", "read");
+        all_bad.call(OsCommand::Read(Fd(9), 4));
+        assert_eq!(repair_for_explore(&all_bad, &covered), RepairOutcome::Rejected);
+    }
+
+    #[test]
+    fn predicted_branches_exist_in_the_registry() {
+        // Build a script tripping every fd/dh rule that carries predictions,
+        // then check each predicted branch id is a real registry point and
+        // each predicted transition uses a declared-envelope errno.
+        let registry = sibylfs_core::coverage::registry();
+        let mut s = Script::new("all", "mixed");
+        s.call(OsCommand::Close(Fd(0)))
+            .call(OsCommand::Lseek(Fd(0), 0, sibylfs_core::flags::SeekWhence::Set))
+            .call(OsCommand::Read(Fd(0), 1))
+            .call(OsCommand::Pread(Fd(0), 1, 0))
+            .call(OsCommand::Pread(Fd(0), 1, -1))
+            .call(OsCommand::Write(Fd(0), b"x".to_vec()))
+            .call(OsCommand::Pwrite(Fd(0), b"x".to_vec(), 0))
+            .call(OsCommand::Pwrite(Fd(0), b"x".to_vec(), -1))
+            .call(OsCommand::Readdir(DirHandleId(0)))
+            .call(OsCommand::Rewinddir(DirHandleId(0)))
+            .call(OsCommand::Closedir(DirHandleId(0)))
+            .call(OsCommand::Open("d".into(), OpenFlags::O_DIRECTORY, None))
+            .call(OsCommand::Write(Fd(3), b"x".to_vec()))
+            .call(OsCommand::Pwrite(Fd(3), b"x".to_vec(), 0));
+        let diags = lint_script(&s);
+        assert!(diags.len() >= 12, "expected a diagnostic per doomed step: {diags:?}");
+        for d in &diags {
+            for k in &d.predicted {
+                match k {
+                    CoverageKey::Branch(p) => {
+                        assert!(registry.contains(p), "predicted branch {p:?} not in registry");
+                    }
+                    CoverageKey::Transition { syscall, outcome } => {
+                        let env = sibylfs_core::spec_registry::errno_envelope(syscall)
+                            .unwrap_or_else(|| panic!("unknown syscall {syscall:?}"));
+                        assert!(
+                            env.iter().any(|e| e.to_string() == *outcome),
+                            "predicted outcome {outcome} not in {syscall}'s declared envelope"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Golden-diagnostic fixtures for the script linter.
+//!
+//! One `tests/golden/<rule>.script` fixture per lint rule, each with the
+//! rendered report pinned in `<rule>.expected`. Regenerate after an
+//! intentional rendering or message change with:
+//!
+//! ```text
+//! SIBYLFS_REGEN_GOLDEN=1 cargo test -p sibylfs_analyze --test golden
+//! ```
+//!
+//! The second half asserts the exploration corpus seeds (the model-gap and
+//! defect-scenario scripts) are lint-clean, so the pre-exec filter never
+//! rejects a seed.
+
+use std::fs;
+use std::path::PathBuf;
+
+use sibylfs_analyze::lint;
+use sibylfs_script::parse_script_spanned;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+#[test]
+fn every_rule_has_a_matching_golden_fixture() {
+    let regen = std::env::var_os("SIBYLFS_REGEN_GOLDEN").is_some();
+    for rule in lint::RULES {
+        let script_path = fixture_dir().join(format!("{rule}.script"));
+        let text = fs::read_to_string(&script_path)
+            .unwrap_or_else(|e| panic!("missing fixture {}: {e}", script_path.display()));
+        let (script, linenos) = parse_script_spanned(&text)
+            .unwrap_or_else(|e| panic!("fixture {rule}.script does not parse: {e}"));
+        let diags = lint::lint_script(&script);
+        assert!(
+            diags.iter().any(|d| d.rule == *rule),
+            "fixture {rule}.script does not trigger rule {rule}; diagnostics: {diags:?}"
+        );
+        let rendered = lint::render_diagnostics(&script, &diags, Some(&linenos));
+
+        let expected_path = fixture_dir().join(format!("{rule}.expected"));
+        if regen {
+            fs::write(&expected_path, &rendered)
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", expected_path.display()));
+            continue;
+        }
+        let expected = fs::read_to_string(&expected_path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden {}: {e}\nregenerate with SIBYLFS_REGEN_GOLDEN=1",
+                expected_path.display()
+            )
+        });
+        assert_eq!(
+            rendered, expected,
+            "lint report for {rule}.script drifted from its golden file; \
+             regenerate with SIBYLFS_REGEN_GOLDEN=1 if the change is intentional"
+        );
+    }
+}
+
+/// No fixture directory entry without a corresponding rule: catches a renamed
+/// rule leaving stale goldens behind.
+#[test]
+fn no_stale_golden_fixtures() {
+    for entry in fs::read_dir(fixture_dir()).expect("fixture dir exists") {
+        let name = entry.expect("readable entry").file_name();
+        let name = name.to_string_lossy();
+        let stem = name
+            .strip_suffix(".script")
+            .or_else(|| name.strip_suffix(".expected"))
+            .unwrap_or_else(|| panic!("unexpected file in tests/golden: {name}"));
+        assert!(
+            lint::RULES.contains(&stem),
+            "tests/golden/{name} does not correspond to any lint rule"
+        );
+    }
+}
+
+/// The exploration corpus is seeded with the model-gap and defect-scenario
+/// scripts; the static pre-exec filter must consider every one of them clean
+/// (no `Error`-severity findings — warnings are fine, some seeds deliberately
+/// probe overlong names).
+#[test]
+fn explore_corpus_seeds_are_lint_clean() {
+    for (script, why) in sibylfs_testgen::sequences::model_gap_scripts() {
+        let diags = lint::lint_script(&script);
+        assert!(
+            lint::is_clean(&diags),
+            "model-gap script {} ({why}) is not lint-clean: {diags:?}",
+            script.name
+        );
+    }
+    for script in sibylfs_testgen::sequences::defect_scenario_scripts() {
+        let diags = lint::lint_script(&script);
+        assert!(
+            lint::is_clean(&diags),
+            "defect-scenario script {} is not lint-clean: {diags:?}",
+            script.name
+        );
+    }
+}

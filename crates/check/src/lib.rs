@@ -11,6 +11,11 @@
 //! diagnostic listing the allowed return values and continues from a recovered
 //! state (Fig. 4).
 
+// Panicking escape hatches are banned from the shipped library: a model or
+// checker that aborts on unexpected input is useless as an oracle. Tests may
+// still unwrap freely.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod checker;
 pub mod parallel;
 pub mod render;
@@ -21,7 +26,7 @@ pub use checker::{
     StepKind, StepVerdict,
 };
 pub use parallel::{check_traces_parallel, SuiteCheckStats};
-pub use render::render_checked_trace;
+pub use render::{render_checked_trace, render_diagnostic_block, DiagnosticBlock};
 
 #[cfg(test)]
 mod tests {

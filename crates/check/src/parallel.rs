@@ -86,12 +86,23 @@ pub fn check_traces_parallel(
                 }));
             }
             for h in handles {
-                for (idx, checked) in h.join().expect("checker worker panicked") {
+                // Propagate a worker panic with its original payload instead
+                // of wrapping it in a second panic here.
+                let batch = h.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
+                for (idx, checked) in batch {
                     slots[idx] = Some(checked);
                 }
             }
         });
-        slots.into_iter().map(|s| s.expect("every slot filled")).collect()
+        slots
+            .into_iter()
+            .map(|s| match s {
+                Some(checked) => checked,
+                // Each index is claimed by exactly one worker via the shared
+                // counter and written before the worker exits.
+                None => unreachable!("every slot filled"),
+            })
+            .collect()
     };
     let stats = SuiteCheckStats::from_results(&results, start.elapsed(), workers);
     (results, stats)

@@ -4,6 +4,35 @@ use std::fmt::Write as _;
 
 use crate::checker::{CheckedTrace, StepVerdict};
 
+/// A structural diagnostic in the shape of the paper's Fig. 4 annotations: a
+/// severity, the line it anchors to, a one-line title, and follow-up notes.
+/// Shared between the trace checker's deviation rendering and the static
+/// linter's reports so every tool's findings read the same way.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiagnosticBlock {
+    /// 1-based line the diagnostic anchors to.
+    pub lineno: usize,
+    /// Severity label, e.g. `"Error"` or `"Warning"`.
+    pub severity: &'static str,
+    /// The headline of the block.
+    pub title: String,
+    /// Additional `# `-prefixed lines.
+    pub notes: Vec<String>,
+}
+
+/// Append a diagnostic block in the Fig. 4 comment style:
+///
+/// ```text
+/// # Error: 6: EPERM
+/// # unexpected results: EPERM
+/// ```
+pub fn render_diagnostic_block(out: &mut String, block: &DiagnosticBlock) {
+    let _ = writeln!(out, "# {}: {}: {}", block.severity, block.lineno, block.title);
+    for note in &block.notes {
+        let _ = writeln!(out, "# {note}");
+    }
+}
+
 /// Render a checked trace as text. Conformant steps appear as in the original
 /// trace; non-conformant steps are annotated with the diagnostic block of
 /// Fig. 4.
@@ -22,18 +51,34 @@ pub fn render_checked_trace(checked: &CheckedTrace) -> String {
                 let _ = writeln!(out, "{}", step.label);
             }
             StepVerdict::Deviation { observed, allowed, continued_with } => {
-                let _ = writeln!(out, "# Error: {}: {}", step.lineno, observed);
-                let _ = writeln!(out, "# unexpected results: {}", observed);
-                let _ = writeln!(out, "# allowed are only: {}", allowed.join(", "));
+                let mut notes = vec![
+                    format!("unexpected results: {observed}"),
+                    format!("allowed are only: {}", allowed.join(", ")),
+                ];
                 if let Some(c) = continued_with {
-                    let _ = writeln!(out, "# continuing with {}", c);
+                    notes.push(format!("continuing with {c}"));
                 }
+                render_diagnostic_block(
+                    &mut out,
+                    &DiagnosticBlock {
+                        lineno: step.lineno,
+                        severity: "Error",
+                        title: observed.clone(),
+                        notes,
+                    },
+                );
             }
             StepVerdict::StateSetBounded { tracked, bound } => {
-                let _ = writeln!(
-                    out,
-                    "# Error: {}: state set exceeded the safety bound ({} states tracked, bound {}); the set was truncated and the rest of this check is lossy",
-                    step.lineno, tracked, bound
+                render_diagnostic_block(
+                    &mut out,
+                    &DiagnosticBlock {
+                        lineno: step.lineno,
+                        severity: "Error",
+                        title: format!(
+                            "state set exceeded the safety bound ({tracked} states tracked, bound {bound}); the set was truncated and the rest of this check is lossy"
+                        ),
+                        notes: Vec::new(),
+                    },
                 );
             }
         }

@@ -24,6 +24,8 @@ USAGE:
     sibylfs exec  --config NAME SCRIPT...            execute script files and print traces
     sibylfs survey [--full] [--flavor FLAVOR]        run and check every registered configuration
     sibylfs explore --config NAME [OPTIONS]          coverage-guided exploration of the model
+    sibylfs lint  SCRIPT...                          statically lint script files
+    sibylfs audit [--baseline FILE]                  spec-consistency audit of the model source
     sibylfs configs                                  list registered configurations
 
 EXPLORE OPTIONS:
@@ -36,6 +38,10 @@ EXPLORE OPTIONS:
     --workers N              worker threads (default: up to 4)
     --min-coverage PCT       exit 1 if final branch coverage is below PCT
     --require-gain           exit 1 unless exploration beat the static quick suite
+
+AUDIT OPTIONS:
+    --baseline FILE          suppress findings listed in FILE; exit 1 only on new ones
+    --dump-envelopes         print the computed per-syscall errno envelopes and exit
 
 FLAVOR is one of: posix, linux, mac, freebsd.
 NAME is a simulated configuration (see `sibylfs configs`) or `host/linux`
@@ -55,6 +61,8 @@ fn main() {
         "exec" => cmd_exec(&args[1..]),
         "survey" => cmd_survey(&args[1..]),
         "explore" => cmd_explore(&args[1..]),
+        "lint" => cmd_lint(&args[1..]),
+        "audit" => cmd_audit(&args[1..]),
         "configs" => {
             for c in configs::all_configs() {
                 println!("{:40} {:8} {}", c.name, c.platform.name(), c.description);
@@ -292,6 +300,67 @@ fn cmd_explore(args: &[String]) {
     }
     if failed {
         std::process::exit(1);
+    }
+}
+
+fn cmd_lint(args: &[String]) {
+    use sibylfs_analyze::lint;
+    use sibylfs_script::parse_script_spanned;
+
+    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if files.is_empty() {
+        eprintln!("no script files given");
+        std::process::exit(2);
+    }
+    let mut errors = 0usize;
+    for file in files {
+        let text = read_or_exit(file);
+        let (script, linenos) = parse_script_spanned(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {file}: {e}");
+            std::process::exit(2);
+        });
+        let diags = lint::lint_script(&script);
+        if !lint::is_clean(&diags) {
+            errors += 1;
+        }
+        print!("{}", lint::render_diagnostics(&script, &diags, Some(&linenos)));
+        println!();
+    }
+    if errors > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn cmd_audit(args: &[String]) {
+    use sibylfs_analyze::audit_model;
+
+    let report = audit_model();
+    if args.iter().any(|a| a == "--dump-envelopes") {
+        print!("{}", report.render_computed_envelopes());
+        return;
+    }
+    print!("{}", report.render());
+    match opt_value(args, "--baseline") {
+        Some(file) => {
+            let baseline = read_or_exit(&file);
+            let unexplained = report.unexplained(&baseline);
+            if !unexplained.is_empty() {
+                eprintln!(
+                    "audit gate failed: {} finding(s) not covered by the baseline {}:",
+                    unexplained.len(),
+                    file
+                );
+                for f in unexplained {
+                    eprintln!("  {}", f.line());
+                }
+                std::process::exit(1);
+            }
+        }
+        None => {
+            if !report.is_clean() {
+                std::process::exit(1);
+            }
+        }
     }
 }
 

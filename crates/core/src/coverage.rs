@@ -7,10 +7,12 @@
 //! platform-specific branch) — and recording which points are hit while
 //! checking traces.
 //!
-//! The registry of all spec points is derived from the model source itself
-//! (every `spec_point("…")` occurrence in the `fs_ops` and `os` modules), so
-//! the universe used as the denominator can never drift out of sync with the
-//! specification code.
+//! The registry of all spec points is declared explicitly in
+//! [`crate::spec_registry`] together with each syscall's errno envelope; a
+//! scan of the embedded model source (every `spec_point("…")` occurrence in
+//! the `fs_ops` and `os` modules) double-checks that the declaration never
+//! drifts out of sync with the specification code — see
+//! [`scanned_registry`] and the `sibylfs audit` static pass.
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
@@ -85,7 +87,10 @@ pub fn is_enabled() -> bool {
     COLLECTOR.lock().is_some()
 }
 
-/// The embedded model sources that are scanned for spec points.
+/// The embedded model sources scanned by the spec-consistency audit.
+///
+/// `flavor.rs` carries no spec points but holds the per-flavour errno tables,
+/// which the audit follows when computing what a syscall rule can emit.
 const MODEL_SOURCES: &[(&str, &str)] = &[
     ("fs_ops/mod.rs", include_str!("fs_ops/mod.rs")),
     ("fs_ops/dirs.rs", include_str!("fs_ops/dirs.rs")),
@@ -98,15 +103,32 @@ const MODEL_SOURCES: &[(&str, &str)] = &[
     ("fs_ops/dir_handles.rs", include_str!("fs_ops/dir_handles.rs")),
     ("path/mod.rs", include_str!("path/mod.rs")),
     ("os/trans.rs", include_str!("os/trans.rs")),
+    ("flavor.rs", include_str!("flavor.rs")),
 ];
 
-/// All specification points present in the model source, grouped nowhere:
-/// just the sorted list of unique point names.
+/// The embedded model sources, for static analysis (the `sibylfs_analyze`
+/// audit parses these to cross-check the declared registry against what the
+/// specification text actually contains and can emit).
+pub fn model_sources() -> &'static [(&'static str, &'static str)] {
+    MODEL_SOURCES
+}
+
+/// All specification points of the model: the declared registry.
 ///
-/// The scan looks for string literals passed to `spec_point(`; this keeps the
-/// coverage denominator mechanically in sync with the specification text, in
-/// the spirit of the paper's per-line annotations.
+/// Until the spec-consistency audit existed this was derived by scanning the
+/// model source for `spec_point("…")` literals; it is now the explicit list
+/// in [`crate::spec_registry`], and the audit (plus a unit test below) checks
+/// that the declaration and the source never drift apart.
 pub fn registry() -> BTreeSet<String> {
+    crate::spec_registry::declared_points().iter().map(|p| p.to_string()).collect()
+}
+
+/// All `spec_point("…")` literals present in the embedded model sources.
+///
+/// This is the old ad-hoc derivation of the registry, kept as the
+/// cross-check: [`registry`] (the declaration) must equal this scan, which
+/// the audit and the `declared_registry_matches_source_scan` test enforce.
+pub fn scanned_registry() -> BTreeSet<String> {
     let mut out = BTreeSet::new();
     for (_file, src) in MODEL_SOURCES {
         for occurrence in src.split("spec_point(\"").skip(1) {
@@ -118,12 +140,15 @@ pub fn registry() -> BTreeSet<String> {
     out
 }
 
-/// Per-module counts of spec points, used by the model-size report.
+/// Per-module counts of spec points, used by the model-size report. Sources
+/// without any spec points (errno tables and the like) are omitted.
 pub fn registry_by_module() -> Vec<(String, usize)> {
     let mut out = Vec::new();
     for (file, src) in MODEL_SOURCES {
         let count = src.matches("spec_point(\"").count();
-        out.push((file.to_string(), count));
+        if count > 0 {
+            out.push((file.to_string(), count));
+        }
     }
     out
 }
@@ -371,6 +396,19 @@ mod tests {
         for p in &reg {
             assert!(p.contains('/'), "spec point {p:?} is not namespaced");
         }
+    }
+
+    #[test]
+    fn declared_registry_matches_source_scan() {
+        let declared = registry();
+        let scanned = scanned_registry();
+        let missing: Vec<_> = scanned.difference(&declared).collect();
+        let stale: Vec<_> = declared.difference(&scanned).collect();
+        assert!(
+            missing.is_empty() && stale.is_empty(),
+            "spec_registry drifted from the model source; \
+             unregistered: {missing:?}, stale: {stale:?}"
+        );
     }
 
     #[test]

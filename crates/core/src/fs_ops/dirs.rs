@@ -71,18 +71,16 @@ pub fn spec_rmdir(ctx: &SpecCtx<'_>, path: &ParsedPath) -> CmdOutcome {
             // `rmdir "../missing/.."` returns ENOENT on Linux and in the
             // simulation). The envelope admits both orders of checking.
             let mut errnos = vec![Errno::ENOTEMPTY, Errno::EINVAL, Errno::EBUSY];
-            match ctx.resolve(path, FollowLast::NoFollow) {
-                ResName::Err(e) => {
-                    spec_point("rmdir/path_ends_in_dotdot_resolution_error");
-                    if !errnos.contains(&e) {
-                        errnos.push(e);
-                    }
+            // Resolution of a ".."-final path either fails (`ResName::Err`)
+            // or lands on a directory: the resolver handles ".." inline and
+            // never reports a missing last component, so `ResName::None` is
+            // unreachable here and needs no arm (a missing intermediate
+            // already surfaced as `Err(ENOENT)`).
+            if let ResName::Err(e) = ctx.resolve(path, FollowLast::NoFollow) {
+                spec_point("rmdir/path_ends_in_dotdot_resolution_error");
+                if !errnos.contains(&e) {
+                    errnos.push(e);
                 }
-                ResName::None { .. } => {
-                    spec_point("rmdir/path_ends_in_dotdot_resolution_error");
-                    errnos.push(Errno::ENOENT);
-                }
-                _ => {}
             }
             return CmdOutcome::error_any(errnos);
         }

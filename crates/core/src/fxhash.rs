@@ -32,7 +32,10 @@ impl Hasher for FxHasher64 {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for chunk in &mut chunks {
-            self.add_word(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+            // `chunks_exact(8)` yields exactly 8 bytes per chunk.
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.add_word(u64::from_le_bytes(word));
         }
         let rest = chunks.remainder();
         if !rest.is_empty() {

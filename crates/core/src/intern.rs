@@ -102,7 +102,11 @@ impl Interner {
         }
         let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
         let mut strings = self.strings.write().unwrap_or_else(|e| e.into_inner());
-        let id = u32::try_from(strings.len()).expect("interner overflow: > 4G distinct names");
+        assert!(
+            u32::try_from(strings.len()).is_ok(),
+            "interner overflow: > 4G distinct names"
+        );
+        let id = strings.len() as u32;
         strings.push(leaked);
         drop(strings);
         shard.insert(leaked, id);

@@ -44,6 +44,11 @@
 //! assert_eq!(after_ret.len(), 1);
 //! ```
 
+// Panicking escape hatches are banned from the shipped library: a model or
+// checker that aborts on unexpected input is useless as an oracle. Tests may
+// still unwrap freely.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod commands;
 pub mod coverage;
 pub mod errno;
@@ -56,6 +61,7 @@ pub mod monad;
 pub mod os;
 pub mod path;
 pub mod perms;
+pub mod spec_registry;
 pub mod state;
 pub mod types;
 

@@ -90,9 +90,9 @@ pub fn os_trans_into(cfg: &SpecConfig, st: &OsState, label: &OsLabel, out: &mut 
                     let mut mids = StateSet::new();
                     process_call_into(cfg, st, *pid, &mut mids);
                     for mid in &mids {
-                        if let ProcRunState::Pending(p) =
-                            &mid.procs.get(pid).expect("pid exists").run_state
-                        {
+                        // The call expansion never removes the process.
+                        let Some(proc) = mid.procs.get(pid) else { continue };
+                        if let ProcRunState::Pending(p) = &proc.run_state {
                             if let Some(next) = match_pending(cfg, mid, *pid, p, value) {
                                 out.insert(next);
                             }
@@ -146,7 +146,8 @@ pub fn tau_close(cfg: &SpecConfig, states: &mut StateSet) {
     // the chains appended per original state.
     let mut i = 0;
     while i < states.len() {
-        let st = states.get(i).expect("index in bounds").clone();
+        let Some(st) = states.get(i) else { break };
+        let st = st.clone();
         expand_calls_into(cfg, &st, states);
         i += 1;
     }

@@ -1,0 +1,459 @@
+//! Declared registry of specification points and per-syscall errno envelopes.
+//!
+//! The coverage denominator used throughout the workspace (`coverage::registry`)
+//! and the errno envelope each syscall specification is allowed to emit are
+//! *declared* here, rather than derived by scanning the model source at run
+//! time. The `sibylfs audit` static pass (crate `sibylfs_analyze`) and a unit
+//! test in [`crate::coverage`] cross-check the declaration against the model
+//! text in both directions:
+//!
+//! * every `spec_point("…")` literal in the model must appear in
+//!   [`declared_points`] (else it is *unregistered*), and every declared point
+//!   must appear in the model (else it is *stale*);
+//! * every `Errno` a syscall's rule can reach — transitively, through the
+//!   shared `SpecCtx` checks, path resolution, and the per-flavour errno
+//!   tables — must be declared in that syscall's [`SyscallSpec::errnos`]
+//!   envelope (else it is *undeclared*), and every declared errno must be
+//!   reachable (else it is *dead spec surface*).
+//!
+//! Keeping the declaration explicit makes envelope changes show up in review
+//! as a diff of this file instead of silently widening the model.
+
+use crate::errno::Errno;
+
+use Errno::*;
+
+/// The declared static description of one syscall specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyscallSpec {
+    /// The model-side name, which is also the spec-point prefix (`"stat"`
+    /// covers both the `stat` and `lstat` commands).
+    pub name: &'static str,
+    /// The entry function in `fs_ops` implementing the specification.
+    pub entry: &'static str,
+    /// The `OsCommand::name()`s dispatched to this specification.
+    pub commands: &'static [&'static str],
+    /// Every errno any rule of this specification can emit, for any flavour
+    /// and any trait configuration.
+    pub errnos: &'static [Errno],
+}
+
+/// The declared syscall table, one entry per `spec_*` function in `fs_ops`.
+pub static SYSCALLS: &[SyscallSpec] = &[
+    SyscallSpec {
+        name: "chdir",
+        entry: "spec_chdir",
+        commands: &["chdir"],
+        errnos: &[EACCES, ELOOP, ENAMETOOLONG, ENOENT, ENOTDIR],
+    },
+    SyscallSpec {
+        name: "chmod",
+        entry: "spec_chmod",
+        commands: &["chmod"],
+        errnos: &[EACCES, ELOOP, ENAMETOOLONG, ENOENT, ENOTDIR, EPERM],
+    },
+    SyscallSpec {
+        name: "chown",
+        entry: "spec_chown",
+        commands: &["chown"],
+        errnos: &[EACCES, ELOOP, ENAMETOOLONG, ENOENT, ENOTDIR, EPERM],
+    },
+    SyscallSpec {
+        name: "close",
+        entry: "spec_close",
+        commands: &["close"],
+        errnos: &[EBADF],
+    },
+    SyscallSpec {
+        name: "closedir",
+        entry: "spec_closedir",
+        commands: &["closedir"],
+        errnos: &[EBADF],
+    },
+    SyscallSpec {
+        name: "link",
+        entry: "spec_link",
+        commands: &["link"],
+        errnos: &[EACCES, EEXIST, ELOOP, EMLINK, ENAMETOOLONG, ENOENT, ENOTDIR, EPERM],
+    },
+    SyscallSpec {
+        name: "lseek",
+        entry: "spec_lseek",
+        commands: &["lseek"],
+        errnos: &[EBADF, EINVAL, EOVERFLOW],
+    },
+    SyscallSpec {
+        name: "mkdir",
+        entry: "spec_mkdir",
+        commands: &["mkdir"],
+        errnos: &[EACCES, EEXIST, ELOOP, ENAMETOOLONG, ENOENT, ENOTDIR],
+    },
+    SyscallSpec {
+        name: "open",
+        entry: "spec_open",
+        commands: &["open"],
+        errnos: &[EACCES, EEXIST, EINVAL, EISDIR, ELOOP, ENAMETOOLONG, ENOENT, ENOTDIR],
+    },
+    SyscallSpec {
+        name: "opendir",
+        entry: "spec_opendir",
+        commands: &["opendir"],
+        errnos: &[EACCES, ELOOP, ENAMETOOLONG, ENOENT, ENOTDIR],
+    },
+    SyscallSpec {
+        name: "pread",
+        entry: "spec_pread",
+        commands: &["pread"],
+        errnos: &[EBADF, EINVAL, EISDIR],
+    },
+    SyscallSpec {
+        name: "pwrite",
+        entry: "spec_pwrite",
+        commands: &["pwrite"],
+        errnos: &[EBADF, EFBIG, EINVAL],
+    },
+    SyscallSpec {
+        name: "read",
+        entry: "spec_read",
+        commands: &["read"],
+        errnos: &[EBADF, EISDIR],
+    },
+    SyscallSpec {
+        name: "readdir",
+        entry: "spec_readdir",
+        commands: &["readdir"],
+        errnos: &[EBADF],
+    },
+    SyscallSpec {
+        name: "readlink",
+        entry: "spec_readlink",
+        commands: &["readlink"],
+        errnos: &[EACCES, EINVAL, ELOOP, ENAMETOOLONG, ENOENT, ENOTDIR],
+    },
+    SyscallSpec {
+        name: "rename",
+        entry: "spec_rename",
+        commands: &["rename"],
+        errnos: &[EACCES, EBUSY, EEXIST, EINVAL, EISDIR, ELOOP, ENAMETOOLONG, ENOENT, ENOTDIR, ENOTEMPTY],
+    },
+    SyscallSpec {
+        name: "rewinddir",
+        entry: "spec_rewinddir",
+        commands: &["rewinddir"],
+        errnos: &[EBADF],
+    },
+    SyscallSpec {
+        name: "rmdir",
+        entry: "spec_rmdir",
+        commands: &["rmdir"],
+        errnos: &[EACCES, EBUSY, EEXIST, EINVAL, ELOOP, ENAMETOOLONG, ENOENT, ENOTDIR, ENOTEMPTY],
+    },
+    SyscallSpec {
+        name: "stat",
+        entry: "spec_stat",
+        commands: &["stat", "lstat"],
+        errnos: &[EACCES, ELOOP, ENAMETOOLONG, ENOENT, ENOTDIR],
+    },
+    SyscallSpec {
+        name: "symlink",
+        entry: "spec_symlink",
+        commands: &["symlink"],
+        errnos: &[EACCES, EEXIST, ELOOP, ENAMETOOLONG, ENOENT, ENOTDIR],
+    },
+    SyscallSpec {
+        name: "truncate",
+        entry: "spec_truncate",
+        commands: &["truncate"],
+        errnos: &[EACCES, EEXIST, EFBIG, EINVAL, EISDIR, ELOOP, ENAMETOOLONG, ENOENT, ENOTDIR],
+    },
+    SyscallSpec {
+        name: "umask",
+        entry: "spec_umask",
+        commands: &["umask"],
+        errnos: &[EINVAL],
+    },
+    SyscallSpec {
+        name: "unlink",
+        entry: "spec_unlink",
+        commands: &["unlink"],
+        errnos: &[EACCES, EEXIST, EISDIR, ELOOP, ENAMETOOLONG, ENOENT, ENOTDIR, EPERM],
+    },
+    SyscallSpec {
+        name: "write",
+        entry: "spec_write",
+        commands: &["write"],
+        errnos: &[EBADF, EFBIG],
+    },
+    SyscallSpec {
+        name: "add_user_to_group",
+        entry: "spec_add_user_to_group",
+        commands: &["add_user_to_group"],
+        errnos: &[],
+    },
+];
+
+/// Spec-point prefixes that are not syscall names: shared helper clauses
+/// (`common/`), the path resolver (`path/`), and the process-lifecycle layer
+/// (`os/`).
+pub static SHARED_PREFIXES: &[&str] = &["common", "path", "os"];
+
+/// Every declared specification point, sorted and unique. This is the
+/// coverage denominator; see the module docs for the invariants the audit
+/// enforces over it.
+pub static POINTS: &[&str] = &[
+    "add_user_to_group/success",
+    "chdir/resolution_error",
+    "chdir/search_permission_denied_eacces",
+    "chdir/success",
+    "chdir/target_is_file_enotdir",
+    "chdir/target_missing_enoent",
+    "chmod/caller_not_owner_eperm",
+    "chmod/resolution_error",
+    "chmod/success",
+    "chmod/target_is_directory",
+    "chmod/target_is_file",
+    "chmod/target_missing_enoent",
+    "chmod/trailing_slash_on_file_enotdir",
+    "chown/caller_not_permitted_eperm",
+    "chown/owner_changes_group_to_member_group",
+    "chown/owner_changes_group_to_nonmember_group",
+    "chown/resolution_error",
+    "chown/success",
+    "chown/superuser_allowed",
+    "chown/target_missing_enoent",
+    "chown/trailing_slash_on_file_enotdir",
+    "close/bad_fd_ebadf",
+    "close/success",
+    "closedir/bad_handle_ebadf",
+    "closedir/success",
+    "common/create_in_disconnected_dir_enoent",
+    "common/parent_dir_not_writable_eacces",
+    "common/symlink_with_trailing_slash_may_enotdir",
+    "common/trailing_slash_on_file",
+    "link/destination_exists_dir_eexist",
+    "link/destination_exists_eexist",
+    "link/destination_missing_with_trailing_slash_enoent",
+    "link/destination_resolution_error",
+    "link/destination_trailing_slash",
+    "link/link_count_exhausted_emlink",
+    "link/source_is_directory_eperm",
+    "link/source_missing_enoent",
+    "link/source_resolution_error",
+    "link/source_symlink_behaviour_impl_defined",
+    "link/source_symlink_followed",
+    "link/source_symlink_linked_directly",
+    "link/success",
+    "lseek/bad_fd_ebadf",
+    "lseek/negative_result_einval",
+    "lseek/offset_overflow_eoverflow",
+    "lseek/success",
+    "mkdir/create_new_directory",
+    "mkdir/resolution_error",
+    "mkdir/success",
+    "mkdir/target_is_existing_dir_eexist",
+    "mkdir/target_is_existing_file_eexist",
+    "mkdir/target_is_file_with_trailing_slash",
+    "open/creat_excl_does_not_follow_final_symlink",
+    "open/creat_excl_on_existing_dir_eexist",
+    "open/creat_excl_on_existing_file_eexist",
+    "open/creat_excl_on_symlink_eexist",
+    "open/creat_trailing_slash_on_existing_file",
+    "open/creat_with_o_directory_may_einval",
+    "open/creat_with_trailing_slash",
+    "open/create_new_file_success",
+    "open/directory_read_only_success",
+    "open/directory_read_permission_eacces",
+    "open/existing_file_success",
+    "open/existing_file_truncated",
+    "open/file_read_permission_eacces",
+    "open/file_write_permission_eacces",
+    "open/invalid_access_mode_einval",
+    "open/missing_without_creat_enoent",
+    "open/nofollow_on_symlink_eloop",
+    "open/o_directory_on_file_enotdir",
+    "open/o_trunc_with_rdonly_unspecified",
+    "open/resolution_error",
+    "open/trailing_slash_on_file",
+    "open/truncate_directory_eisdir",
+    "open/write_access_on_directory_eisdir",
+    "opendir/read_permission_denied_eacces",
+    "opendir/resolution_error",
+    "opendir/success",
+    "opendir/target_is_file_enotdir",
+    "opendir/target_missing_enoent",
+    "os/call_accepted",
+    "os/call_from_unknown_pid_rejected",
+    "os/call_while_blocked_rejected",
+    "os/create_existing_pid_rejected",
+    "os/create_process",
+    "os/destroy_busy_pid_rejected",
+    "os/destroy_process",
+    "os/destroy_unknown_pid_rejected",
+    "os/return_without_call_rejected",
+    "path/dot_component",
+    "path/dotdot_component",
+    "path/dotdot_of_disconnected_dir",
+    "path/eloop",
+    "path/empty_path_enoent",
+    "path/empty_symlink_target",
+    "path/final_symlink_not_followed",
+    "path/intermediate_component_missing",
+    "path/intermediate_component_not_a_dir",
+    "path/last_component_missing",
+    "path/name_too_long",
+    "path/path_too_long",
+    "path/resolved_to_dir",
+    "path/resolved_to_file",
+    "path/resolved_to_start_dir",
+    "path/search_permission_denied",
+    "path/symlink_followed",
+    "pread/bad_fd_ebadf",
+    "pread/fd_not_open_for_reading_ebadf",
+    "pread/fd_refers_to_directory_eisdir",
+    "pread/negative_offset_einval",
+    "pread/success",
+    "pwrite/append_overrides_offset_linux_convention",
+    "pwrite/at_explicit_offset",
+    "pwrite/bad_fd_ebadf",
+    "pwrite/beyond_file_size_limit_efbig",
+    "pwrite/fd_not_open_for_writing_ebadf",
+    "pwrite/negative_offset_einval",
+    "pwrite/success",
+    "pwrite/zero_bytes_to_bad_fd_impl_defined",
+    "read/bad_fd_ebadf",
+    "read/fd_not_open_for_reading_ebadf",
+    "read/fd_refers_to_directory_eisdir",
+    "read/success",
+    "readdir/bad_handle_ebadf",
+    "readdir/success",
+    "readlink/resolution_error",
+    "readlink/success",
+    "readlink/target_is_directory_einval",
+    "readlink/target_missing_enoent",
+    "readlink/target_not_a_symlink_einval",
+    "rename/destination_dir_not_empty",
+    "rename/destination_dir_without_parent_entry",
+    "rename/destination_inside_source_einval",
+    "rename/destination_is_root",
+    "rename/destination_parent_inside_source_einval",
+    "rename/destination_resolution_error",
+    "rename/dir_over_file_enotdir",
+    "rename/dir_replaces_empty_dir_success",
+    "rename/dir_to_new_name_success",
+    "rename/file_destination_resolution_error",
+    "rename/file_destination_trailing_slash",
+    "rename/file_over_dir_eisdir",
+    "rename/file_replaces_file_success",
+    "rename/file_to_missing_name_with_trailing_slash",
+    "rename/file_to_new_name_success",
+    "rename/path_ends_in_dot_einval",
+    "rename/same_dir_noop",
+    "rename/same_file_noop",
+    "rename/source_dir_without_parent_entry",
+    "rename/source_is_root",
+    "rename/source_missing_enoent",
+    "rename/source_resolution_error",
+    "rewinddir/bad_handle_ebadf",
+    "rewinddir/success",
+    "rmdir/directory_not_empty",
+    "rmdir/no_parent_entry_einval",
+    "rmdir/path_ends_in_dot_einval",
+    "rmdir/path_ends_in_dotdot",
+    "rmdir/path_ends_in_dotdot_resolution_error",
+    "rmdir/remove_root_directory",
+    "rmdir/resolution_error",
+    "rmdir/success",
+    "rmdir/target_is_file_enotdir",
+    "rmdir/target_missing_enoent",
+    "stat/regular_file",
+    "stat/resolution_error",
+    "stat/symlink_mode_platform_specific",
+    "stat/target_is_directory",
+    "stat/target_missing_enoent",
+    "stat/trailing_slash_on_file_enotdir",
+    "symlink/empty_target_enoent",
+    "symlink/linkpath_trailing_slash",
+    "symlink/resolution_error",
+    "symlink/success",
+    "symlink/target_name_exists_dir_eexist",
+    "symlink/target_name_exists_eexist",
+    "truncate/length_beyond_file_size_limit",
+    "truncate/negative_length_einval",
+    "truncate/no_write_permission_eacces",
+    "truncate/resolution_error",
+    "truncate/success",
+    "truncate/target_is_directory_eisdir",
+    "truncate/target_missing_enoent",
+    "truncate/trailing_slash_on_file",
+    "umask/success",
+    "unlink/resolution_error",
+    "unlink/success",
+    "unlink/target_is_directory",
+    "unlink/target_is_symlink",
+    "unlink/target_missing_enoent",
+    "unlink/trailing_slash_on_file",
+    "write/append_mode",
+    "write/at_current_offset",
+    "write/bad_fd_ebadf",
+    "write/beyond_file_size_limit_efbig",
+    "write/fd_not_open_for_writing_ebadf",
+    "write/success",
+    "write/zero_bytes_to_bad_fd_impl_defined",
+];
+
+/// The declared spec-point list (the coverage denominator).
+pub fn declared_points() -> &'static [&'static str] {
+    POINTS
+}
+
+/// Look up a syscall's declared spec by its model name *or* by any of its
+/// `OsCommand` names (so `"lstat"` finds the `stat` entry).
+pub fn syscall_spec(name: &str) -> Option<&'static SyscallSpec> {
+    SYSCALLS.iter().find(|s| s.name == name || s.commands.contains(&name))
+}
+
+/// The declared errno envelope of a syscall, if it is a known syscall.
+pub fn errno_envelope(name: &str) -> Option<&'static [Errno]> {
+    syscall_spec(name).map(|s| s.errnos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_are_sorted_unique_and_prefixed() {
+        for w in POINTS.windows(2) {
+            assert!(w[0] < w[1], "POINTS not sorted/unique at {:?}", w);
+        }
+        for p in POINTS {
+            let prefix = p.split('/').next().unwrap_or("");
+            assert!(
+                syscall_spec(prefix).is_some() || SHARED_PREFIXES.contains(&prefix),
+                "spec point {p:?} has no known syscall or shared prefix"
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_covers_aliases() {
+        assert_eq!(syscall_spec("lstat").map(|s| s.name), Some("stat"));
+        assert_eq!(syscall_spec("stat").map(|s| s.name), Some("stat"));
+        assert!(syscall_spec("nonesuch").is_none());
+    }
+
+    #[test]
+    fn envelopes_are_sorted_unique_and_nonempty() {
+        for s in SYSCALLS {
+            // add_user_to_group is a pure model-state update and never errors.
+            assert!(
+                !s.errnos.is_empty() || s.name == "add_user_to_group",
+                "{} has an empty errno envelope",
+                s.name
+            );
+            for w in s.errnos.windows(2) {
+                assert!(w[0] < w[1], "{} envelope not sorted/unique at {:?}", s.name, w);
+            }
+        }
+    }
+}

@@ -39,6 +39,10 @@
 //! Every other field (kind, size for files and symlinks, nlink, mode,
 //! uid/gid) is reported exactly as the kernel returned it.
 
+// Every unsafe block below carries a `// SAFETY:` justification, and unsafe
+// operations inside `unsafe fn` bodies still need their own block.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -190,6 +194,8 @@ mod raw {
 
 /// The current thread's errno.
 fn errno_raw() -> i32 {
+    // SAFETY: `__errno_location` returns a valid, thread-local pointer for
+    // the lifetime of the thread; reading it is always defined.
     unsafe { *raw::__errno_location() }
 }
 
@@ -320,11 +326,16 @@ impl HostWorld {
     fn create_process(&mut self, pid: Pid, uid: Uid, gid: Gid) {
         // Regain full privilege to open the jail root regardless of what the
         // previous call ran as.
+        // SAFETY: plain FFI calls with no pointer arguments; changing
+        // effective credentials cannot violate memory safety, and a failure
+        // (unprivileged run) only surfaces as kernel-side EACCES later.
         unsafe {
             raw::seteuid(0);
             raw::setegid(0);
         }
         let root = c_path("/").expect("static path");
+        // SAFETY: `root` is a live, NUL-terminated buffer for the duration of
+        // the call; `open` does not retain the pointer.
         let cwd_fd = unsafe {
             raw::open(
                 root.as_ptr().cast(),
@@ -349,6 +360,12 @@ impl HostWorld {
 
     fn destroy_process(&mut self, pid: Pid) {
         if let Some(proc) = self.procs.remove(&pid.0) {
+            // SAFETY: every fd in `proc.fds` and `proc.cwd_fd` is a real
+            // descriptor this process opened and still owns (virtual fds are
+            // removed from the map when closed); every pointer in `proc.dhs`
+            // is a live `DIR*` from `opendir` that is closed exactly once,
+            // here, as the map entry is dropped with the process. The
+            // credential calls take no pointers.
             unsafe {
                 raw::seteuid(0);
                 raw::setegid(0);
@@ -368,6 +385,9 @@ impl HostWorld {
     /// credentials (in that order — credential changes come last because they
     /// drop the privileges the other steps may need).
     fn enter(&self, proc: &VProc) {
+        // SAFETY: `fchdir`/`umask`/credential calls take integers only;
+        // `setgroups` reads `groups.len()` u32s from `groups`, which is a
+        // live Vec for the duration of the call and not retained.
         unsafe {
             raw::seteuid(0);
             raw::setegid(0);
@@ -400,22 +420,28 @@ impl HostWorld {
         match cmd {
             OsCommand::Mkdir(path, mode) => {
                 let p = try_cpath!(path);
+                // SAFETY: `p` is a live NUL-terminated buffer; not retained.
                 ok_none(unsafe { raw::mkdir(p.as_ptr().cast(), mode.bits()) })
             }
             OsCommand::Rmdir(path) => {
                 let p = try_cpath!(path);
+                // SAFETY: `p` is a live NUL-terminated buffer; not retained.
                 ok_none(unsafe { raw::rmdir(p.as_ptr().cast()) })
             }
             OsCommand::Unlink(path) => {
                 let p = try_cpath!(path);
+                // SAFETY: `p` is a live NUL-terminated buffer; not retained.
                 ok_none(unsafe { raw::unlink(p.as_ptr().cast()) })
             }
             OsCommand::Chdir(path) => {
                 let p = try_cpath!(path);
+                // SAFETY: `p` is a live NUL-terminated buffer; not retained.
                 if unsafe { raw::chdir(p.as_ptr().cast()) } != 0 {
                     return ErrorOrValue::Error(errno_from_raw(errno_raw()));
                 }
                 let dot = c_path(".").expect("static path");
+                // SAFETY: `dot` is a live NUL-terminated buffer; `open` does
+                // not retain it.
                 let new_cwd = unsafe {
                     raw::open(
                         dot.as_ptr().cast(),
@@ -425,6 +451,8 @@ impl HostWorld {
                 };
                 let proc = self.procs.get_mut(&pid.0).expect("checked above");
                 if new_cwd >= 0 {
+                    // SAFETY: `cwd_fd` is owned by this VProc and immediately
+                    // replaced below, so it is closed exactly once.
                     unsafe { raw::close(proc.cwd_fd) };
                     proc.cwd_fd = new_cwd;
                 }
@@ -432,6 +460,7 @@ impl HostWorld {
             }
             OsCommand::Truncate(path, len) => {
                 let p = try_cpath!(path);
+                // SAFETY: `p` is a live NUL-terminated buffer; not retained.
                 ok_none(unsafe { raw::truncate(p.as_ptr().cast(), *len) })
             }
             OsCommand::Stat(path) => self.do_stat(path, true),
@@ -439,16 +468,20 @@ impl HostWorld {
             OsCommand::Link(src, dst) => {
                 let a = try_cpath!(src);
                 let b = try_cpath!(dst);
+                // SAFETY: `a` and `b` are live NUL-terminated buffers; not retained.
                 ok_none(unsafe { raw::link(a.as_ptr().cast(), b.as_ptr().cast()) })
             }
             OsCommand::Symlink(target, path) => {
                 let t = try_cpath!(target);
                 let p = try_cpath!(path);
+                // SAFETY: `t` and `p` are live NUL-terminated buffers; not retained.
                 ok_none(unsafe { raw::symlink(t.as_ptr().cast(), p.as_ptr().cast()) })
             }
             OsCommand::Readlink(path) => {
                 let p = try_cpath!(path);
                 let mut buf = vec![0u8; 4096];
+                // SAFETY: `p` is NUL-terminated; `buf` is a live allocation
+                // of exactly `buf.len()` writable bytes.
                 let n = unsafe {
                     raw::readlink(p.as_ptr().cast(), buf.as_mut_ptr().cast(), buf.len())
                 };
@@ -461,11 +494,13 @@ impl HostWorld {
             OsCommand::Rename(src, dst) => {
                 let a = try_cpath!(src);
                 let b = try_cpath!(dst);
+                // SAFETY: `a` and `b` are live NUL-terminated buffers; not retained.
                 ok_none(unsafe { raw::rename(a.as_ptr().cast(), b.as_ptr().cast()) })
             }
             OsCommand::Open(path, flags, mode) => {
                 let p = try_cpath!(path);
                 let m = mode.map(|m| m.bits()).unwrap_or(0o666);
+                // SAFETY: `p` is a live NUL-terminated buffer; not retained.
                 let fd = unsafe { raw::open(p.as_ptr().cast(), raw_open_flags(*flags), m) };
                 if fd < 0 {
                     return ErrorOrValue::Error(errno_from_raw(errno_raw()));
@@ -479,6 +514,8 @@ impl HostWorld {
             OsCommand::Close(vfd) => {
                 let proc = self.procs.get_mut(&pid.0).expect("checked above");
                 match proc.fds.remove(&vfd.0) {
+                    // SAFETY: `fd` was owned by the fd table and has just
+                    // been removed from it, so it is closed exactly once.
                     Some(fd) => ok_none(unsafe { raw::close(fd) }),
                     None => ErrorOrValue::Error(Errno::EBADF),
                 }
@@ -492,6 +529,7 @@ impl HostWorld {
                     SeekWhence::Cur => raw::SEEK_CUR,
                     SeekWhence::End => raw::SEEK_END,
                 };
+                // SAFETY: integer-only FFI call on a descriptor we own.
                 let n = unsafe { raw::lseek(fd, *off, w) };
                 if n < 0 {
                     ErrorOrValue::Error(errno_from_raw(errno_raw()))
@@ -505,16 +543,19 @@ impl HostWorld {
             OsCommand::Pwrite(vfd, data, off) => self.do_write(pid, *vfd, data, Some(*off)),
             OsCommand::Chmod(path, mode) => {
                 let p = try_cpath!(path);
+                // SAFETY: `p` is a live NUL-terminated buffer; not retained.
                 ok_none(unsafe { raw::chmod(p.as_ptr().cast(), mode.bits()) })
             }
             OsCommand::Chown(path, uid, gid) => {
                 let p = try_cpath!(path);
+                // SAFETY: `p` is a live NUL-terminated buffer; not retained.
                 ok_none(unsafe { raw::chown(p.as_ptr().cast(), uid.0, gid.0) })
             }
             OsCommand::Umask(mask) => {
                 let proc = self.procs.get_mut(&pid.0).expect("checked above");
                 let old = proc.umask;
                 proc.umask = mask.bits() & 0o777;
+                // SAFETY: integer-only FFI call; cannot fail.
                 unsafe { raw::umask(proc.umask) };
                 ErrorOrValue::Value(RetValue::Num(old as i64))
             }
@@ -524,6 +565,8 @@ impl HostWorld {
             }
             OsCommand::Opendir(path) => {
                 let p = try_cpath!(path);
+                // SAFETY: `p` is a live NUL-terminated buffer; `opendir`
+                // copies the path and does not retain the pointer.
                 let dir = unsafe { raw::opendir(p.as_ptr().cast()) };
                 if dir.is_null() {
                     return ErrorOrValue::Error(errno_from_raw(errno_raw()));
@@ -540,10 +583,15 @@ impl HostWorld {
                     return ErrorOrValue::Error(Errno::EBADF);
                 };
                 loop {
+                    // SAFETY: `dir` is a live `DIR*` from `opendir`, owned by
+                    // the dh table and not closed until `closedir` removes it.
                     let ent = unsafe { raw::readdir(dir) };
                     if ent.is_null() {
                         return ErrorOrValue::Value(RetValue::ReaddirEntry(None));
                     }
+                    // SAFETY: `ent` is non-null (checked above) and points
+                    // into the `DIR` buffer, valid until the next readdir on
+                    // this handle; `d_name` is NUL-terminated by the kernel.
                     let name = unsafe { c_str_bytes(&(*ent).d_name) };
                     if name == b"." || name == b".." {
                         continue;
@@ -557,6 +605,7 @@ impl HostWorld {
                 let proc = self.procs.get_mut(&pid.0).expect("checked above");
                 match proc.dhs.get(&vdh.0).copied() {
                     Some(dir) => {
+                        // SAFETY: `dir` is a live `DIR*` owned by the table.
                         unsafe { raw::rewinddir(dir) };
                         ErrorOrValue::Value(RetValue::None)
                     }
@@ -567,6 +616,8 @@ impl HostWorld {
                 let proc = self.procs.get_mut(&pid.0).expect("checked above");
                 match proc.dhs.remove(&vdh.0) {
                     Some(dir) => {
+                        // SAFETY: `dir` has just been removed from the dh
+                        // table, so it is a live `DIR*` closed exactly once.
                         unsafe { raw::closedir(dir) };
                         ErrorOrValue::Value(RetValue::None)
                     }
@@ -587,6 +638,8 @@ impl HostWorld {
         };
         let mut buf = std::mem::MaybeUninit::<raw::Statx>::zeroed();
         let flags = if follow { 0 } else { raw::AT_SYMLINK_NOFOLLOW };
+        // SAFETY: `p` is NUL-terminated and `buf` is a properly-aligned,
+        // writable `Statx` the kernel fills; neither pointer is retained.
         let rc = unsafe {
             raw::statx(
                 raw::AT_FDCWD,
@@ -599,6 +652,9 @@ impl HostWorld {
         if rc != 0 {
             return ErrorOrValue::Error(errno_from_raw(errno_raw()));
         }
+        // SAFETY: statx returned 0, so the kernel populated every
+        // STATX_BASIC_STATS field; the buffer started zeroed, so even
+        // padding/unrequested fields are initialised.
         let stx = unsafe { buf.assume_init() };
         let kind = match u32::from(stx.stx_mode) & raw::S_IFMT {
             raw::S_IFDIR => FileKind::Directory,
@@ -626,6 +682,8 @@ impl HostWorld {
             return ErrorOrValue::Error(Errno::EBADF);
         };
         let mut buf = vec![0u8; count.min(MAX_TRANSFER)];
+        // SAFETY: `buf` is a live allocation of exactly `buf.len()` writable
+        // bytes, and `fd` is a descriptor this process owns.
         let n = match offset {
             None => unsafe { raw::read(fd, buf.as_mut_ptr().cast(), buf.len()) },
             Some(off) => unsafe { raw::pread(fd, buf.as_mut_ptr().cast(), buf.len(), off) },
@@ -641,6 +699,8 @@ impl HostWorld {
         let Some(fd) = self.real_fd(pid, vfd) else {
             return ErrorOrValue::Error(Errno::EBADF);
         };
+        // SAFETY: `data` is a live slice of `data.len()` readable bytes, and
+        // `fd` is a descriptor this process owns.
         let n = match offset {
             None => unsafe { raw::write(fd, data.as_ptr().cast(), data.len()) },
             Some(off) => unsafe { raw::pwrite(fd, data.as_ptr().cast(), data.len(), off) },
@@ -663,13 +723,20 @@ fn ok_none(rc: i32) -> ErrorOrValue {
 }
 
 /// The bytes of a NUL-terminated `d_name` field.
+/// # Safety
+///
+/// `name` must contain a NUL terminator within its 256 bytes (as the kernel
+/// guarantees for `d_name`); the returned slice borrows from `name`.
 unsafe fn c_str_bytes(name: &[std::os::raw::c_char; 256]) -> &[u8] {
     let ptr = name.as_ptr().cast::<u8>();
     let mut len = 0;
-    while len < 256 && *ptr.add(len) != 0 {
+    // SAFETY: `ptr.add(len)` stays within the 256-byte array because `len`
+    // is bounded by the loop condition.
+    while len < 256 && unsafe { *ptr.add(len) } != 0 {
         len += 1;
     }
-    std::slice::from_raw_parts(ptr, len)
+    // SAFETY: the first `len` bytes were just read and are within `name`.
+    unsafe { std::slice::from_raw_parts(ptr, len) }
 }
 
 /// Worker exit codes (beyond the trace payload on the pipe).
@@ -680,6 +747,12 @@ const EXIT_SANDBOX: i32 = 3;
 /// every step, stream the rendered trace to `out_fd`, and `_exit`. Never
 /// returns.
 fn worker_main(root: &[u8], script: &Script, opts: ExecOptions, out_fd: i32) -> ! {
+    // SAFETY: runs only in the freshly-forked single-threaded worker.
+    // `close_range` takes integers; `root` is NUL-terminated by the caller;
+    // the `c"…"` literals are NUL-terminated by construction; `msg` is a live
+    // buffer for the duration of the failed-sandbox write; `_exit` never
+    // returns and skips atexit handlers, which is exactly what a forked
+    // worker that must not run the parent's destructors wants.
     unsafe {
         // Drop every inherited descriptor except stdio and our pipe: a
         // concurrently-forking sibling's pipe write-end held open here would
@@ -724,11 +797,14 @@ fn worker_main(root: &[u8], script: &Script, opts: ExecOptions, out_fd: i32) -> 
 
     let rendered = render_trace(&trace);
     write_all(out_fd, rendered.as_bytes());
+    // SAFETY: terminating the worker without unwinding into the parent's
+    // state is the whole point; `_exit` takes an integer and never returns.
     unsafe { raw::_exit(EXIT_OK) }
 }
 
 fn write_all(fd: i32, mut buf: &[u8]) {
     while !buf.is_empty() {
+        // SAFETY: `buf` is a live slice of `buf.len()` readable bytes.
         let n = unsafe { raw::write(fd, buf.as_ptr().cast(), buf.len()) };
         if n <= 0 {
             return;
@@ -746,6 +822,10 @@ pub fn sandbox_available() -> bool {
         let mut ok = false;
         let mut root = dir.as_os_str().as_encoded_bytes().to_vec();
         root.push(0);
+        // SAFETY: `root` is NUL-terminated; the child branch calls only
+        // async-signal-safe functions (`chdir`/`chroot`/`_exit`) before
+        // exiting, and the parent branch passes a valid `&mut status` to
+        // `waitpid`.
         unsafe {
             let pid = raw::fork();
             if pid == 0 {
@@ -834,14 +914,19 @@ impl Executor for HostFs {
         root.push(0);
 
         let mut pipe_fds = [0i32; 2];
+        // SAFETY: `pipe_fds` is a live array of exactly the two c_ints the
+        // kernel writes.
         if unsafe { raw::pipe(pipe_fds.as_mut_ptr()) } != 0 {
             let _ = std::fs::remove_dir_all(&dir);
             return Err(backend_err(format!("pipe: errno {}", errno_raw())));
         }
         let (rd, wr) = (pipe_fds[0], pipe_fds[1]);
 
+        // SAFETY: integer-only FFI call; the child branch immediately enters
+        // `worker_main`, which uses only fork-safe operations before `_exit`.
         let child = unsafe { raw::fork() };
         if child < 0 {
+            // SAFETY: both pipe ends were just created and are owned here.
             unsafe {
                 raw::close(rd);
                 raw::close(wr);
@@ -850,22 +935,29 @@ impl Executor for HostFs {
             return Err(backend_err(format!("fork: errno {}", errno_raw())));
         }
         if child == 0 {
+            // SAFETY: the worker owns its copy of the read end; closing it
+            // once here leaves only `wr` for the trace stream.
             unsafe { raw::close(rd) };
             worker_main(&root, script, opts, wr);
         }
 
         // Parent: collect the rendered trace, reap the worker, tear down the
         // jail.
+        // SAFETY: the parent owns its copy of the write end and closes it
+        // exactly once, so the pipe reports EOF when the worker exits.
         unsafe { raw::close(wr) };
         let mut output = Vec::new();
         let mut buf = [0u8; 4096];
         loop {
+            // SAFETY: `buf` is a live array of `buf.len()` writable bytes.
             let n = unsafe { raw::read(rd, buf.as_mut_ptr().cast(), buf.len()) };
             if n <= 0 {
                 break;
             }
             output.extend_from_slice(&buf[..n as usize]);
         }
+        // SAFETY: `rd` is owned here and closed exactly once; `waitpid`
+        // writes through a valid `&mut status`.
         unsafe { raw::close(rd) };
         let mut status = 0;
         unsafe { raw::waitpid(child, &mut status, 0) };

@@ -198,6 +198,10 @@ pub struct ExploreOutcome {
     pub divergences: usize,
     /// Host-execution failures skipped (differential mode only).
     pub exec_errors: usize,
+    /// Mutants statically rejected by the linter (execution skipped).
+    pub lint_rejected: usize,
+    /// Mutants statically repaired (doomed steps dropped) before execution.
+    pub lint_repaired: usize,
 }
 
 impl ExploreOutcome {
@@ -226,6 +230,17 @@ impl ExploreOutcome {
             out,
             "* iterations: {}  elapsed: {:.1}s  corpus: {} entries  divergences: {}",
             self.iterations, self.elapsed_secs, self.corpus_len, self.divergences
+        );
+        let rejected_pct = if self.iterations > 0 {
+            self.lint_rejected as f64 * 100.0 / self.iterations as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "* static pre-filter: {} mutant(s) rejected ({rejected_pct:.1}% of iterations, \
+             execution skipped), {} repaired",
+            self.lint_rejected, self.lint_repaired
         );
         let _ = writeln!(
             out,
@@ -306,6 +321,11 @@ struct Shared {
     novel_entries: AtomicUsize,
     divergences: AtomicUsize,
     exec_errors: AtomicUsize,
+    /// Mutants the static linter rejected outright (no calls left after
+    /// dropping doomed steps), saving an execution each.
+    lint_rejected: AtomicUsize,
+    /// Mutants the linter repaired (doomed steps dropped) before execution.
+    lint_repaired: AtomicUsize,
     active_workers: AtomicUsize,
     stop: AtomicBool,
 }
@@ -371,6 +391,8 @@ pub fn explore(opts: &ExploreOptions) -> Result<ExploreOutcome, ExploreError> {
         novel_entries: AtomicUsize::new(0),
         divergences: AtomicUsize::new(0),
         exec_errors: AtomicUsize::new(0),
+        lint_rejected: AtomicUsize::new(0),
+        lint_repaired: AtomicUsize::new(0),
         active_workers: AtomicUsize::new(opts.workers),
         stop: AtomicBool::new(false),
     };
@@ -400,12 +422,13 @@ pub fn explore(opts: &ExploreOptions) -> Result<ExploreOutcome, ExploreError> {
                     std::thread::sleep(Duration::from_millis(500));
                     let pct = shared.global.lock().branch_summary().percent();
                     eprint!(
-                        "\rexplore: {} iters, corpus {}, coverage {:.1}% branches, {} novel, {} divergences   ",
+                        "\rexplore: {} iters, corpus {}, coverage {:.1}% branches, {} novel, {} divergences, {} lint-rejected   ",
                         shared.iterations.load(Ordering::Relaxed),
                         shared.corpus.lock().len(),
                         pct,
                         shared.novel_entries.load(Ordering::Relaxed),
                         shared.divergences.load(Ordering::Relaxed),
+                        shared.lint_rejected.load(Ordering::Relaxed),
                     );
                 }
                 eprintln!();
@@ -430,6 +453,8 @@ pub fn explore(opts: &ExploreOptions) -> Result<ExploreOutcome, ExploreError> {
         saved: shared.saved.into_inner(),
         divergences: shared.divergences.load(Ordering::SeqCst),
         exec_errors: shared.exec_errors.load(Ordering::SeqCst),
+        lint_rejected: shared.lint_rejected.load(Ordering::SeqCst),
+        lint_repaired: shared.lint_repaired.load(Ordering::SeqCst),
     })
 }
 
@@ -481,6 +506,26 @@ fn worker_loop(
         };
         let name = format!("explore___w{worker}_i{:05}_s{derived:016x}", provenance.iter);
         let child = mutator.mutate(&parent, &mut rng, name);
+
+        // Static pre-exec filter: drop statically-doomed steps whose every
+        // predicted coverage key is already reached globally; skip children
+        // with no calls left. Steps predicting a *novel* key are kept, so
+        // the filter can only save executions, never coverage.
+        let repair = {
+            let global = shared.global.lock();
+            sibylfs_analyze::repair_for_explore(&child, &global)
+        };
+        let child = match repair {
+            sibylfs_analyze::RepairOutcome::Clean => child,
+            sibylfs_analyze::RepairOutcome::Repaired(repaired, _dropped) => {
+                shared.lint_repaired.fetch_add(1, Ordering::Relaxed);
+                repaired
+            }
+            sibylfs_analyze::RepairOutcome::Rejected => {
+                shared.lint_rejected.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+        };
 
         let eval = match evaluate(&sim, cfg, &child) {
             Ok(e) => e,

@@ -28,7 +28,7 @@ use serde::{Deserialize, Serialize};
 use sibylfs_core::commands::{ErrorOrValue, OsCommand, OsLabel};
 use sibylfs_core::types::{Gid, Pid, Uid, INITIAL_PID};
 
-pub use parse::{parse_script, parse_trace, ParseError};
+pub use parse::{parse_script, parse_script_spanned, parse_trace, ParseError};
 pub use print::{render_script, render_trace};
 
 /// One step of a test script.

@@ -418,7 +418,16 @@ fn parse_process_directive(text: &str, line: usize) -> Result<Option<ScriptStep>
 
 /// Parse a complete script file.
 pub fn parse_script(text: &str) -> Result<Script, ParseError> {
+    parse_script_spanned(text).map(|(script, _)| script)
+}
+
+/// Parse a complete script file, also returning the 1-based source line of
+/// each step (parallel to `script.steps`). Diagnostics tools use the spans
+/// to anchor findings to the file the user actually wrote, where comments
+/// and blank lines shift steps away from `step index + 1`.
+pub fn parse_script_spanned(text: &str) -> Result<(Script, Vec<usize>), ParseError> {
     let mut script = Script::default();
+    let mut linenos = Vec::new();
     let mut seen_type = false;
     for (idx, raw) in text.lines().enumerate() {
         let lineno = idx + 1;
@@ -436,6 +445,7 @@ pub fn parse_script(text: &str) -> Result<Script, ParseError> {
         }
         if let Some(step) = parse_process_directive(line, lineno)? {
             script.steps.push(step);
+            linenos.push(lineno);
             continue;
         }
         if let Some(comment) = line.strip_prefix('#') {
@@ -452,11 +462,12 @@ pub fn parse_script(text: &str) -> Result<Script, ParseError> {
         let (pid, rest) = parse_pid_prefix(line);
         let cmd = parse_command(rest, lineno)?;
         script.steps.push(ScriptStep::Call { pid, cmd });
+        linenos.push(lineno);
     }
     if !seen_type {
         return Err(ParseError::new(1, "missing '@type script' header"));
     }
-    Ok(script)
+    Ok((script, linenos))
 }
 
 /// Parse a complete trace file.
@@ -673,6 +684,14 @@ add_user_to_group 1000 1000
             ScriptStep::Call { pid: Pid(2), cmd: OsCommand::Mkdir(..) }
         ));
         assert!(matches!(s.steps[4], ScriptStep::DestroyProcess { pid: Pid(2) }));
+    }
+
+    #[test]
+    fn spanned_parse_tracks_source_lines() {
+        let text = "@type script\n# Test t\n\nmkdir \"/d\" 0o777\n\n# comment\nstat \"/d\"\n@process destroy 1\n";
+        let (s, spans) = parse_script_spanned(text).unwrap();
+        assert_eq!(s.steps.len(), 3);
+        assert_eq!(spans, vec![4, 7, 8]);
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! * [`exec`] — the test executor;
 //! * [`testgen`] — the combinatorial test-suite generator;
 //! * [`report`] — result aggregation and reporting;
-//! * [`explore`] — the coverage-guided exploration engine.
+//! * [`explore`] — the coverage-guided exploration engine;
+//! * [`analyze`] — static analyses: the spec-consistency audit and the
+//!   flow-sensitive script linter.
 //!
 //! ## Thirty-second tour
 //!
@@ -43,6 +45,7 @@
 //! assert!(verdict.accepted);
 //! ```
 
+pub use sibylfs_analyze as analyze;
 pub use sibylfs_check as check;
 pub use sibylfs_core as model;
 pub use sibylfs_exec as exec;
