@@ -1,7 +1,9 @@
 //! Golden-diagnostic fixtures for the script linter.
 //!
 //! One `tests/golden/<rule>.script` fixture per lint rule, each with the
-//! rendered report pinned in `<rule>.expected`. Regenerate after an
+//! rendered report pinned in `<rule>.expected`, plus `scenario_*` fixtures
+//! that pin whole multi-finding reports (e.g. per-process liveness tracking
+//! across a six-way contention script). Regenerate after an
 //! intentional rendering or message change with:
 //!
 //! ```text
@@ -58,8 +60,56 @@ fn every_rule_has_a_matching_golden_fixture() {
     }
 }
 
-/// No fixture directory entry without a corresponding rule: catches a renamed
-/// rule leaving stale goldens behind.
+/// Scenario fixtures: multi-process, multi-finding scripts whose full lint
+/// report is pinned. The six-process contention scenario is the per-process
+/// liveness regression test — the analysis must attribute the dead-process
+/// call to p4 and the use-after-close to p6 while the four other processes'
+/// structurally identical call streams stay clean.
+#[test]
+fn scenario_fixtures_match_golden() {
+    let regen = std::env::var_os("SIBYLFS_REGEN_GOLDEN").is_some();
+    let mut seen = 0usize;
+    for entry in fs::read_dir(fixture_dir()).expect("fixture dir exists") {
+        let name = entry.expect("readable entry").file_name();
+        let name = name.to_string_lossy();
+        let Some(stem) = name.strip_suffix(".script").filter(|s| s.starts_with("scenario_"))
+        else {
+            continue;
+        };
+        seen += 1;
+        let text = fs::read_to_string(fixture_dir().join(format!("{stem}.script")))
+            .unwrap_or_else(|e| panic!("cannot read {stem}.script: {e}"));
+        let (script, linenos) = parse_script_spanned(&text)
+            .unwrap_or_else(|e| panic!("fixture {stem}.script does not parse: {e}"));
+        let diags = lint::lint_script(&script);
+        assert!(
+            !diags.is_empty(),
+            "scenario fixture {stem}.script triggers no diagnostics — it pins nothing"
+        );
+        let rendered = lint::render_diagnostics(&script, &diags, Some(&linenos));
+        let expected_path = fixture_dir().join(format!("{stem}.expected"));
+        if regen {
+            fs::write(&expected_path, &rendered)
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", expected_path.display()));
+            continue;
+        }
+        let expected = fs::read_to_string(&expected_path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden {}: {e}\nregenerate with SIBYLFS_REGEN_GOLDEN=1",
+                expected_path.display()
+            )
+        });
+        assert_eq!(
+            rendered, expected,
+            "lint report for {stem}.script drifted from its golden file; \
+             regenerate with SIBYLFS_REGEN_GOLDEN=1 if the change is intentional"
+        );
+    }
+    assert!(seen > 0, "no scenario_*.script fixtures found");
+}
+
+/// No fixture directory entry without a corresponding rule (or the
+/// `scenario_` prefix): catches a renamed rule leaving stale goldens behind.
 #[test]
 fn no_stale_golden_fixtures() {
     for entry in fs::read_dir(fixture_dir()).expect("fixture dir exists") {
@@ -70,7 +120,7 @@ fn no_stale_golden_fixtures() {
             .or_else(|| name.strip_suffix(".expected"))
             .unwrap_or_else(|| panic!("unexpected file in tests/golden: {name}"));
         assert!(
-            lint::RULES.contains(&stem),
+            lint::RULES.contains(&stem) || stem.starts_with("scenario_"),
             "tests/golden/{name} does not correspond to any lint rule"
         );
     }

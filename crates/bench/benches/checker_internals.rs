@@ -6,7 +6,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use sibylfs_core::commands::{OsCommand, OsLabel};
 use sibylfs_core::flags::FileMode;
-use sibylfs_core::flavor::{Flavor, SpecConfig};
+use sibylfs_core::flavor::{Flavor, PorMode, SpecConfig};
 use sibylfs_core::fs_ops::dispatch;
 use sibylfs_core::os::state_set::StateSet;
 use sibylfs_core::os::trans::{expand_calls, os_trans, tau_closure};
@@ -52,23 +52,49 @@ fn checker_internals(c: &mut Criterion) {
         b.iter(|| dispatch(&cfg, &st, INITIAL_PID, &cmd).errors.len())
     });
 
-    // Three processes with calls in flight: the classic branching workload.
-    let mut st3 = st.clone();
-    for pid in [2u32, 3] {
-        let next = os_trans(&cfg, &st3, &OsLabel::Create(Pid(pid), Uid(0), Gid(0)));
-        st3 = next.into_iter().next().expect("created");
-    }
-    for (pid, path) in [(1u32, "/a"), (2, "/b"), (3, "/c")] {
-        let next = os_trans(
-            &cfg,
-            &st3,
-            &OsLabel::Call(Pid(pid), OsCommand::Mkdir(path.into(), FileMode::new(0o777))),
-        );
-        st3 = next.into_iter().next().expect("call accepted");
-    }
+    // N processes with commuting calls in flight: the classic branching
+    // workload. Each process mkdirs a distinct fresh path, so every pair of
+    // in-flight calls commutes and partial-order reduction can prune the
+    // closure to a single representative interleaving.
+    let in_flight = |n: u32| {
+        let mut stn = st.clone();
+        for pid in 2..=n {
+            let next = os_trans(&cfg, &stn, &OsLabel::Create(Pid(pid), Uid(0), Gid(0)));
+            stn = next.into_iter().next().expect("created");
+        }
+        for pid in 1..=n {
+            let path = format!("/bench_p{pid}");
+            let next = os_trans(
+                &cfg,
+                &stn,
+                &OsLabel::Call(Pid(pid), OsCommand::Mkdir(path.into(), FileMode::new(0o777))),
+            );
+            stn = next.into_iter().next().expect("call accepted");
+        }
+        stn
+    };
+    let st3 = in_flight(3);
+    let st6 = in_flight(6);
+    let cfg_no_por = cfg.with_por(PorMode::Off);
 
     c.bench_function("tau_closure_three_processes", |b| {
         b.iter(|| tau_closure(&cfg, std::slice::from_ref(&st3)).len())
+    });
+
+    // The same closure with reduction disabled: the pre-POR cost, kept as a
+    // bench so the exponential-vs-linear gap stays visible in the results.
+    c.bench_function("tau_closure_three_processes_no_por", |b| {
+        b.iter(|| tau_closure(&cfg_no_por, std::slice::from_ref(&st3)).len())
+    });
+
+    // Six commuting calls in flight: 2^6 subset states without reduction,
+    // a single chain of 7 under the sleep-set closure.
+    c.bench_function("tau_closure_six_processes", |b| {
+        b.iter(|| tau_closure(&cfg, std::slice::from_ref(&st6)).len())
+    });
+
+    c.bench_function("tau_closure_six_processes_no_por", |b| {
+        b.iter(|| tau_closure(&cfg_no_por, std::slice::from_ref(&st6)).len())
     });
 
     // The cost of branching: with copy-on-write state sharing a clone is a

@@ -5,8 +5,11 @@ use serde::{Deserialize, Serialize};
 use sibylfs_core::commands::{ErrorOrValue, OsCommand, OsLabel};
 use sibylfs_core::coverage::{self, CoverageKey, CoverageMap};
 use sibylfs_core::flavor::SpecConfig;
+use sibylfs_core::footprint::return_effect_of;
 use sibylfs_core::os::state_set::StateSet;
-use sibylfs_core::os::trans::{allowed_returns, default_completion, os_trans_into, tau_close};
+use sibylfs_core::os::trans::{
+    allowed_returns, default_completion, os_trans_into, tau_close_with_sleeps, SleepSet,
+};
 use sibylfs_core::os::{OsState, ProcRunState};
 use sibylfs_core::types::{Pid, INITIAL_PID};
 use sibylfs_script::Trace;
@@ -170,6 +173,10 @@ pub fn check_trace(cfg: &SpecConfig, trace: &Trace, opts: CheckOptions) -> Check
     let init_cfg = SpecConfig { root_user: opts.root_user, ..*cfg };
     let mut states =
         StateSet::singleton(OsState::initial_with_process(&init_cfg, INITIAL_PID));
+    // Per-state sleep sets, parallel to `states` (see `trans::SleepSet`).
+    // All-empty unless POR is active; empty sleep sets make every POR branch
+    // below a no-op, so Off mode follows the exact pre-POR code path.
+    let mut sleeps: Vec<SleepSet> = vec![SleepSet::new()];
     let mut steps = Vec::new();
     let mut deviations = Vec::new();
     let mut max_states = states.len();
@@ -183,7 +190,7 @@ pub fn check_trace(cfg: &SpecConfig, trace: &Trace, opts: CheckOptions) -> Check
             last_call.push((pid, cmd));
         }
 
-        let (next, verdict) = apply_label(cfg, states, label);
+        let (next, next_sleeps, verdict) = apply_label(cfg, states, sleeps, label);
         match &verdict {
             StepVerdict::Ok => {}
             // Only the bound-handling block below constructs this variant.
@@ -206,6 +213,7 @@ pub fn check_trace(cfg: &SpecConfig, trace: &Trace, opts: CheckOptions) -> Check
             }
         }
         states = next;
+        sleeps = next_sleeps;
         max_states = max_states.max(states.len());
         steps.push(CheckedStep {
             lineno: step.lineno,
@@ -219,6 +227,12 @@ pub fn check_trace(cfg: &SpecConfig, trace: &Trace, opts: CheckOptions) -> Check
             // trace is never reported clean.
             let tracked = states.len();
             states.truncate(opts.max_states);
+            sleeps.truncate(opts.max_states);
+            // Truncation may have dropped the sibling states that justified a
+            // survivor's sleep entries; wake everything to stay sound.
+            for s in &mut sleeps {
+                s.clear();
+            }
             deviations.push(Deviation {
                 lineno: step.lineno,
                 function: "<checker>".to_string(),
@@ -242,6 +256,7 @@ pub fn check_trace(cfg: &SpecConfig, trace: &Trace, opts: CheckOptions) -> Check
             // least one state); restart from a fresh state to keep going.
             states =
                 StateSet::singleton(OsState::initial_with_process(&init_cfg, INITIAL_PID));
+            sleeps = vec![SleepSet::new()];
         }
     }
 
@@ -297,14 +312,24 @@ pub fn check_trace_with_coverage(
     (checked, map)
 }
 
-/// Apply one label to the tracked state set, producing the next set and the
-/// verdict for this step. Takes the set by value: conformant paths hand back
-/// the transition union, deviation paths hand back a recovered set (or the
-/// input set unchanged).
-fn apply_label(cfg: &SpecConfig, mut states: StateSet, label: &OsLabel) -> (StateSet, StepVerdict) {
+/// Apply one label to the tracked state set, producing the next set, its
+/// per-state sleep sets, and the verdict for this step. Takes the set by
+/// value: conformant paths hand back the transition union, deviation paths
+/// hand back a recovered set (or the input set unchanged).
+fn apply_label(
+    cfg: &SpecConfig,
+    mut states: StateSet,
+    mut sleeps: Vec<SleepSet>,
+    label: &OsLabel,
+) -> (StateSet, Vec<SleepSet>, StepVerdict) {
+    sleeps.resize(states.len(), SleepSet::new());
     match label {
         OsLabel::Call(..) | OsLabel::Create(..) | OsLabel::Destroy(..) => {
-            let next = union_trans(cfg, &states, label);
+            // These labels never touch the filesystem or a sleeping process
+            // (a sleeping process is mid-call, so `Call`/`Destroy` on it are
+            // rejected by the transition function), so successors inherit
+            // their source state's sleep set unchanged.
+            let (next, next_sleeps) = union_trans(cfg, &states, &sleeps, label);
             if next.is_empty() {
                 // e.g. a call from an unknown process, or a call while one is
                 // already in flight: recover by ignoring the label.
@@ -313,22 +338,22 @@ fn apply_label(cfg: &SpecConfig, mut states: StateSet, label: &OsLabel) -> (Stat
                     allowed: vec!["<no such transition from any tracked state>".to_string()],
                     continued_with: None,
                 };
-                (states, verdict)
+                (states, sleeps, verdict)
             } else {
-                (next, StepVerdict::Ok)
+                (next, next_sleeps, StepVerdict::Ok)
             }
         }
         OsLabel::Tau => {
-            tau_close(cfg, &mut states);
-            (states, StepVerdict::Ok)
+            tau_close_with_sleeps(cfg, &mut states, &mut sleeps);
+            (states, sleeps, StepVerdict::Ok)
         }
         OsLabel::Return(pid, observed) => {
             // Close under internal steps so calls from other processes may be
             // processed in any order before this return is matched.
-            tau_close(cfg, &mut states);
-            let next = union_trans(cfg, &states, label);
+            tau_close_with_sleeps(cfg, &mut states, &mut sleeps);
+            let (next, next_sleeps) = union_returns(cfg, &states, &sleeps, *pid, label);
             if !next.is_empty() {
-                return (next, StepVerdict::Ok);
+                return (next, next_sleeps, StepVerdict::Ok);
             }
             // Non-conformant: collect the allowed returns for diagnostics and
             // continue from the model's own completions (Fig. 4).
@@ -366,7 +391,10 @@ fn apply_label(cfg: &SpecConfig, mut states: StateSet, label: &OsLabel) -> (Stat
                 allowed,
                 continued_with,
             };
-            (recovered, verdict)
+            // Recovery synthesises states the POR bookkeeping knows nothing
+            // about; wake everything rather than carry stale sleep entries.
+            let recovered_sleeps = vec![SleepSet::new(); recovered.len()];
+            (recovered, recovered_sleeps, verdict)
         }
     }
 }
@@ -375,14 +403,87 @@ fn render_observed(v: &ErrorOrValue) -> String {
     v.to_string()
 }
 
-/// The union of `os_trans` over every tracked state, deduplicated by the
-/// shared [`StateSet`] sink.
-fn union_trans(cfg: &SpecConfig, states: &StateSet, label: &OsLabel) -> StateSet {
-    let mut out = StateSet::new();
-    for st in states {
-        os_trans_into(cfg, st, label, &mut out);
+/// Insert each successor into `out`, giving fresh states a copy of the source
+/// state's sleep set. A successor reached from several sources may only sleep
+/// what every source lets it sleep, so duplicates intersect (by pid).
+/// Successors are consumed by value — cloning would reset their cached
+/// fingerprints and make `insert_full` recompute them.
+fn merge_successors(
+    out: &mut StateSet,
+    out_sleeps: &mut Vec<SleepSet>,
+    succs: StateSet,
+    sleep: &SleepSet,
+) {
+    for succ in succs {
+        let (j, fresh) = out.insert_full(succ);
+        if fresh {
+            out_sleeps.push(sleep.clone());
+        } else {
+            out_sleeps[j].retain(|(q, _)| sleep.iter().any(|(q2, _)| q2 == q));
+        }
     }
-    out
+}
+
+/// The union of `os_trans` over every tracked state, with sleep inheritance.
+/// The per-state scratch set preserves the same overall insertion order as a
+/// shared sink, so Off-mode results are identical to the pre-POR checker.
+fn union_trans(
+    cfg: &SpecConfig,
+    states: &StateSet,
+    sleeps: &[SleepSet],
+    label: &OsLabel,
+) -> (StateSet, Vec<SleepSet>) {
+    let mut out = StateSet::new();
+    let mut out_sleeps: Vec<SleepSet> = Vec::new();
+    static EMPTY: SleepSet = SleepSet::new();
+    for (i, st) in states.iter().enumerate() {
+        let mut tmp = StateSet::new();
+        os_trans_into(cfg, st, label, &mut tmp);
+        if tmp.is_empty() {
+            continue;
+        }
+        merge_successors(&mut out, &mut out_sleeps, tmp, sleeps.get(i).unwrap_or(&EMPTY));
+    }
+    (out, out_sleeps)
+}
+
+/// The union of the `Return(pid, _)` transition over every tracked state.
+///
+/// Two POR rules live here. A state where `pid` sleeps is skipped outright:
+/// by the sleep-set invariant the interleaving that processes `pid`'s call
+/// first is represented by a sibling state, and matching the return here
+/// would resurrect the pruned orderings. And a return can have effects the
+/// τ step did not (a `write` applies its data at return time), so surviving
+/// sleep entries are woken unless they commute with the return's effect
+/// footprint.
+fn union_returns(
+    cfg: &SpecConfig,
+    states: &StateSet,
+    sleeps: &[SleepSet],
+    pid: Pid,
+    label: &OsLabel,
+) -> (StateSet, Vec<SleepSet>) {
+    let mut out = StateSet::new();
+    let mut out_sleeps: Vec<SleepSet> = Vec::new();
+    for (i, st) in states.iter().enumerate() {
+        let src = sleeps.get(i);
+        if src.is_some_and(|s| s.iter().any(|(q, _)| *q == pid)) {
+            continue;
+        }
+        let mut tmp = StateSet::new();
+        os_trans_into(cfg, st, label, &mut tmp);
+        if tmp.is_empty() {
+            continue;
+        }
+        let mut inherited = src.cloned().unwrap_or_default();
+        if !inherited.is_empty() {
+            if let Some(eff) = return_effect_of(cfg, st, pid) {
+                inherited.retain(|(_, qfp)| eff.commutes(qfp));
+            }
+        }
+        merge_successors(&mut out, &mut out_sleeps, tmp, &inherited);
+    }
+    (out, out_sleeps)
 }
 
 #[cfg(test)]

@@ -1,6 +1,8 @@
 //! Shared plumbing for the `sibylfs` command-line tool and the experiment
 //! binaries that regenerate the paper's evaluation numbers.
 
+pub mod bench_diff;
+
 use std::time::Instant;
 
 use sibylfs_check::{check_traces_parallel, CheckOptions, CheckedTrace, SuiteCheckStats};

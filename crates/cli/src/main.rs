@@ -20,12 +20,13 @@ const USAGE: &str = "sibylfs — oracle-based testing for POSIX and real-world f
 USAGE:
     sibylfs gen   [--full|--quick] [--out DIR]       generate the test suite
     sibylfs run   --config NAME [--full] [--out DIR] execute the suite on a configuration
-    sibylfs check --flavor FLAVOR FILE...            check recorded traces against the model
+    sibylfs check --flavor FLAVOR [--por MODE] FILE. check recorded traces against the model
     sibylfs exec  --config NAME SCRIPT...            execute script files and print traces
     sibylfs survey [--full] [--flavor FLAVOR]        run and check every registered configuration
     sibylfs explore --config NAME [OPTIONS]          coverage-guided exploration of the model
     sibylfs lint  SCRIPT...                          statically lint script files
     sibylfs audit [--baseline FILE]                  spec-consistency audit of the model source
+    sibylfs bench-diff OLD NEW [--max-regression N]  gate on bench-result regressions
     sibylfs configs                                  list registered configurations
 
 EXPLORE OPTIONS:
@@ -43,7 +44,14 @@ AUDIT OPTIONS:
     --baseline FILE          suppress findings listed in FILE; exit 1 only on new ones
     --dump-envelopes         print the computed per-syscall errno envelopes and exit
 
+BENCH-DIFF:
+    OLD and NEW are bench-result files written by running the bench suite with
+    SIBYLFS_BENCH_JSON=<path>. Exits 1 if a gated bench (check_throughput/*,
+    tau_closure_*) is slower in NEW by more than N percent (default 10).
+
 FLAVOR is one of: posix, linux, mac, freebsd.
+MODE is `footprint` (default: commutativity-aware partial-order reduction in
+the checker's τ-closure) or `off` (full interleaving expansion).
 NAME is a simulated configuration (see `sibylfs configs`) or `host/linux`
 for the real host kernel (Linux with chroot privilege only).
 ";
@@ -63,6 +71,7 @@ fn main() {
         "explore" => cmd_explore(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
         "audit" => cmd_audit(&args[1..]),
+        "bench-diff" => cmd_bench_diff(&args[1..]),
         "configs" => {
             for c in configs::all_configs() {
                 println!("{:40} {:8} {}", c.name, c.platform.name(), c.description);
@@ -106,6 +115,16 @@ fn flavor_from(args: &[String]) -> Flavor {
             std::process::exit(2);
         }),
         None => Flavor::Posix,
+    }
+}
+
+fn por_from(args: &[String]) -> sibylfs_core::flavor::PorMode {
+    match opt_value(args, "--por") {
+        Some(p) => p.parse().unwrap_or_else(|e: String| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }),
+        None => sibylfs_core::flavor::PorMode::Footprint,
     }
 }
 
@@ -173,10 +192,13 @@ fn cmd_run(args: &[String]) {
 
 fn cmd_check(args: &[String]) {
     let flavor = flavor_from(args);
-    let cfg = sibylfs_core::flavor::SpecConfig::standard(flavor);
+    let cfg = sibylfs_core::flavor::SpecConfig::standard(flavor).with_por(por_from(args));
+    let flag_values = [opt_value(args, "--flavor"), opt_value(args, "--por")];
     let files: Vec<&String> = args
         .iter()
-        .filter(|a| !a.starts_with("--") && opt_value(args, "--flavor").as_ref() != Some(a))
+        .filter(|a| {
+            !a.starts_with("--") && !flag_values.iter().any(|v| v.as_deref() == Some(a.as_str()))
+        })
         .collect();
     if files.is_empty() {
         eprintln!("no trace files given");
@@ -361,6 +383,40 @@ fn cmd_audit(args: &[String]) {
                 std::process::exit(1);
             }
         }
+    }
+}
+
+fn cmd_bench_diff(args: &[String]) {
+    use sibylfs_cli::bench_diff::{diff_benches, parse_bench_json, render_diff};
+
+    let max_regression = match opt_value(args, "--max-regression") {
+        Some(v) => v.parse::<f64>().unwrap_or_else(|_| {
+            eprintln!("flag --max-regression requires a number of percent, got {v:?}");
+            std::process::exit(2);
+        }),
+        None => 10.0,
+    };
+    let flag_values = [opt_value(args, "--max-regression")];
+    let files: Vec<&String> = args
+        .iter()
+        .filter(|a| {
+            !a.starts_with("--") && !flag_values.iter().any(|v| v.as_deref() == Some(a.as_str()))
+        })
+        .collect();
+    let [old_file, new_file] = files.as_slice() else {
+        eprintln!("bench-diff needs exactly two files: OLD NEW (got {})", files.len());
+        std::process::exit(2);
+    };
+    let parse = |file: &str| {
+        parse_bench_json(&read_or_exit(file)).unwrap_or_else(|e| {
+            eprintln!("cannot parse {file}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let report = diff_benches(&parse(old_file), &parse(new_file), max_regression);
+    print!("{}", render_diff(&report));
+    if !report.failures.is_empty() {
+        std::process::exit(1);
     }
 }
 

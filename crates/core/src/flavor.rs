@@ -194,6 +194,35 @@ impl FromStr for Flavor {
     }
 }
 
+/// Whether the checker's τ-closure applies footprint-based partial-order
+/// reduction (see `crates/core/DESIGN_POR.md`).
+///
+/// Under `Footprint` (the default), the closure explores one representative
+/// interleaving per commutativity class of in-flight calls, using sleep sets
+/// keyed off per-call [`crate::footprint::Footprint`]s; verdicts are
+/// unchanged, but the tracked state count for concurrent traces drops from
+/// factorial to near-linear. `Off` enumerates every interleaving, exactly as
+/// the paper's checker does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PorMode {
+    /// Enumerate every interleaving of in-flight calls.
+    Off,
+    /// Skip interleavings whose next-step pairs provably commute.
+    Footprint,
+}
+
+impl FromStr for PorMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" | "none" => Ok(PorMode::Off),
+            "on" | "footprint" => Ok(PorMode::Footprint),
+            other => Err(format!("unknown POR mode: {other} (expected on|off)")),
+        }
+    }
+}
+
 /// Complete configuration of the specification used for checking.
 ///
 /// Combines a [`Flavor`] with the optional traits described in §4 and the
@@ -213,25 +242,40 @@ pub struct SpecConfig {
     pub timestamps: bool,
     /// Whether the initial process runs with root privileges.
     pub root_user: bool,
+    /// Whether the τ-closure applies partial-order reduction. Purely a
+    /// checker-performance knob: verdicts are identical in both modes (the
+    /// POR equivalence suite enforces this).
+    pub por: PorMode,
 }
 
 impl SpecConfig {
     /// The configuration used for the bulk of the paper's testing: a given
     /// flavour, permissions on, timestamps off, initial process root.
     pub fn standard(flavor: Flavor) -> SpecConfig {
-        SpecConfig { flavor, permissions: true, timestamps: false, root_user: true }
+        SpecConfig {
+            flavor,
+            permissions: true,
+            timestamps: false,
+            root_user: true,
+            por: PorMode::Footprint,
+        }
     }
 
     /// "Core without permissions": permission information is ignored and all
     /// files are accessible by all users (§4 "Traits").
     pub fn without_permissions(flavor: Flavor) -> SpecConfig {
-        SpecConfig { flavor, permissions: false, timestamps: false, root_user: true }
+        SpecConfig { permissions: false, ..SpecConfig::standard(flavor) }
     }
 
     /// A configuration whose initial process is an unprivileged user, used by
     /// the permission-focused test groups.
     pub fn unprivileged(flavor: Flavor) -> SpecConfig {
-        SpecConfig { flavor, permissions: true, timestamps: false, root_user: false }
+        SpecConfig { root_user: false, ..SpecConfig::standard(flavor) }
+    }
+
+    /// This configuration with the given POR mode.
+    pub fn with_por(self, por: PorMode) -> SpecConfig {
+        SpecConfig { por, ..self }
     }
 }
 
@@ -250,7 +294,11 @@ impl fmt::Display for SpecConfig {
             if self.permissions { "" } else { ",no-perms" },
             if self.timestamps { ",timestamps" } else { "" },
             if self.root_user { "" } else { ",non-root" },
-        )
+        )?;
+        if self.por == PorMode::Off {
+            write!(f, ",no-por")?;
+        }
+        Ok(())
     }
 }
 

@@ -54,6 +54,7 @@ pub mod coverage;
 pub mod errno;
 pub mod flags;
 pub mod flavor;
+pub mod footprint;
 pub mod fs_ops;
 pub mod fxhash;
 pub mod intern;
@@ -70,7 +71,8 @@ pub mod prelude {
     pub use crate::commands::{ErrorOrValue, OsCommand, OsLabel, RetValue, Stat};
     pub use crate::errno::Errno;
     pub use crate::flags::{AccessMode, FileMode, OpenFlags, SeekWhence};
-    pub use crate::flavor::{Flavor, SpecConfig};
+    pub use crate::flavor::{Flavor, PorMode, SpecConfig};
+    pub use crate::footprint::{footprint_of, Footprint};
     pub use crate::fs_ops::{dispatch, CmdOutcome};
     pub use crate::intern::Name;
     pub use crate::os::state_set::StateSet;

@@ -52,14 +52,29 @@ impl StateSet {
 
     /// Insert a state, returning `true` if it was not already present.
     pub fn insert(&mut self, st: OsState) -> bool {
+        self.insert_full(st).1
+    }
+
+    /// Insert a state, returning its position in insertion order and whether
+    /// it was newly inserted (`false` when an equal state was already present
+    /// — the returned index is then the existing state's). Used by the POR
+    /// layer, which keeps per-state sleep sets parallel to the state vector.
+    pub fn insert_full(&mut self, st: OsState) -> (usize, bool) {
         let fp = st.fingerprint();
         let slot = self.index.entry(fp).or_default();
-        if slot.iter().any(|&i| self.states[i as usize] == st) {
-            return false;
+        if let Some(&i) = slot.iter().find(|&&i| self.states[i as usize] == st) {
+            return (i as usize, false);
         }
-        slot.push(self.states.len() as u32);
+        let idx = self.states.len();
+        slot.push(idx as u32);
         self.states.push(st);
-        true
+        (idx, true)
+    }
+
+    /// Remove every state, keeping allocated capacity for reuse.
+    pub fn clear(&mut self) {
+        self.states.clear();
+        self.index.clear();
     }
 
     /// Whether an equal state is already present.

@@ -7,17 +7,41 @@
 //! values), and the `OS_RETURN` label resolves the nondeterminism against the
 //! observed value. No backtracking search is ever required.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use crate::commands::{ErrorOrValue, OsCommand, OsLabel, RetValue};
 use crate::coverage::spec_point;
+use crate::footprint::{footprint_of, Footprint};
 use crate::intern::Name;
 use crate::errno::Errno;
-use crate::flavor::SpecConfig;
+use crate::flavor::{PorMode, SpecConfig};
 use crate::fs_ops;
 use crate::os::state_set::StateSet;
 use crate::os::{FidTarget, OsState, Pending, PerProcessState, ProcRunState, WriteAt};
 use crate::types::{DirHandleId, Fd, Pid};
+
+/// The sleep set attached to one tracked state: processes whose in-flight
+/// call has already been explored from an earlier interleaving that this
+/// state commutes with, paired with that call's [`Footprint`].
+///
+/// Invariant (the classic sleep-set invariant, extended across checker
+/// labels): for every `(q, fp)` in a state's sleep set, every behaviour
+/// reachable by processing `q`'s call *first* from this state is
+/// observationally represented by some other tracked state. Processing `q`
+/// from here — by τ or by `q`'s return label — can therefore be skipped.
+/// The footprint is kept so later transitions can *wake* `q` (drop it from
+/// the sleep set) when they stop commuting with it.
+pub type SleepSet = Vec<(Pid, Arc<Footprint>)>;
+
+/// Whether footprint-based POR is active under this configuration.
+///
+/// The timestamps trait writes the global logical clock into every object a
+/// call touches, so no two calls commute and the closure falls back to full
+/// expansion.
+pub fn por_active(cfg: &SpecConfig) -> bool {
+    cfg.por == PorMode::Footprint && !cfg.timestamps
+}
 
 /// Apply one label to one state, emitting every allowed next state into `out`.
 ///
@@ -140,16 +164,153 @@ pub fn expand_calls(cfg: &SpecConfig, st: &OsState) -> Vec<OsState> {
 /// steps, including the original members. Used by the trace checker before
 /// matching an `OS_RETURN` when multiple processes have calls in flight.
 pub fn tau_close(cfg: &SpecConfig, states: &mut StateSet) {
-    // The set grows only at the tail (inserts dedup against everything seen),
-    // so a single index sweep visits every member exactly once; each
-    // expansion strictly reduces the number of `InCall` processes, bounding
-    // the chains appended per original state.
+    let mut sleeps = vec![SleepSet::new(); states.len()];
+    tau_close_with_sleeps(cfg, states, &mut sleeps);
+}
+
+/// Full τ-closure sweep without partial-order reduction.
+///
+/// The set grows only at the tail (inserts dedup against everything seen),
+/// so a single index sweep visits every member exactly once; each expansion
+/// strictly reduces the number of `InCall` processes, bounding the chains
+/// appended per original state.
+fn tau_close_sweep(cfg: &SpecConfig, states: &mut StateSet) {
     let mut i = 0;
     while i < states.len() {
         let Some(st) = states.get(i) else { break };
         let st = st.clone();
         expand_calls_into(cfg, &st, states);
         i += 1;
+    }
+}
+
+/// Whether the closure can take the non-POR fast path: no state carries a
+/// sleep entry and no state has two calls in flight. τ steps never move a
+/// process *into* `InCall`, so the ≤1-in-flight invariant is preserved by
+/// the sweep itself and only needs checking on the initial members. This
+/// keeps the single-process hot path byte-identical to the plain sweep.
+fn closure_is_sequential(states: &StateSet, sleeps: &[SleepSet]) -> bool {
+    sleeps.iter().all(|s| s.is_empty())
+        && states.iter().all(|st| {
+            st.procs
+                .values()
+                .filter(|p| matches!(p.run_state, ProcRunState::InCall(_)))
+                .count()
+                <= 1
+        })
+}
+
+/// Close a state set under τ steps while maintaining per-state sleep sets
+/// (`sleeps[i]` belongs to `states.get(i)`; missing entries are treated as
+/// empty and the vector is kept in sync with the set).
+///
+/// With POR active this is a sleep-set exploration: from each state the
+/// in-flight calls are processed in ascending pid order, and each successor's
+/// sleep set records the earlier-processed calls its own call commutes with
+/// (per [`Footprint::commutes`]). A sleeping process is never expanded — the
+/// interleaving that runs it first was already explored from a sibling — so
+/// commuting calls contribute one interleaving order instead of all `n!`.
+/// When a successor is already tracked, its sleep set is intersected with the
+/// new path's (a state reached two ways may only sleep what both ways may
+/// skip) and it is re-explored if that intersection woke anything. The
+/// deduplicating [`StateSet`] remains the exact safety net: POR only prunes
+/// τ orderings, never invents states.
+pub fn tau_close_with_sleeps(cfg: &SpecConfig, states: &mut StateSet, sleeps: &mut Vec<SleepSet>) {
+    sleeps.resize(states.len(), SleepSet::new());
+    if !por_active(cfg) || closure_is_sequential(states, sleeps) {
+        tau_close_sweep(cfg, states);
+        sleeps.resize(states.len(), SleepSet::new());
+        return;
+    }
+
+    // `known[i]` caches footprints of calls in flight in `states[i]`: when a
+    // step with footprint `f` produces a successor, the cached footprints of
+    // calls `f` commutes with remain valid there (commutation means the step
+    // invalidated none of their recorded reads — the same stability argument
+    // the sleep sets rest on), so they are inherited instead of recomputed.
+    let mut known: Vec<SleepSet> = vec![SleepSet::new(); states.len()];
+    let mut queue: VecDeque<u32> = (0..states.len() as u32).collect();
+    while let Some(i) = queue.pop_front() {
+        let Some(st) = states.get(i as usize) else { continue };
+        let st = st.clone();
+        let cur_sleep = sleeps[i as usize].clone();
+        let awake: Vec<Pid> = st
+            .procs
+            .iter()
+            .filter(|(pid, p)| {
+                matches!(p.run_state, ProcRunState::InCall(_))
+                    && !cur_sleep.iter().any(|(q, _)| q == *pid)
+            })
+            .map(|(pid, _)| *pid)
+            .collect();
+        if awake.is_empty() {
+            continue;
+        }
+        // `acc` is the sleep set handed to each successor in turn: the
+        // transitions already explored from this state (inherited sleepers
+        // plus earlier awake pids), to be filtered down to those that
+        // commute with the successor's own transition.
+        let mut acc = cur_sleep;
+        for (k, &pid) in awake.iter().enumerate() {
+            // The footprint only matters if some successor will have to
+            // decide whether to sleep on this call: either `acc` is
+            // non-empty (we must test commutation against it) or a later
+            // awake pid will have this call in its `acc`.
+            let need_fp = !acc.is_empty() || k + 1 < awake.len();
+            let fp: Option<Arc<Footprint>> = if need_fp {
+                if let Some(cached) =
+                    known[i as usize].iter().find(|(q, _)| *q == pid).map(|(_, f)| f.clone())
+                {
+                    Some(cached)
+                } else {
+                    match st.procs.get(&pid).map(|p| &p.run_state) {
+                        Some(ProcRunState::InCall(cmd)) => {
+                            let f = Arc::new(footprint_of(cfg, &st, pid, cmd));
+                            known[i as usize].push((pid, f.clone()));
+                            Some(f)
+                        }
+                        _ => None,
+                    }
+                }
+            } else {
+                None
+            };
+            let (succ_sleep, succ_known): (SleepSet, SleepSet) = match &fp {
+                Some(fp) => (
+                    acc.iter().filter(|(_, qfp)| fp.commutes(qfp)).cloned().collect(),
+                    known[i as usize]
+                        .iter()
+                        .filter(|(q, qfp)| *q != pid && fp.commutes(qfp))
+                        .cloned()
+                        .collect(),
+                ),
+                None => (SleepSet::new(), SleepSet::new()),
+            };
+            // Successors go straight into the main set — no scratch set, and
+            // each is fingerprinted exactly once, at this insert.
+            process_call_sink(cfg, &st, pid, &mut |succ| {
+                let (j, fresh) = states.insert_full(succ);
+                if fresh {
+                    sleeps.push(succ_sleep.clone());
+                    known.push(succ_known.clone());
+                    queue.push_back(j as u32);
+                } else {
+                    // Reached again along a different path: the state may
+                    // only sleep what every path allows it to sleep. (The
+                    // footprint cache needs no such intersection — a cached
+                    // footprint is a fact about the state, sound however the
+                    // state was reached — so the existing entries stand.)
+                    let before = sleeps[j].len();
+                    sleeps[j].retain(|(q, _)| succ_sleep.iter().any(|(q2, _)| q2 == q));
+                    if sleeps[j].len() < before {
+                        queue.push_back(j as u32);
+                    }
+                }
+            });
+            if let Some(fp) = fp {
+                acc.push((pid, fp));
+            }
+        }
     }
 }
 
@@ -161,10 +322,12 @@ pub fn tau_closure(cfg: &SpecConfig, states: &[OsState]) -> Vec<OsState> {
     set.into_states()
 }
 
-/// Process the call a single process has in flight, emitting the states with
+/// Process the call a single process has in flight, handing each state with
 /// its pending return installed (one state for the error envelope, one per
-/// success branch, one for "special" behaviour).
-pub fn process_call_into(cfg: &SpecConfig, st: &OsState, pid: Pid, out: &mut StateSet) {
+/// success branch, one for "special" behaviour) to `sink`. Generic over the
+/// sink so the POR closure can insert straight into its main set without a
+/// scratch `StateSet` per expansion.
+fn process_call_sink(cfg: &SpecConfig, st: &OsState, pid: Pid, sink: &mut impl FnMut(OsState)) {
     let Some(proc) = st.procs.get(&pid) else { return };
     let ProcRunState::InCall(cmd) = proc.run_state.clone() else { return };
     let outcome = fs_ops::dispatch(cfg, st, pid, &cmd);
@@ -173,7 +336,7 @@ pub fn process_call_into(cfg: &SpecConfig, st: &OsState, pid: Pid, out: &mut Sta
         if let Some(p) = err_st.proc_mut(pid) {
             p.run_state = ProcRunState::Pending(Pending::Errors(outcome.errors.clone()));
         }
-        out.insert(err_st);
+        sink(err_st);
     }
     if !outcome.must_fail {
         for (succ_st, pending) in outcome.successes {
@@ -181,7 +344,7 @@ pub fn process_call_into(cfg: &SpecConfig, st: &OsState, pid: Pid, out: &mut Sta
             if let Some(p) = s.proc_mut(pid) {
                 p.run_state = ProcRunState::Pending(pending);
             }
-            out.insert(s);
+            sink(s);
         }
     }
     if let Some(kind) = outcome.special {
@@ -189,8 +352,15 @@ pub fn process_call_into(cfg: &SpecConfig, st: &OsState, pid: Pid, out: &mut Sta
         if let Some(p) = sp_st.proc_mut(pid) {
             p.run_state = ProcRunState::Pending(Pending::Special(kind));
         }
-        out.insert(sp_st);
+        sink(sp_st);
     }
+}
+
+/// [`process_call_sink`] inserting into a [`StateSet`].
+pub fn process_call_into(cfg: &SpecConfig, st: &OsState, pid: Pid, out: &mut StateSet) {
+    process_call_sink(cfg, st, pid, &mut |s| {
+        out.insert(s);
+    });
 }
 
 /// Vector-returning wrapper over [`process_call_into`].
@@ -813,5 +983,93 @@ mod tests {
         assert!(st.procs.contains_key(&Pid(2)));
         let st = os_trans(&cfg, &st, &OsLabel::Destroy(Pid(2))).remove(0);
         assert!(!st.procs.contains_key(&Pid(2)));
+    }
+
+    /// A state with `pids` all in flight on the given calls.
+    fn state_with_calls(cfg: &SpecConfig, calls: &[(Pid, OsCommand)]) -> OsState {
+        let mut st = initial();
+        for (pid, cmd) in calls {
+            if *pid != INITIAL_PID {
+                st = os_trans(
+                    cfg,
+                    &st,
+                    &OsLabel::Create(*pid, crate::types::Uid(0), crate::types::Gid(0)),
+                )
+                .remove(0);
+            }
+            st = os_trans(cfg, &st, &OsLabel::Call(*pid, cmd.clone())).remove(0);
+        }
+        st
+    }
+
+    #[test]
+    fn por_closure_prunes_commuting_interleavings() {
+        let calls = [
+            (INITIAL_PID, OsCommand::Mkdir("/a".into(), FileMode::new(0o777))),
+            (Pid(2), OsCommand::Mkdir("/b".into(), FileMode::new(0o777))),
+            (Pid(3), OsCommand::Mkdir("/c".into(), FileMode::new(0o777))),
+        ];
+        let on = cfg();
+        let off = on.with_por(PorMode::Off);
+        let st = state_with_calls(&on, &calls);
+
+        let mut full: StateSet = StateSet::singleton(st.clone());
+        tau_close(&off, &mut full);
+        let mut reduced = StateSet::singleton(st);
+        let mut sleeps = vec![SleepSet::new()];
+        tau_close_with_sleeps(&on, &mut reduced, &mut sleeps);
+
+        // Distinct creation orders allocate distinct heap refs, so the full
+        // closure keeps one state per interleaving prefix; POR keeps one
+        // representative order for the all-commuting calls.
+        assert!(
+            reduced.len() < full.len(),
+            "POR did not prune: {} vs {}",
+            reduced.len(),
+            full.len()
+        );
+        assert_eq!(sleeps.len(), reduced.len());
+        // The pruned states are exactly the re-orderings: every reduced state
+        // is observationally present in the full closure.
+        let full_fps: Vec<u64> = crate::footprint::obs_fingerprints(full.iter());
+        for st in &reduced {
+            let fp = crate::footprint::obs_fingerprint(st);
+            assert!(full_fps.binary_search(&fp).is_ok());
+        }
+    }
+
+    #[test]
+    fn por_closure_fully_expands_conflicting_calls() {
+        // Both processes create the *same* entry: the calls race and must be
+        // explored in both orders under POR too.
+        let calls = [
+            (INITIAL_PID, OsCommand::Mkdir("/a".into(), FileMode::new(0o777))),
+            (Pid(2), OsCommand::Mkdir("/a".into(), FileMode::new(0o777))),
+        ];
+        let on = cfg();
+        let off = on.with_por(PorMode::Off);
+        let st = state_with_calls(&on, &calls);
+
+        let mut full = StateSet::singleton(st.clone());
+        tau_close(&off, &mut full);
+        let mut reduced = StateSet::singleton(st);
+        tau_close(&on, &mut reduced);
+
+        let full_fps = crate::footprint::obs_fingerprints(full.iter());
+        let reduced_fps = crate::footprint::obs_fingerprints(reduced.iter());
+        assert_eq!(full_fps, reduced_fps);
+    }
+
+    #[test]
+    fn por_is_inert_for_a_single_process() {
+        let on = cfg();
+        let off = on.with_por(PorMode::Off);
+        let calls = [(INITIAL_PID, OsCommand::Mkdir("/a".into(), FileMode::new(0o777)))];
+        let st = state_with_calls(&on, &calls);
+        let mut a = StateSet::singleton(st.clone());
+        tau_close(&on, &mut a);
+        let mut b = StateSet::singleton(st);
+        tau_close(&off, &mut b);
+        assert_eq!(a.states(), b.states());
     }
 }

@@ -14,6 +14,13 @@
 //! directory-entry lookup never touch string data. Symlink targets are stored
 //! pre-parsed, so splicing a target into the remaining components is a small
 //! `memcpy` of symbols, not a re-parse.
+//!
+//! Short paths avoid the heap entirely: up to [`INLINE_COMPONENTS`]
+//! components are stored inline in [`ParsedPath`], and a symlink splice of up
+//! to [`INLINE_SPLICE`] combined components lives on the resolver's stack
+//! frame ([`SplicedPath`]). The suite is dominated by one- and two-component
+//! paths, so the common parse and the common splice both cost zero
+//! allocations.
 
 use std::sync::Arc;
 
@@ -26,13 +33,39 @@ use crate::perms::{access_allowed, Access, Creds};
 use crate::state::{DirHeap, DirRef, Entry, FileRef};
 use crate::types::{NAME_MAX, PATH_MAX, SYMLOOP_MAX};
 
+/// Number of components a [`ParsedPath`] stores inline without touching the
+/// heap. Three covers the overwhelming majority of paths the suite generates
+/// (`/a`, `/d1/f1`, `/shared/r2_a`, …); longer paths spill to a shared slice.
+pub const INLINE_COMPONENTS: usize = 3;
+
+/// Component storage for [`ParsedPath`]: short lists live inline (clone is a
+/// 16-byte copy), longer ones behind an `Arc` (clone is a refcount bump).
+#[derive(Clone)]
+enum NameList {
+    /// `len` live components at the front of the buffer; the tail slots are
+    /// padding (`Name::DOT`, never read — `as_slice` stops at `len`).
+    Inline(u8, [Name; INLINE_COMPONENTS]),
+    /// More than [`INLINE_COMPONENTS`] components, shared on the heap.
+    Heap(Arc<[Name]>),
+}
+
+impl NameList {
+    fn as_slice(&self) -> &[Name] {
+        match self {
+            NameList::Inline(len, buf) => &buf[..*len as usize],
+            NameList::Heap(names) => names,
+        }
+    }
+}
+
 /// A parsed (but not yet resolved) path: the raw text interned as a single
 /// symbol plus its interned components.
 ///
 /// Parsing happens once per distinct path string; everything downstream —
 /// equality, hashing, resolution, storage in commands and symlink objects —
-/// is symbol arithmetic. The component list sits behind an `Arc`, so cloning
-/// a command that carries a path is a reference-count bump.
+/// is symbol arithmetic. Up to [`INLINE_COMPONENTS`] components are stored
+/// inline; longer lists sit behind an `Arc`. Either way, cloning a command
+/// that carries a path never allocates.
 ///
 /// **Serde caveat**: the derives below are the workspace's no-op stub
 /// markers. When real serde is wired in, this type MUST get a custom impl
@@ -52,7 +85,7 @@ pub struct ParsedPath {
     /// meaning; the test generator uses this property for partitioning).
     pub leading_slashes: usize,
     /// Path components, with empty components removed but `.` and `..` kept.
-    components: Arc<[Name]>,
+    components: NameList,
     /// Whether the path ends with a slash.
     pub trailing_slash: bool,
     /// Index of the first component longer than [`NAME_MAX`], computed at
@@ -69,20 +102,38 @@ impl ParsedPath {
         let leading_slashes = raw.chars().take_while(|c| *c == '/').count();
         let absolute = leading_slashes > 0;
         let trailing_slash = raw.len() > leading_slashes && raw.ends_with('/');
-        let mut components: Vec<Name> = Vec::new();
+        // Build into the inline buffer first; only a fourth component forces
+        // a heap spill (which then re-homes the inline prefix).
+        let mut inline = [Name::DOT; INLINE_COMPONENTS];
+        let mut len = 0usize;
+        let mut spill: Vec<Name> = Vec::new();
         let mut first_overlong = None;
         for c in raw.split('/').filter(|c| !c.is_empty()) {
             if c.len() > NAME_MAX && first_overlong.is_none() {
-                first_overlong = Some(components.len() as u32);
+                first_overlong = Some(len as u32);
             }
-            components.push(Name::intern(c));
+            let name = Name::intern(c);
+            if len < INLINE_COMPONENTS {
+                inline[len] = name;
+            } else {
+                if spill.is_empty() {
+                    spill.extend_from_slice(&inline);
+                }
+                spill.push(name);
+            }
+            len += 1;
         }
+        let components = if len <= INLINE_COMPONENTS {
+            NameList::Inline(len as u8, inline)
+        } else {
+            NameList::Heap(spill.into())
+        };
         ParsedPath {
             raw: Name::intern(raw),
             raw_len: raw.len() as u32,
             absolute,
             leading_slashes,
-            components: components.into(),
+            components,
             trailing_slash,
             first_overlong,
             raw_too_long: raw.len() > PATH_MAX,
@@ -106,7 +157,7 @@ impl ParsedPath {
 
     /// The interned path components (empty components removed, `.`/`..` kept).
     pub fn components(&self) -> &[Name] {
-        &self.components
+        self.components.as_slice()
     }
 
     /// Index of the first component longer than `NAME_MAX`, if any.
@@ -126,7 +177,7 @@ impl ParsedPath {
 
     /// The final component, if any.
     pub fn last_component(&self) -> Option<Name> {
-        self.components.last().copied()
+        self.components.as_slice().last().copied()
     }
 
     /// Whether the final component is `.` or `..`.
@@ -147,7 +198,11 @@ impl ParsedPath {
     /// continues with the target's components followed by the remainder.
     ///
     /// Returns `(spliced components, re-based overlong index, new trailing
-    /// flag)`. This is the one place the subtle overlong-index re-base lives
+    /// flag)`. The spliced list is a [`SplicedPath`]: when target + remainder
+    /// fit in [`INLINE_SPLICE`] components (the common case), it lives
+    /// entirely in the caller's stack frame and the splice allocates nothing.
+    ///
+    /// This is the one place the subtle overlong-index re-base lives
     /// — the model's resolver and the simulated kernel's both call it, so
     /// their `ENAMETOOLONG` placement cannot drift apart. An overlong
     /// component at or before `idx` is impossible here (the walk would have
@@ -158,10 +213,10 @@ impl ParsedPath {
         idx: usize,
         overlong_at: Option<usize>,
         trailing: bool,
-    ) -> (Vec<Name>, Option<usize>, bool) {
+    ) -> (SplicedPath, Option<usize>, bool) {
         let rest = &components[idx + 1..];
         let tcomps = self.components();
-        let mut spliced: Vec<Name> = Vec::with_capacity(tcomps.len() + rest.len());
+        let mut spliced = SplicedPath::new();
         spliced.extend_from_slice(tcomps);
         spliced.extend_from_slice(rest);
         let spliced_overlong = self.first_overlong().or_else(|| {
@@ -170,6 +225,63 @@ impl ParsedPath {
         let new_trailing =
             if rest.is_empty() { trailing || self.trailing_slash } else { trailing };
         (spliced, spliced_overlong, new_trailing)
+    }
+}
+
+/// Inline capacity of [`SplicedPath`]. Symlink target + path remainder stay
+/// under this in every suite-generated script; deeper splices (symlink chains
+/// into long tails) fall back to a single heap allocation.
+pub const INLINE_SPLICE: usize = 8;
+
+/// The component list produced by [`ParsedPath::splice_into`]: a fixed
+/// inline buffer that spills to the heap only past [`INLINE_SPLICE`]
+/// components. Lives on the resolver's recursion frame and derefs to
+/// `&[Name]`, so the recursive `resolve_from` call borrows it directly.
+pub struct SplicedPath {
+    /// Total number of components; when `len <= INLINE_SPLICE` the live data
+    /// is `inline[..len]`, otherwise it is all of `heap`.
+    len: usize,
+    /// Inline storage; tail slots past `len` are padding (`Name::DOT`).
+    inline: [Name; INLINE_SPLICE],
+    /// Spill storage, populated only once `len` exceeds the inline capacity.
+    heap: Vec<Name>,
+}
+
+impl SplicedPath {
+    fn new() -> SplicedPath {
+        SplicedPath { len: 0, inline: [Name::DOT; INLINE_SPLICE], heap: Vec::new() }
+    }
+
+    fn extend_from_slice(&mut self, names: &[Name]) {
+        let total = self.len + names.len();
+        if total <= INLINE_SPLICE {
+            self.inline[self.len..total].copy_from_slice(names);
+        } else {
+            if self.len <= INLINE_SPLICE {
+                // First spill: re-home the inline prefix, sized once.
+                self.heap.reserve(total);
+                self.heap.extend_from_slice(&self.inline[..self.len]);
+            }
+            self.heap.extend_from_slice(names);
+        }
+        self.len = total;
+    }
+
+    /// The spliced components.
+    pub fn as_slice(&self) -> &[Name] {
+        if self.len <= INLINE_SPLICE {
+            &self.inline[..self.len]
+        } else {
+            &self.heap
+        }
+    }
+}
+
+impl std::ops::Deref for SplicedPath {
+    type Target = [Name];
+
+    fn deref(&self) -> &[Name] {
+        self.as_slice()
     }
 }
 
@@ -358,6 +470,36 @@ impl<'a> ResolveCtx<'a> {
     }
 }
 
+/// A record of everything a path resolution *read* from the heap: the
+/// directories it traversed (search-permission + parent-pointer reads) and
+/// the directory entries it looked up, present or absent.
+///
+/// Used by the footprint layer (`crate::footprint`) to derive the read set
+/// of a command's path arguments for partial-order reduction: a concurrent
+/// write that touches none of these resources cannot change the outcome of
+/// this resolution. Symlink expansion is covered by the edge read of the
+/// symlink itself — symlink *content* is immutable in the model (only
+/// `rename`, which is treated conservatively, can move one).
+#[derive(Debug, Default, Clone)]
+pub struct PathObs {
+    /// Every directory whose metadata (search permission) or parent pointer
+    /// was consulted, in traversal order, duplicates included.
+    pub dirs: Vec<DirRef>,
+    /// Every `(dir, name)` entry lookup performed — hits *and* misses (a miss
+    /// is a read too: creating that entry would change the outcome).
+    pub edges: Vec<(DirRef, Name)>,
+}
+
+impl PathObs {
+    fn note_dir(&mut self, d: DirRef) {
+        self.dirs.push(d);
+    }
+
+    fn note_edge(&mut self, d: DirRef, n: Name) {
+        self.edges.push((d, n));
+    }
+}
+
 /// Resolve a raw path string relative to the context. Thin wrapper over
 /// [`resolve_path`] for callers (tests, examples) holding plain strings; the
 /// transition engine resolves pre-parsed [`ParsedPath`]s and never re-parses.
@@ -373,6 +515,28 @@ pub fn resolve_path(
     parsed: &ParsedPath,
     follow_last: FollowLast,
 ) -> ResName {
+    resolve_path_inner(ctx, parsed, follow_last, None)
+}
+
+/// [`resolve_path`] variant that records every heap read into `obs`.
+///
+/// Only the footprint layer uses this; the hot resolve path goes through
+/// [`resolve_path`], which passes `None` and pays nothing for the hooks.
+pub fn resolve_path_observed(
+    ctx: &ResolveCtx<'_>,
+    parsed: &ParsedPath,
+    follow_last: FollowLast,
+    obs: &mut PathObs,
+) -> ResName {
+    resolve_path_inner(ctx, parsed, follow_last, Some(obs))
+}
+
+fn resolve_path_inner(
+    ctx: &ResolveCtx<'_>,
+    parsed: &ParsedPath,
+    follow_last: FollowLast,
+    mut obs: Option<&mut PathObs>,
+) -> ResName {
     if parsed.is_empty() {
         spec_point("path/empty_path_enoent");
         return ResName::Err(Errno::ENOENT);
@@ -382,6 +546,9 @@ pub fn resolve_path(
         return ResName::Err(Errno::ENAMETOOLONG);
     }
     let start = if parsed.absolute { ctx.heap.root() } else { ctx.cwd };
+    if let Some(o) = obs.as_deref_mut() {
+        o.note_dir(start);
+    }
     resolve_from(
         ctx,
         start,
@@ -390,6 +557,7 @@ pub fn resolve_path(
         parsed.trailing_slash,
         follow_last,
         0,
+        obs,
     )
 }
 
@@ -409,6 +577,7 @@ fn resolve_from(
     trailing_slash: bool,
     follow_last: FollowLast,
     depth: usize,
+    mut obs: Option<&mut PathObs>,
 ) -> ResName {
     if depth > SYMLOOP_MAX {
         spec_point("path/eloop");
@@ -427,6 +596,9 @@ fn resolve_from(
             return ResName::Err(Errno::ENAMETOOLONG);
         }
         // Search permission is required on every directory traversed.
+        if let Some(o) = obs.as_deref_mut() {
+            o.note_dir(cur);
+        }
         if !ctx.search_allowed(cur) {
             spec_point("path/search_permission_denied");
             return ResName::Err(Errno::EACCES);
@@ -452,11 +624,17 @@ fn resolve_from(
                     }
                 }
             }
+            if let Some(o) = obs.as_deref_mut() {
+                o.note_dir(cur);
+            }
             came_via = None;
             idx += 1;
             continue;
         }
 
+        if let Some(o) = obs.as_deref_mut() {
+            o.note_edge(cur, comp);
+        }
         match ctx.heap.lookup(cur, comp) {
             None => {
                 if is_last {
@@ -505,6 +683,7 @@ fn resolve_from(
                             new_trailing,
                             follow_last,
                             depth + 1,
+                            obs,
                         );
                     }
                     // Unfollowed final symlink.
@@ -536,6 +715,9 @@ fn resolve_from(
 
     // No components (the path was "/", ".", "..", or collapsed to nothing).
     spec_point("path/resolved_to_start_dir");
+    if let Some(o) = obs {
+        o.note_dir(cur);
+    }
     ResName::Dir { dref: cur, parent: came_via, trailing_slash }
 }
 
@@ -624,6 +806,48 @@ mod tests {
         assert_eq!(p.first_overlong(), None);
         let edge = "y".repeat(NAME_MAX);
         assert_eq!(ParsedPath::parse(&edge).first_overlong(), None);
+    }
+
+    #[test]
+    fn inline_and_spilled_components_agree() {
+        // Cross the INLINE_COMPONENTS boundary: behavior must be identical on
+        // both sides of the inline/heap split.
+        for n in 0..(2 * INLINE_COMPONENTS + 1) {
+            let joined =
+                (0..n).map(|i| format!("c{i}")).collect::<Vec<_>>().join("/");
+            let p = ParsedPath::parse(&format!("/{joined}"));
+            let got: Vec<&str> = p.components().iter().map(|c| c.as_str()).collect();
+            let want: Vec<String> = (0..n).map(|i| format!("c{i}")).collect();
+            assert_eq!(got, want);
+            if n > 0 {
+                assert_eq!(
+                    p.last_component().map(|c| c.as_str()),
+                    Some(want[n - 1].as_str())
+                );
+            } else {
+                assert_eq!(p.last_component(), None);
+            }
+        }
+    }
+
+    #[test]
+    fn deep_symlink_splice_spills_and_resolves() {
+        let (mut h, root) = fixture();
+        // 8 `.` components + `d1` = 9 spliced components, past INLINE_SPLICE,
+        // so this exercises the SplicedPath heap-spill path end to end.
+        let dots = "./".repeat(INLINE_SPLICE);
+        h.create_symlink(root, "deep", format!("{dots}d1").as_str(), meta()).unwrap();
+        let c = ctx(&h, root);
+        assert!(resolve(&c, "/deep", FollowLast::Follow).is_dir());
+        // With a tail after the symlink the splice is even longer.
+        assert!(matches!(
+            resolve(&c, "/deep/f1", FollowLast::Follow),
+            ResName::File { is_symlink: false, .. }
+        ));
+        assert!(matches!(
+            resolve(&c, "/deep/nope", FollowLast::Follow),
+            ResName::None { .. }
+        ));
     }
 
     #[test]

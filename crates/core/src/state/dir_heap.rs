@@ -10,11 +10,14 @@
 //! directory" defect scenario of Fig. 8.
 
 use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use crate::flags::FileMode;
+use crate::fxhash::FxHasher64;
 use crate::intern::Name;
 use crate::path::ParsedPath;
 use crate::state::meta::Meta;
@@ -77,8 +80,50 @@ impl FileContent {
     }
 }
 
+/// Cached structural hash of a heap object (`0` = not yet computed; real
+/// hashes are remapped away from zero). Heap objects are immutable once
+/// shared behind an [`Arc`]: every mutation path goes through
+/// [`DirHeap::dir_mut`]/[`DirHeap::file_mut`], which invalidate the cache
+/// before handing out `&mut`, and `Clone` (what `Arc::make_mut` calls on a
+/// shared object) resets it — so a cached value can never go stale. The cache
+/// is excluded from `Eq`/`Ord`/`Hash`: it is derived data.
+#[derive(Default)]
+struct HashCell(AtomicU64);
+
+impl HashCell {
+    fn get(&self) -> Option<u64> {
+        match self.0.load(Ordering::Relaxed) {
+            0 => None,
+            h => Some(h),
+        }
+    }
+
+    fn set(&self, h: u64) {
+        self.0.store(h, Ordering::Relaxed);
+    }
+
+    fn invalidate(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Clone for HashCell {
+    fn clone(&self) -> HashCell {
+        HashCell::default()
+    }
+}
+
+impl std::fmt::Debug for HashCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.get() {
+            Some(h) => write!(f, "{h:#018x}"),
+            None => f.write_str("<uncomputed>"),
+        }
+    }
+}
+
 /// A directory object.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Dir {
     /// Named entries (excluding the implicit `.` and `..`), keyed by interned
     /// name symbol. The `BTreeMap` ordering is the symbols' `u32` order —
@@ -91,10 +136,71 @@ pub struct Dir {
     pub parent: Option<DirRef>,
     /// Ownership, permissions, timestamps.
     pub meta: Meta,
+    /// Cached structural hash (see [`HashCell`]); not part of the object's
+    /// identity.
+    cache: HashCell,
+}
+
+impl Dir {
+    fn new(entries: BTreeMap<Name, Entry>, parent: Option<DirRef>, meta: Meta) -> Dir {
+        Dir { entries, parent, meta, cache: HashCell::default() }
+    }
+
+    /// The object's structural hash, computed on first use and cached.
+    ///
+    /// [`DirHeap`]'s `Hash` combines these per-object values instead of
+    /// re-walking every entry map on each state fingerprint: a τ-closure
+    /// successor changes one or two directories, so the other ~`N` keep
+    /// their cached hashes and the per-state cost drops from "walk the whole
+    /// tree" to "hash `N` integers".
+    fn content_hash(&self) -> u64 {
+        if let Some(h) = self.cache.get() {
+            return h;
+        }
+        let mut hasher = FxHasher64::default();
+        self.entries.hash(&mut hasher);
+        self.parent.hash(&mut hasher);
+        self.meta.hash(&mut hasher);
+        let h = hasher.finish().max(1);
+        self.cache.set(h);
+        h
+    }
+}
+
+impl PartialEq for Dir {
+    fn eq(&self, other: &Dir) -> bool {
+        self.entries == other.entries && self.parent == other.parent && self.meta == other.meta
+    }
+}
+
+impl Eq for Dir {}
+
+impl PartialOrd for Dir {
+    fn partial_cmp(&self, other: &Dir) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Dir {
+    fn cmp(&self, other: &Dir) -> std::cmp::Ordering {
+        (&self.entries, &self.parent, &self.meta).cmp(&(
+            &other.entries,
+            &other.parent,
+            &other.meta,
+        ))
+    }
+}
+
+impl Hash for Dir {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.entries.hash(state);
+        self.parent.hash(state);
+        self.meta.hash(state);
+    }
 }
 
 /// A non-directory file object.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct File {
     /// Regular data or symlink target.
     pub content: FileContent,
@@ -104,6 +210,63 @@ pub struct File {
     /// file). A value of zero means the file is disconnected but may still be
     /// readable through open file descriptions.
     pub nlink: u32,
+    /// Cached structural hash (see [`HashCell`]); not part of the object's
+    /// identity.
+    cache: HashCell,
+}
+
+impl File {
+    fn new(content: FileContent, meta: Meta, nlink: u32) -> File {
+        File { content, meta, nlink, cache: HashCell::default() }
+    }
+
+    /// The object's structural hash, computed on first use and cached (the
+    /// file analogue of [`Dir::content_hash`] — this is what keeps large
+    /// regular-file contents out of the per-state fingerprint walk).
+    fn content_hash(&self) -> u64 {
+        if let Some(h) = self.cache.get() {
+            return h;
+        }
+        let mut hasher = FxHasher64::default();
+        self.content.hash(&mut hasher);
+        self.meta.hash(&mut hasher);
+        self.nlink.hash(&mut hasher);
+        let h = hasher.finish().max(1);
+        self.cache.set(h);
+        h
+    }
+}
+
+impl PartialEq for File {
+    fn eq(&self, other: &File) -> bool {
+        self.content == other.content && self.meta == other.meta && self.nlink == other.nlink
+    }
+}
+
+impl Eq for File {}
+
+impl PartialOrd for File {
+    fn partial_cmp(&self, other: &File) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for File {
+    fn cmp(&self, other: &File) -> std::cmp::Ordering {
+        (&self.content, &self.meta, &self.nlink).cmp(&(
+            &other.content,
+            &other.meta,
+            &other.nlink,
+        ))
+    }
+}
+
+impl Hash for File {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.content.hash(state);
+        self.meta.hash(state);
+        self.nlink.hash(state);
+    }
 }
 
 /// The directory-heap file-system state.
@@ -113,7 +276,7 @@ pub struct File {
 /// `Arc::make_mut` so a branch that modifies one directory copies only the
 /// map spine and that directory — every other object (in particular full
 /// regular-file contents) stays shared with the sibling branches.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DirHeap {
     dirs: Arc<BTreeMap<u64, Arc<Dir>>>,
     files: Arc<BTreeMap<u64, Arc<File>>>,
@@ -121,6 +284,27 @@ pub struct DirHeap {
     next_id: u64,
     /// The logical clock used for timestamps.
     now: u64,
+}
+
+impl Hash for DirHeap {
+    /// Hashes each object's cached [`Dir::content_hash`]/[`File::content_hash`]
+    /// rather than re-walking entry maps and file contents: after a COW step
+    /// only the objects that were actually mutated recompute. Consistent with
+    /// the derived `PartialEq` because equal objects have equal content
+    /// hashes.
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for (id, dir) in self.dirs.iter() {
+            state.write_u64(*id);
+            state.write_u64(dir.content_hash());
+        }
+        for (id, file) in self.files.iter() {
+            state.write_u64(*id);
+            state.write_u64(file.content_hash());
+        }
+        self.root.hash(state);
+        self.next_id.hash(state);
+        self.now.hash(state);
+    }
 }
 
 impl DirHeap {
@@ -131,11 +315,7 @@ impl DirHeap {
         let root = DirRef(0);
         dirs.insert(
             0,
-            Arc::new(Dir {
-                entries: BTreeMap::new(),
-                parent: None,
-                meta: Meta::new(root_mode, uid, gid, 0),
-            }),
+            Arc::new(Dir::new(BTreeMap::new(), None, Meta::new(root_mode, uid, gid, 0))),
         );
         DirHeap {
             dirs: Arc::new(dirs),
@@ -182,7 +362,14 @@ impl DirHeap {
     /// Look up a directory object mutably, unsharing the map spine and the
     /// object itself if they are shared with other states (copy-on-write).
     pub fn dir_mut(&mut self, d: DirRef) -> Option<&mut Dir> {
-        Arc::make_mut(&mut self.dirs).get_mut(&d.0).map(Arc::make_mut)
+        Arc::make_mut(&mut self.dirs).get_mut(&d.0).map(|dir| {
+            let dir = Arc::make_mut(dir);
+            // `make_mut` only resets the hash cache when it actually clones;
+            // a uniquely-owned object is handed out in place, so drop the
+            // cache here before the caller mutates.
+            dir.cache.invalidate();
+            dir
+        })
     }
 
     /// Look up a file object.
@@ -193,7 +380,13 @@ impl DirHeap {
     /// Look up a file object mutably, unsharing the map spine and the object
     /// itself if they are shared with other states (copy-on-write).
     pub fn file_mut(&mut self, f: FileRef) -> Option<&mut File> {
-        Arc::make_mut(&mut self.files).get_mut(&f.0).map(Arc::make_mut)
+        Arc::make_mut(&mut self.files).get_mut(&f.0).map(|file| {
+            let file = Arc::make_mut(file);
+            // See `dir_mut`: invalidate explicitly for the uniquely-owned,
+            // no-clone `make_mut` path.
+            file.cache.invalidate();
+            file
+        })
     }
 
     /// Look up a named entry in a directory. The hot-path callers pass a
@@ -281,7 +474,7 @@ impl DirHeap {
         }
         let id = self.fresh_id();
         Arc::make_mut(&mut self.dirs)
-            .insert(id, Arc::new(Dir { entries: BTreeMap::new(), parent: Some(parent), meta }));
+            .insert(id, Arc::new(Dir::new(BTreeMap::new(), Some(parent), meta)));
         let now = self.tick();
         let pdir = self.dir_mut(parent)?;
         pdir.entries.insert(name, Entry::Dir(DirRef(id)));
@@ -321,7 +514,7 @@ impl DirHeap {
             return None;
         }
         let id = self.fresh_id();
-        Arc::make_mut(&mut self.files).insert(id, Arc::new(File { content, meta, nlink: 1 }));
+        Arc::make_mut(&mut self.files).insert(id, Arc::new(File::new(content, meta, 1)));
         let now = self.tick();
         let pdir = self.dir_mut(parent)?;
         pdir.entries.insert(name, Entry::File(FileRef(id)));
@@ -621,6 +814,38 @@ mod tests {
         assert!(h.is_same_or_ancestor(a, b));
         assert!(h.is_same_or_ancestor(b, b));
         assert!(!h.is_same_or_ancestor(b, a));
+    }
+
+    #[test]
+    fn cached_object_hashes_track_mutation() {
+        fn heap_hash(h: &DirHeap) -> u64 {
+            let mut s = FxHasher64::default();
+            h.hash(&mut s);
+            s.finish()
+        }
+        let mut h = DirHeap::empty();
+        let root = h.root();
+        let d = h.create_dir(root, "d", meta()).unwrap();
+        // Populate every cache, then check a structurally equal heap (fresh
+        // caches) hashes identically.
+        let before = heap_hash(&h);
+        let twin = h.clone();
+        assert_eq!(h, twin);
+        assert_eq!(before, heap_hash(&twin));
+        // Mutate through `dir_mut` while `h` holds the only reference to the
+        // object — the in-place `make_mut` path, where only the explicit
+        // invalidation stops the stale cached hash from being reused.
+        drop(twin);
+        h.dir_mut(d).unwrap().meta.mode = FileMode::new(0o700);
+        let after = heap_hash(&h);
+        assert_ne!(before, after, "mutation must change the heap hash");
+        assert_eq!(after, heap_hash(&h.clone()), "recomputed hash must be structural");
+        // Same in-place path for files, through `file_mut`.
+        let f = h.create_file(d, "f", meta()).unwrap();
+        let with_file = heap_hash(&h);
+        h.file_mut(f).unwrap().nlink += 1;
+        assert_ne!(with_file, heap_hash(&h));
+        assert_eq!(heap_hash(&h), heap_hash(&h.clone()));
     }
 
     #[test]

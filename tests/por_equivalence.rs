@@ -1,0 +1,295 @@
+//! Partial-order reduction equivalence suite.
+//!
+//! POR is a pure optimisation: with `PorMode::Footprint` the checker may
+//! track fewer interleaving states, but every verdict it hands out — per-step
+//! verdicts, deviations, acceptance — must be identical to the full
+//! `PorMode::Off` expansion. This suite pins that equivalence over
+//!
+//! * the whole quick test suite executed on the simulated Linux config,
+//! * the model-gap regression scripts,
+//! * the fxmark-style contention trace families (the only inputs with real
+//!   multi-process overlap, i.e. where POR actually prunes),
+//! * hand-written deviating concurrent traces (the recovery path), and
+//! * a 500-mutant replay of the explore engine's mutation operators.
+//!
+//! A proptest closes the loop at the other end: the footprint analysis
+//! itself is sound — whenever two in-flight calls are claimed to commute,
+//! processing them in either order from a random reachable state produces
+//! observationally identical state sets.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sibylfs::prelude::*;
+use sibylfs_core::commands::OsLabel;
+use sibylfs_core::flavor::PorMode;
+use sibylfs_core::footprint::{footprint_of, obs_fingerprints};
+use sibylfs_core::os::trans::{default_completion, expand_calls, os_trans, process_call};
+use sibylfs_core::os::OsState;
+use sibylfs_core::types::{Gid, Pid, Uid, INITIAL_PID};
+use sibylfs_check::{CheckedTrace, StepVerdict};
+use sibylfs_explore::mutate::Mutator;
+use sibylfs_testgen::contention::{contention_traces, ContentionOptions};
+use sibylfs_testgen::sequences::model_gap_scripts;
+
+/// A checked trace with everything POR may legitimately change stripped out:
+/// state-set sizes go (POR tracks fewer states), and the `allowed` diagnostic
+/// lists are order-normalised (they are accumulated in state-set iteration
+/// order, which reduction may permute — the *sets* must still agree).
+fn normalized(checked: &CheckedTrace) -> CheckedTrace {
+    let mut c = checked.clone();
+    c.max_states_tracked = 0;
+    for step in &mut c.steps {
+        step.states_tracked = 0;
+        if let StepVerdict::Deviation { allowed, .. } = &mut step.verdict {
+            allowed.sort();
+        }
+    }
+    for d in &mut c.deviations {
+        d.allowed.sort();
+    }
+    c
+}
+
+fn check_both(cfg: &SpecConfig, trace: &Trace) -> (CheckedTrace, CheckedTrace) {
+    let on = check_trace(
+        &cfg.with_por(PorMode::Footprint),
+        trace,
+        CheckOptions::default(),
+    );
+    let off = check_trace(&cfg.with_por(PorMode::Off), trace, CheckOptions::default());
+    (on, off)
+}
+
+fn assert_equivalent(cfg: &SpecConfig, trace: &Trace, ctx: &str) -> (CheckedTrace, CheckedTrace) {
+    let (on, off) = check_both(cfg, trace);
+    assert_eq!(
+        normalized(&on),
+        normalized(&off),
+        "{ctx}: POR on/off verdicts differ"
+    );
+    assert!(
+        on.max_states_tracked <= off.max_states_tracked,
+        "{ctx}: POR tracked more states ({}) than full expansion ({})",
+        on.max_states_tracked,
+        off.max_states_tracked
+    );
+    (on, off)
+}
+
+#[test]
+fn quick_suite_verdicts_are_identical_por_on_and_off() {
+    let cfg = SpecConfig::standard(Flavor::Linux);
+    let profile = configs::by_name("linux/tmpfs").unwrap();
+    let mut checked = 0usize;
+    for script in generate_suite(SuiteOptions::quick()) {
+        let trace = execute_script(&profile, &script, ExecOptions::default());
+        assert_equivalent(&cfg, &trace, &script.name);
+        checked += 1;
+    }
+    assert!(checked >= 500, "quick suite shrank to {checked} scripts");
+}
+
+#[test]
+fn model_gap_scripts_verdicts_are_identical_por_on_and_off() {
+    let cfg = SpecConfig::standard(Flavor::Linux);
+    let profile = configs::by_name("linux/tmpfs").unwrap();
+    for (script, _) in model_gap_scripts() {
+        let trace = execute_script(&profile, &script, ExecOptions::default());
+        assert_equivalent(&cfg, &trace, &script.name);
+    }
+}
+
+#[test]
+fn contention_traces_are_accepted_and_equivalent() {
+    let cfg = SpecConfig::standard(Flavor::Linux);
+    for opts in [
+        ContentionOptions::new(2, 2),
+        ContentionOptions::new(3, 2),
+        ContentionOptions::new(4, 1),
+    ] {
+        for trace in contention_traces(opts) {
+            let (on, off) = assert_equivalent(&cfg, &trace, &trace.name);
+            assert!(on.accepted, "{}: deviations {:?}", trace.name, on.deviations);
+            assert!(off.accepted);
+        }
+    }
+}
+
+#[test]
+fn por_actually_prunes_the_commuting_contention_families() {
+    let cfg = SpecConfig::standard(Flavor::Linux);
+    let mut pruned_any = false;
+    for trace in contention_traces(ContentionOptions::new(3, 2)) {
+        let (on, off) = check_both(&cfg, &trace);
+        if trace.name.contains("drbl") || trace.name.contains("create_unlink") {
+            assert!(
+                on.max_states_tracked < off.max_states_tracked,
+                "{}: expected reduction, got {} vs {}",
+                trace.name,
+                on.max_states_tracked,
+                off.max_states_tracked
+            );
+            pruned_any = true;
+        }
+    }
+    assert!(pruned_any);
+}
+
+/// A concurrent trace whose return deviates: the recovery path (allowed-set
+/// diagnostics, default completions, sleep-set reset) must behave identically
+/// in both modes.
+#[test]
+fn deviating_concurrent_trace_is_equivalent() {
+    let cfg = SpecConfig::standard(Flavor::Linux);
+    let mut t = Trace::new("por_deviation", "contention");
+    t.push_label(OsLabel::Create(Pid(2), Uid(0), Gid(0)));
+    t.push_label(OsLabel::Create(Pid(3), Uid(0), Gid(0)));
+    t.push_label(OsLabel::Call(
+        INITIAL_PID,
+        OsCommand::Mkdir("/a".into(), FileMode::new(0o777)),
+    ));
+    t.push_label(OsLabel::Call(Pid(2), OsCommand::Mkdir("/b".into(), FileMode::new(0o777))));
+    t.push_label(OsLabel::Call(Pid(3), OsCommand::Stat("/c".into())));
+    // EPERM is not in stat's envelope here: a deviation with two other calls
+    // still in flight.
+    t.push_label(OsLabel::Return(Pid(3), ErrorOrValue::Error(Errno::EPERM)));
+    t.push_label(OsLabel::Return(INITIAL_PID, ErrorOrValue::Value(RetValue::None)));
+    t.push_label(OsLabel::Return(Pid(2), ErrorOrValue::Value(RetValue::None)));
+    // Checking continues after recovery; the final state must know /a and /b.
+    t.push_call_return(INITIAL_PID, OsCommand::Rmdir("/a".into()), ErrorOrValue::Value(RetValue::None));
+    t.push_call_return(Pid(2), OsCommand::Rmdir("/b".into()), ErrorOrValue::Value(RetValue::None));
+    let (on, _) = assert_equivalent(&cfg, &t, "por_deviation");
+    assert!(!on.accepted);
+    assert_eq!(on.deviations.len(), 1);
+}
+
+#[test]
+fn mutant_replay_verdicts_are_identical_por_on_and_off() {
+    let cfg = SpecConfig::standard(Flavor::Linux);
+    let profile = configs::by_name("linux/tmpfs").unwrap();
+    let mutator = Mutator::new(40);
+    let parents: Vec<Script> = model_gap_scripts().into_iter().map(|(s, _)| s).collect();
+    let mut rng = StdRng::seed_from_u64(0x90A2_0F00);
+    for i in 0..500usize {
+        let parent = &parents[i % parents.len()];
+        let mutant = mutator.mutate(parent, &mut rng, format!("por_mutant_{i:03}"));
+        let trace = execute_script(&profile, &mutant, ExecOptions::default());
+        assert_equivalent(&cfg, &trace, &mutant.name);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Footprint soundness: claimed commutation really is commutation.
+// ---------------------------------------------------------------------------
+
+/// Strategy: an arbitrary single command over a small colliding universe
+/// (kept in sync with the one in `model_properties.rs`).
+fn arb_command() -> impl Strategy<Value = OsCommand> {
+    let path = prop_oneof![
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("a/b".to_string()),
+        Just("/a".to_string()),
+        Just("a/".to_string()),
+        Just("missing/x".to_string()),
+        Just(".".to_string()),
+        Just("/".to_string()),
+        Just("s".to_string()),
+    ];
+    let fd = (0i32..6).prop_map(sibylfs_core::types::Fd);
+    prop_oneof![
+        path.clone().prop_map(|p| OsCommand::Mkdir(p.into(), FileMode::new(0o777))),
+        path.clone().prop_map(|p| OsCommand::Rmdir(p.into())),
+        path.clone().prop_map(|p| OsCommand::Unlink(p.into())),
+        path.clone().prop_map(|p| OsCommand::Stat(p.into())),
+        path.clone().prop_map(|p| OsCommand::Lstat(p.into())),
+        path.clone().prop_map(|p| OsCommand::Opendir(p.into())),
+        path.clone().prop_map(|p| OsCommand::Chdir(p.into())),
+        (path.clone(), path.clone()).prop_map(|(a, b)| OsCommand::Rename(a.into(), b.into())),
+        (path.clone(), path.clone()).prop_map(|(a, b)| OsCommand::Link(a.into(), b.into())),
+        (path.clone(), path.clone()).prop_map(|(a, b)| OsCommand::Symlink(a.into(), b.into())),
+        (path.clone(), 0u32..0o1000)
+            .prop_map(|(p, m)| OsCommand::Chmod(p.into(), FileMode::new(m))),
+        (path.clone(), -4i64..64).prop_map(|(p, l)| OsCommand::Truncate(p.into(), l)),
+        (path, any::<bool>(), any::<bool>()).prop_map(|(p, creat, excl)| {
+            let mut flags = OpenFlags::O_RDWR;
+            if creat {
+                flags = flags | OpenFlags::O_CREAT;
+            }
+            if excl {
+                flags = flags | OpenFlags::O_EXCL;
+            }
+            OsCommand::Open(p.into(), flags, Some(FileMode::new(0o644)))
+        }),
+        fd.clone().prop_map(|f| OsCommand::Read(f, 16)),
+        (fd.clone(), proptest::collection::vec(any::<u8>(), 0..16))
+            .prop_map(|(f, data)| OsCommand::Write(f, data)),
+        (fd, -2i64..32).prop_map(|(f, off)| OsCommand::Pread(f, 8, off)),
+    ]
+}
+
+/// Strategy: a reachable state with two live processes, built by running a
+/// few commands through the model's own canonical completions.
+fn arb_two_proc_state(cfg: SpecConfig) -> impl Strategy<Value = OsState> {
+    proptest::collection::vec((arb_command(), any::<bool>()), 0..8).prop_map(move |cmds| {
+        let mut st = OsState::initial_with_process(&cfg, INITIAL_PID);
+        st = os_trans(&cfg, &st, &OsLabel::Create(Pid(2), Uid(0), Gid(0))).remove(0);
+        for (cmd, second) in cmds {
+            let pid = if second { Pid(2) } else { INITIAL_PID };
+            let Some(called) =
+                os_trans(&cfg, &st, &OsLabel::Call(pid, cmd)).into_iter().next()
+            else {
+                continue;
+            };
+            let branches = expand_calls(&cfg, &called);
+            let Some(branch) = branches.into_iter().next_back() else { continue };
+            if let Some((_, next)) = default_completion(&branch, pid) {
+                st = next;
+            }
+        }
+        st
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Footprint soundness: if the footprints of two in-flight calls commute,
+    /// processing them in either order yields observationally identical state
+    /// sets (canonical fingerprints ignore heap reference numbering, which is
+    /// the one thing interleaving order legitimately changes).
+    #[test]
+    fn commuting_footprints_really_commute(
+        st in arb_two_proc_state(SpecConfig::standard(Flavor::Linux)),
+        cmd_p in arb_command(),
+        cmd_q in arb_command(),
+    ) {
+        let cfg = SpecConfig::standard(Flavor::Linux);
+        let (p, q) = (INITIAL_PID, Pid(2));
+        let both_in_call = os_trans(&cfg, &st, &OsLabel::Call(p, cmd_p.clone()))
+            .into_iter()
+            .next()
+            .and_then(|st| os_trans(&cfg, &st, &OsLabel::Call(q, cmd_q.clone())).into_iter().next());
+        if let Some(st) = both_in_call {
+            let fp_p = footprint_of(&cfg, &st, p, &cmd_p);
+            let fp_q = footprint_of(&cfg, &st, q, &cmd_q);
+            if fp_p.commutes(&fp_q) {
+                let mut p_first: Vec<OsState> = Vec::new();
+                for mid in process_call(&cfg, &st, p) {
+                    p_first.extend(process_call(&cfg, &mid, q));
+                }
+                let mut q_first: Vec<OsState> = Vec::new();
+                for mid in process_call(&cfg, &st, q) {
+                    q_first.extend(process_call(&cfg, &mid, p));
+                }
+                prop_assert_eq!(
+                    obs_fingerprints(p_first.iter()),
+                    obs_fingerprints(q_first.iter()),
+                    "{} and {} were claimed to commute but do not", cmd_p, cmd_q
+                );
+            }
+        }
+    }
+}
