@@ -108,8 +108,57 @@ fn scenario_fixtures_match_golden() {
     assert!(seen > 0, "no scenario_*.script fixtures found");
 }
 
+/// Parse-error fixtures: deliberately unparseable `parse_*` scripts and
+/// traces whose rendered diagnostic block (the `render_parse_error` path the
+/// CLI and the oracle server both go through) is pinned. These lock down the
+/// span-carrying errors from the negative-integer/robustness sweep — a silent
+/// regression back to truncating casts would flip a fixture from "rejected
+/// with a position" to "parses fine" and fail loudly here.
+#[test]
+fn parse_error_fixtures_match_golden() {
+    let regen = std::env::var_os("SIBYLFS_REGEN_GOLDEN").is_some();
+    let mut seen = 0usize;
+    for entry in fs::read_dir(fixture_dir()).expect("fixture dir exists") {
+        let name = entry.expect("readable entry").file_name();
+        let name = name.to_string_lossy();
+        if !name.starts_with("parse_") || name.ends_with(".expected") {
+            continue;
+        }
+        seen += 1;
+        let text = fs::read_to_string(fixture_dir().join(name.as_ref()))
+            .unwrap_or_else(|e| panic!("cannot read {name}: {e}"));
+        let err = if name.ends_with(".trace") {
+            sibylfs_script::parse_trace(&text).expect_err("parse_* trace fixture must not parse")
+        } else {
+            parse_script_spanned(&text)
+                .map(|_| ())
+                .expect_err("parse_* script fixture must not parse")
+        };
+        let rendered = sibylfs_check::render_parse_error(&name, &err);
+        let expected_path = fixture_dir().join(format!("{name}.expected"));
+        if regen {
+            fs::write(&expected_path, &rendered)
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", expected_path.display()));
+            continue;
+        }
+        let expected = fs::read_to_string(&expected_path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden {}: {e}\nregenerate with SIBYLFS_REGEN_GOLDEN=1",
+                expected_path.display()
+            )
+        });
+        assert_eq!(
+            rendered, expected,
+            "parse diagnostic for {name} drifted from its golden file; \
+             regenerate with SIBYLFS_REGEN_GOLDEN=1 if the change is intentional"
+        );
+    }
+    assert!(seen > 0, "no parse_* fixtures found");
+}
+
 /// No fixture directory entry without a corresponding rule (or the
-/// `scenario_` prefix): catches a renamed rule leaving stale goldens behind.
+/// `scenario_`/`parse_` prefix): catches a renamed rule leaving stale
+/// goldens behind.
 #[test]
 fn no_stale_golden_fixtures() {
     for entry in fs::read_dir(fixture_dir()).expect("fixture dir exists") {
@@ -117,10 +166,12 @@ fn no_stale_golden_fixtures() {
         let name = name.to_string_lossy();
         let stem = name
             .strip_suffix(".script")
+            .or_else(|| name.strip_suffix(".trace"))
             .or_else(|| name.strip_suffix(".expected"))
             .unwrap_or_else(|| panic!("unexpected file in tests/golden: {name}"));
+        let stem = stem.strip_suffix(".script").or_else(|| stem.strip_suffix(".trace")).unwrap_or(stem);
         assert!(
-            lint::RULES.contains(&stem) || stem.starts_with("scenario_"),
+            lint::RULES.contains(&stem) || stem.starts_with("scenario_") || stem.starts_with("parse_"),
             "tests/golden/{name} does not correspond to any lint rule"
         );
     }

@@ -18,6 +18,7 @@
 
 pub mod checker;
 pub mod parallel;
+pub mod pool;
 pub mod render;
 
 pub use checker::{
@@ -26,7 +27,10 @@ pub use checker::{
     StepKind, StepVerdict,
 };
 pub use parallel::{check_traces_parallel, SuiteCheckStats};
-pub use render::{render_checked_trace, render_diagnostic_block, DiagnosticBlock};
+pub use pool::CheckerPool;
+pub use render::{
+    render_checked_trace, render_diagnostic_block, render_parse_error, DiagnosticBlock,
+};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,235 @@
+//! A persistent checker worker pool for long-lived processes.
+//!
+//! [`check_traces_parallel`](crate::parallel::check_traces_parallel) spawns a
+//! scoped thread team per suite, which is the right shape for a batch CLI but
+//! wrong for a server: a long-lived process wants its worker threads created
+//! once and fed jobs from many concurrent sessions, so checking stays batched
+//! across clients and thread churn never shows up in tail latency.
+//!
+//! [`CheckerPool`] owns N worker threads for the life of the pool. Jobs carry
+//! the trace, the spec config, the check options, and a completion callback;
+//! callbacks run on worker threads, so they should hand results off (e.g.
+//! into a session's reply queue) rather than do heavy work inline.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use sibylfs_core::flavor::SpecConfig;
+use sibylfs_script::Trace;
+
+use crate::checker::{check_trace, CheckOptions, CheckedTrace};
+
+/// One unit of work: check `trace` against `cfg` and hand the result to `done`.
+struct Job {
+    cfg: SpecConfig,
+    trace: Trace,
+    opts: CheckOptions,
+    done: Box<dyn FnOnce(CheckedTrace) + Send>,
+}
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct PoolInner {
+    state: Mutex<PoolState>,
+    work_ready: Condvar,
+}
+
+/// A fixed-size pool of persistent checker threads with a shared FIFO queue.
+pub struct CheckerPool {
+    inner: Arc<PoolInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl CheckerPool {
+    /// Spawn a pool with `workers` threads (clamped to at least 1).
+    pub fn new(workers: usize) -> CheckerPool {
+        let workers = workers.max(1);
+        let inner = Arc::new(PoolInner {
+            state: Mutex::new(PoolState { queue: VecDeque::new(), shutdown: false }),
+            work_ready: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("sibylfs-check-{i}"))
+                    .spawn(move || worker_loop(&inner))
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_or_else(|e| panic!("failed to spawn checker worker: {e}"));
+        CheckerPool { inner, workers: handles }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs accepted but not yet picked up by a worker.
+    pub fn queued(&self) -> usize {
+        lock(&self.inner.state).queue.len()
+    }
+
+    /// Enqueue one trace for checking. `done` runs on a worker thread once
+    /// the verdict is ready; jobs complete in whatever order workers finish,
+    /// so callers needing ordered replies must sequence on their side.
+    pub fn submit(
+        &self,
+        cfg: SpecConfig,
+        trace: Trace,
+        opts: CheckOptions,
+        done: impl FnOnce(CheckedTrace) + Send + 'static,
+    ) {
+        let mut st = lock(&self.inner.state);
+        st.queue.push_back(Job { cfg, trace, opts, done: Box::new(done) });
+        drop(st);
+        self.inner.work_ready.notify_one();
+    }
+
+    /// Check a batch of traces and block until all verdicts are in, returned
+    /// in input order. Convenience wrapper over [`submit`](Self::submit) for
+    /// callers with batch shape (tests, the remote-check CLI path).
+    pub fn check_batch(
+        &self,
+        cfg: &SpecConfig,
+        traces: Vec<Trace>,
+        opts: CheckOptions,
+    ) -> Vec<CheckedTrace> {
+        // Filled slots keep input order no matter how workers interleave;
+        // the usize counts completions so the waiter knows when to wake.
+        type BatchSlots = (Vec<Option<CheckedTrace>>, usize);
+        let total = traces.len();
+        let results: Arc<(Mutex<BatchSlots>, Condvar)> = Arc::new((
+            Mutex::new(((0..total).map(|_| None).collect(), 0)),
+            Condvar::new(),
+        ));
+        for (i, trace) in traces.into_iter().enumerate() {
+            let results = Arc::clone(&results);
+            self.submit(*cfg, trace, opts, move |checked| {
+                let (slots, all_done) = &*results;
+                let mut guard = lock(slots);
+                guard.0[i] = Some(checked);
+                guard.1 += 1;
+                if guard.1 == total {
+                    all_done.notify_all();
+                }
+            });
+        }
+        let (slots, all_done) = &*results;
+        let mut guard = lock(slots);
+        while guard.1 < total {
+            guard = all_done.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+        guard.0.drain(..).flatten().collect()
+    }
+}
+
+impl Drop for CheckerPool {
+    fn drop(&mut self) {
+        lock(&self.inner.state).shutdown = true;
+        self.inner.work_ready.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &PoolInner) {
+    loop {
+        let job = {
+            let mut st = lock(&inner.state);
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    break Some(job);
+                }
+                if st.shutdown {
+                    break None;
+                }
+                st = inner.work_ready.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let Some(job) = job else { return };
+        let checked = check_trace(&job.cfg, &job.trace, job.opts);
+        // A panicking callback must not take the worker down with it: the
+        // pool outlives any one session's bugs.
+        let done = std::panic::AssertUnwindSafe(move || (job.done)(checked));
+        let _ = std::panic::catch_unwind(done);
+    }
+}
+
+/// Lock a mutex, riding through poisoning: a panicking callback must not
+/// wedge every other session's checking.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sibylfs_core::flavor::{Flavor, SpecConfig};
+    use sibylfs_exec::{execute_script, ExecOptions};
+    use sibylfs_fsimpl::configs;
+    use sibylfs_testgen::{generate_suite, SuiteOptions};
+
+    fn quick_traces() -> Vec<Trace> {
+        let profile = configs::by_name("linux/ext4").unwrap();
+        generate_suite(SuiteOptions::quick())
+            .iter()
+            .map(|s| execute_script(&profile, s, ExecOptions::default()))
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_direct_checking() {
+        let cfg = SpecConfig::standard(Flavor::Linux);
+        let traces = quick_traces();
+        let direct: Vec<CheckedTrace> = traces
+            .iter()
+            .map(|t| check_trace(&cfg, t, CheckOptions::default()))
+            .collect();
+        let pool = CheckerPool::new(4);
+        let pooled = pool.check_batch(&cfg, traces, CheckOptions::default());
+        assert_eq!(direct.len(), pooled.len());
+        for (d, p) in direct.iter().zip(&pooled) {
+            assert_eq!(d.name, p.name, "order must be preserved");
+            assert_eq!(d.accepted, p.accepted);
+            assert_eq!(d.deviations.len(), p.deviations.len());
+        }
+    }
+
+    #[test]
+    fn callbacks_fire_once_per_submit() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cfg = SpecConfig::standard(Flavor::Linux);
+        let traces = quick_traces();
+        let n = traces.len();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let pool = CheckerPool::new(2);
+        for t in traces {
+            let fired = Arc::clone(&fired);
+            pool.submit(cfg, t, CheckOptions::default(), move |_| {
+                fired.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // drop joins workers, draining the queue first
+        assert_eq!(fired.load(Ordering::SeqCst), n);
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_callback() {
+        let cfg = SpecConfig::standard(Flavor::Linux);
+        let traces = quick_traces();
+        let pool = CheckerPool::new(2);
+        let first = traces[0].clone();
+        pool.submit(cfg, first, CheckOptions::default(), |_| {
+            panic!("hostile callback");
+        });
+        // Subsequent batches still complete even though one worker died mid-job.
+        let pooled = pool.check_batch(&cfg, traces, CheckOptions::default());
+        assert!(!pooled.is_empty());
+    }
+}

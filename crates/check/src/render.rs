@@ -86,6 +86,32 @@ pub fn render_checked_trace(checked: &CheckedTrace) -> String {
     out
 }
 
+/// Render a [`sibylfs_script::ParseError`] through the same diagnostic block
+/// shape as checker deviations and lint findings, so a server client (or a CLI
+/// user) gets a locatable error in the one format every tool emits:
+///
+/// ```text
+/// @type parse-error
+/// # Test badfile.txt
+/// # Error: 3: cannot parse: uid out of range: -5
+/// # at badfile.txt line 3, column 17
+/// ```
+pub fn render_parse_error(source_name: &str, err: &sibylfs_script::ParseError) -> String {
+    let mut out = String::new();
+    out.push_str("@type parse-error\n");
+    let _ = writeln!(out, "# Test {source_name}");
+    render_diagnostic_block(
+        &mut out,
+        &DiagnosticBlock {
+            lineno: err.line,
+            severity: "Error",
+            title: format!("cannot parse: {}", err.message),
+            notes: vec![format!("at {source_name} line {}, column {}", err.line, err.col)],
+        },
+    );
+    out
+}
+
 /// A one-line summary used in suite listings.
 pub fn summarize_checked_trace(checked: &CheckedTrace) -> String {
     if checked.accepted {

@@ -9,10 +9,10 @@
 //! booleans or `null`; nothing nested.
 //!
 //! Only the **gated** benches fail the diff: the end-to-end checker
-//! throughput (`check_throughput/…`) and the τ-closure internals
-//! (`tau_closure_…`) — the two families the partial-order-reduction work is
-//! accountable for. Everything else is reported but informational, so a noisy
-//! micro-bench cannot block an unrelated change.
+//! throughput (`check_throughput/…`), the τ-closure internals
+//! (`tau_closure_…`), and the oracle-server load generator
+//! (`serve_loadgen/…`). Everything else is reported but informational, so a
+//! noisy micro-bench cannot block an unrelated change.
 //!
 //! Records whose `mode` is not `"timed"` (smoke runs) carry meaningless
 //! timings and are ignored. When a file holds several appended runs of the
@@ -192,7 +192,9 @@ pub fn parse_bench_json(text: &str) -> Result<Vec<BenchRecord>, String> {
 
 /// Whether a bench participates in the regression gate.
 pub fn is_gated(name: &str) -> bool {
-    name.starts_with("check_throughput") || name.starts_with("tau_closure_")
+    name.starts_with("check_throughput")
+        || name.starts_with("tau_closure_")
+        || name.starts_with("serve_loadgen/")
 }
 
 /// One compared bench in a [`DiffReport`].

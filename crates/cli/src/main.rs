@@ -6,7 +6,7 @@
 use std::fs;
 use std::path::PathBuf;
 
-use sibylfs_check::{check_trace, render_checked_trace, CheckOptions};
+use sibylfs_check::{check_trace, render_checked_trace, render_parse_error, CheckOptions};
 use sibylfs_cli::{executor_for_config, run_executor, suite_from_args, DEFAULT_WORKERS};
 use sibylfs_core::flavor::Flavor;
 use sibylfs_exec::{host_backend_available, ExecError, ExecOptions, HOST_CONFIG_NAME};
@@ -21,7 +21,9 @@ USAGE:
     sibylfs gen   [--full|--quick] [--out DIR]       generate the test suite
     sibylfs run   --config NAME [--full] [--out DIR] execute the suite on a configuration
     sibylfs check --flavor FLAVOR [--por MODE] FILE. check recorded traces against the model
+    sibylfs check --remote ADDR FILE...              check traces on a remote oracle server
     sibylfs exec  --config NAME SCRIPT...            execute script files and print traces
+    sibylfs serve [OPTIONS]                          run the oracle as a long-lived TCP server
     sibylfs survey [--full] [--flavor FLAVOR]        run and check every registered configuration
     sibylfs explore --config NAME [OPTIONS]          coverage-guided exploration of the model
     sibylfs lint  SCRIPT...                          statically lint script files
@@ -39,6 +41,13 @@ EXPLORE OPTIONS:
     --workers N              worker threads (default: up to 4)
     --min-coverage PCT       exit 1 if final branch coverage is below PCT
     --require-gain           exit 1 unless exploration beat the static quick suite
+
+SERVE OPTIONS:
+    --addr HOST:PORT         bind address (default 127.0.0.1:7788; port 0 = OS pick)
+    --workers N              checker worker threads (default 4)
+    --max-name-len BYTES     reject quoted names longer than this (default 512)
+    --intern-budget BYTES    refuse new names once the interner has grown this much
+    --stats-every SECS       print the stats line to stderr every SECS (default 10, 0 = off)
 
 AUDIT OPTIONS:
     --baseline FILE          suppress findings listed in FILE; exit 1 only on new ones
@@ -67,6 +76,7 @@ fn main() {
         "run" => cmd_run(&args[1..]),
         "check" => cmd_check(&args[1..]),
         "exec" => cmd_exec(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "survey" => cmd_survey(&args[1..]),
         "explore" => cmd_explore(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
@@ -193,7 +203,9 @@ fn cmd_run(args: &[String]) {
 fn cmd_check(args: &[String]) {
     let flavor = flavor_from(args);
     let cfg = sibylfs_core::flavor::SpecConfig::standard(flavor).with_por(por_from(args));
-    let flag_values = [opt_value(args, "--flavor"), opt_value(args, "--por")];
+    let remote = opt_value(args, "--remote");
+    let flag_values =
+        [opt_value(args, "--flavor"), opt_value(args, "--por"), remote.clone()];
     let files: Vec<&String> = args
         .iter()
         .filter(|a| {
@@ -204,11 +216,15 @@ fn cmd_check(args: &[String]) {
         eprintln!("no trace files given");
         std::process::exit(2);
     }
+    if let Some(addr) = remote {
+        return check_remote(&addr, &cfg, &files);
+    }
     let mut failing = 0usize;
     for file in files {
         let text = read_or_exit(file);
         let trace = parse_trace(&text).unwrap_or_else(|e| {
             eprintln!("cannot parse {file}: {e}");
+            eprint!("{}", render_parse_error(file, &e));
             std::process::exit(2);
         });
         let checked = check_trace(&cfg, &trace, CheckOptions::default());
@@ -220,6 +236,94 @@ fn cmd_check(args: &[String]) {
     }
     if failing > 0 {
         std::process::exit(1);
+    }
+}
+
+/// `sibylfs check --remote ADDR`: ship each trace to an oracle server, with
+/// the files pipelined over one session, and print the verdicts it streams
+/// back. Output for conformant inputs is bit-identical to local checking.
+fn check_remote(addr: &str, cfg: &sibylfs_core::flavor::SpecConfig, files: &[&String]) {
+    use sibylfs_serve::{BlockingClient, Response};
+
+    let config = cfg.to_string();
+    let mut client = BlockingClient::connect_tcp(addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        std::process::exit(2);
+    });
+    for file in files {
+        let text = read_or_exit(file);
+        if let Err(e) = client.send_check(&config, &text) {
+            eprintln!("cannot send {file} to {addr}: {e}");
+            std::process::exit(2);
+        }
+    }
+    let mut failing = 0usize;
+    for file in files {
+        match client.recv() {
+            Ok(Response::Verdict(v)) => {
+                if !v.contains("# Verdict: accepted") {
+                    failing += 1;
+                }
+                print!("{v}");
+                println!();
+            }
+            Ok(Response::Error { line, col, message }) => {
+                eprintln!("cannot check {file}: line {line}:{col}: {message}");
+                std::process::exit(2);
+            }
+            Ok(other) => {
+                eprintln!("unexpected response for {file}: {other:?}");
+                std::process::exit(2);
+            }
+            Err(e) => {
+                eprintln!("lost connection to {addr} while checking {file}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if failing > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn cmd_serve(args: &[String]) {
+    use sibylfs_serve::ServeOptions;
+
+    fn num<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+        opt_value(args, flag).map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("flag {flag} requires a number, got {v:?}");
+                std::process::exit(2);
+            })
+        })
+    }
+
+    let mut opts = ServeOptions {
+        addr: opt_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:7788".to_string()),
+        ..Default::default()
+    };
+    if let Some(w) = num::<usize>(args, "--workers") {
+        opts.workers = w.max(1);
+    }
+    if let Some(n) = num::<usize>(args, "--max-name-len") {
+        opts.max_name_len = n;
+    }
+    opts.intern_budget_bytes = num::<usize>(args, "--intern-budget");
+    let stats_every = num::<u64>(args, "--stats-every").unwrap_or(10);
+
+    let server = sibylfs_serve::start(opts).unwrap_or_else(|e| {
+        eprintln!("cannot start server: {e}");
+        std::process::exit(2);
+    });
+    // The line below is a contract with scripts that spawn the server and
+    // need the bound address (CI smoke uses port 0).
+    println!("listening on {}", server.addr());
+    eprintln!("{}", server.stats_line());
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(stats_every.max(1)));
+        if stats_every > 0 {
+            eprintln!("{}", server.stats_line());
+        }
     }
 }
 
@@ -237,6 +341,7 @@ fn cmd_exec(args: &[String]) {
         let text = read_or_exit(file);
         let script = parse_script(&text).unwrap_or_else(|e| {
             eprintln!("cannot parse {file}: {e}");
+            eprint!("{}", render_parse_error(file, &e));
             std::process::exit(2);
         });
         let trace = executor
@@ -339,6 +444,7 @@ fn cmd_lint(args: &[String]) {
         let text = read_or_exit(file);
         let (script, linenos) = parse_script_spanned(&text).unwrap_or_else(|e| {
             eprintln!("cannot parse {file}: {e}");
+            eprint!("{}", render_parse_error(file, &e));
             std::process::exit(2);
         });
         let diags = lint::lint_script(&script);

@@ -241,3 +241,72 @@ fn exec_rejects_unparseable_script_files() {
     assert!(stderr(&out).contains("cannot parse"));
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn check_parse_failure_renders_a_diagnostic_block_with_position() {
+    let dir = temp_dir("check-diag");
+    let bad = dir.join("bad.trace");
+    write(&bad, "@type trace\n# Test t\n1: chown \"/f\" -5 0\nRV_none\n");
+    let out = run(&["check", "--flavor", "linux", bad.to_str().unwrap()]);
+    assert_eq!(code(&out), 2);
+    let err = stderr(&out);
+    assert!(err.contains("cannot parse"), "{err}");
+    assert!(err.contains("@type parse-error"), "diagnostic block missing:\n{err}");
+    assert!(err.contains("uid out of range: -5"), "{err}");
+    assert!(err.contains("line 3, column"), "position missing:\n{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_then_remote_check_matches_local_checking() {
+    use std::io::{BufRead, BufReader};
+
+    let dir = temp_dir("serve-remote");
+    let script_path = dir.join("t.script");
+    write(
+        &script_path,
+        "@type script\n# Test serve___smoke\nmkdir \"d\" 0o755\nstat \"d\"\nrmdir \"d\"\n",
+    );
+    let out = run(&["exec", "--config", "linux/ext4", script_path.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "stderr: {}", stderr(&out));
+    let trace_path = dir.join("t.trace");
+    write(&trace_path, &stdout(&out));
+
+    let mut server = Command::new(bin())
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn server");
+    // Contract: the first stdout line is "listening on ADDR".
+    let mut line = String::new();
+    BufReader::new(server.stdout.as_mut().expect("server stdout"))
+        .read_line(&mut line)
+        .expect("read listening line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("bad contract line {line:?}"))
+        .to_string();
+
+    let local = run(&["check", "--flavor", "linux", trace_path.to_str().unwrap()]);
+    let remote = run(&["check", "--remote", &addr, trace_path.to_str().unwrap()]);
+    let _ = server.kill();
+    let _ = server.wait();
+    assert_eq!(code(&local), 0, "stderr: {}", stderr(&local));
+    assert_eq!(code(&remote), 0, "stderr: {}", stderr(&remote));
+    assert_eq!(stdout(&remote), stdout(&local), "remote verdicts must be bit-identical");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn remote_check_with_no_server_exits_2() {
+    let dir = temp_dir("remote-noserver");
+    let trace_path = dir.join("t.trace");
+    write(&trace_path, "@type trace\n# Test t\n");
+    // Port 1 is never listening in the test environment.
+    let out = run(&["check", "--remote", "127.0.0.1:1", trace_path.to_str().unwrap()]);
+    assert_eq!(code(&out), 2);
+    assert!(stderr(&out).contains("cannot connect"), "{}", stderr(&out));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -29,6 +29,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock, RwLock};
 
 use serde::{Deserialize, Serialize};
@@ -64,6 +65,10 @@ struct Interner {
     strings: RwLock<Vec<&'static str>>,
     /// Serialises appends so ids are dense and published exactly once.
     append: Mutex<()>,
+    /// Total bytes of leaked string storage, maintained on the append path.
+    /// Read lock-free by [`stats`] — the interner is append-only, so the
+    /// counter only ever grows and a racy read is at worst slightly stale.
+    bytes: AtomicUsize,
 }
 
 impl Interner {
@@ -72,6 +77,7 @@ impl Interner {
             shards: std::array::from_fn(|_| RwLock::new(ShardMap::default())),
             strings: RwLock::new(Vec::with_capacity(1024)),
             append: Mutex::new(()),
+            bytes: AtomicUsize::new(0),
         };
         // Pre-intern the symbols the resolver compares against so they get
         // known, constant ids (see the associated constants on `Name`).
@@ -109,6 +115,7 @@ impl Interner {
         let id = strings.len() as u32;
         strings.push(leaked);
         drop(strings);
+        self.bytes.fetch_add(leaked.len(), Ordering::Relaxed);
         shard.insert(leaked, id);
         Name(id)
     }
@@ -194,6 +201,27 @@ pub fn interned_count() -> usize {
     interner().len()
 }
 
+/// A snapshot of the interner's size, for memory accounting in long-lived
+/// processes (the `sibylfs serve` stats line, growth budgets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InternStats {
+    /// Number of distinct strings interned so far.
+    pub count: usize,
+    /// Total bytes of (leaked) string storage those entries hold. Excludes
+    /// per-entry map/vec overhead, so it is a lower bound on the memory the
+    /// interner pins.
+    pub bytes: usize,
+}
+
+/// Snapshot the interner's current size. The interner is process-wide and
+/// append-only, so both fields grow monotonically over the life of the
+/// process; callers watching for runaway growth (e.g. a trace-checking server
+/// fed unique path components by many clients) compare snapshots over time.
+pub fn stats() -> InternStats {
+    let i = interner();
+    InternStats { count: i.len(), bytes: i.bytes.load(Ordering::Relaxed) }
+}
+
 impl From<&str> for Name {
     fn from(s: &str) -> Name {
         Name::intern(s)
@@ -271,6 +299,19 @@ mod tests {
         assert_eq!(Name::DOTDOT.as_str(), "..");
         assert!(Name::EMPTY.is_empty());
         assert_eq!(Name::DOTDOT.len(), 2);
+    }
+
+    #[test]
+    fn stats_track_count_and_bytes() {
+        // Other tests in this binary intern concurrently, so the assertions
+        // are monotonic bounds, not exact equalities.
+        let before = stats();
+        assert!(before.count >= 3, "the three constants are pre-interned");
+        let s = "stats-tracking-test-name-abcdefgh";
+        let _ = Name::intern(s);
+        let after = stats();
+        assert!(after.count > before.count);
+        assert!(after.bytes >= before.bytes + s.len());
     }
 
     #[test]

@@ -14,24 +14,39 @@ use sibylfs_core::types::{DirHandleId, Fd, FileKind, Gid, Pid, Uid, INITIAL_PID}
 
 use crate::{Script, ScriptStep, Trace};
 
-/// A parse error, with the (1-based) line number at which it occurred.
+/// A parse error, with the (1-based) line and column at which it occurred.
+///
+/// The span locates the error in the file the user actually wrote (comments,
+/// blank lines and `[pN]` prefixes included), so diagnostics tools — and
+/// remote clients of the trace-checking server, who only ever see this
+/// structure — can anchor the error without re-parsing. Render through
+/// `sibylfs_check::render::render_parse_error` for the Fig. 4 diagnostic
+/// shape shared with lint findings.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// Line number of the offending line.
     pub line: usize,
+    /// 1-based column within that line where the offending token starts.
+    /// Column 1 for errors that concern the whole line (e.g. a malformed
+    /// directive or a missing header).
+    pub col: usize,
     /// Description of the problem.
     pub message: String,
 }
 
 impl ParseError {
     fn new(line: usize, message: impl Into<String>) -> ParseError {
-        ParseError { line, message: message.into() }
+        ParseError { line, col: 1, message: message.into() }
+    }
+
+    fn new_at(line: usize, col: usize, message: impl Into<String>) -> ParseError {
+        ParseError { line, col, message: message.into() }
     }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "line {}:{}: {}", self.line, self.col, self.message)
     }
 }
 
@@ -42,19 +57,28 @@ struct Cursor<'a> {
     s: &'a str,
     pos: usize,
     line: usize,
+    /// 0-based offset of `s` within the raw source line (the `[pN]` prefix,
+    /// leading whitespace and trace line-number tag stripped by the caller),
+    /// so error columns point into the line as written.
+    col_base: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(s: &'a str, line: usize) -> Cursor<'a> {
-        Cursor { s, pos: 0, line }
+    fn with_col_base(s: &'a str, line: usize, col_base: usize) -> Cursor<'a> {
+        Cursor { s, pos: 0, line, col_base }
     }
 
     fn rest(&self) -> &'a str {
         &self.s[self.pos..]
     }
 
+    /// The 1-based source column of the current position.
+    fn col(&self) -> usize {
+        self.col_base + self.pos + 1
+    }
+
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError::new(self.line, msg)
+        ParseError::new_at(self.line, self.col(), msg)
     }
 
     fn skip_ws(&mut self) {
@@ -119,7 +143,29 @@ impl<'a> Cursor<'a> {
         }
         self.s[start..self.pos]
             .parse::<i64>()
-            .map_err(|_| self.err(format!("expected an integer at {:?}", &self.s[start..])))
+            .map_err(|_| {
+                ParseError::new_at(
+                    self.line,
+                    self.col_base + start + 1,
+                    format!("expected an integer at {:?}", &self.s[start..]),
+                )
+            })
+    }
+
+    /// A decimal integer constrained to the argument's actual domain.
+    ///
+    /// The script grammar writes every numeric argument as a plain signed
+    /// decimal, but most arguments are unsigned (uid/gid, counts, sizes) or
+    /// narrower than `i64` (fd/dh numbers). A bare `as` cast here would
+    /// silently wrap — `read fd -1` becoming a ~2^64-byte count — so
+    /// out-of-domain values are a positioned [`ParseError`] instead.
+    fn int_as<T: TryFrom<i64>>(&mut self, what: &str) -> Result<T, ParseError> {
+        self.skip_ws();
+        let col = self.col();
+        let n = self.int()?;
+        T::try_from(n).map_err(|_| {
+            ParseError::new_at(self.line, col, format!("{what} out of range: {n}"))
+        })
     }
 
     /// An octal mode, `0o777` or plain octal digits.
@@ -195,17 +241,17 @@ impl<'a> Cursor<'a> {
     /// A `(FD n)` form.
     fn fd(&mut self) -> Result<Fd, ParseError> {
         self.expect("(FD")?;
-        let n = self.int()?;
+        let n = self.int_as::<i32>("file descriptor")?;
         self.expect(")")?;
-        Ok(Fd(n as i32))
+        Ok(Fd(n))
     }
 
     /// A `(DH n)` form.
     fn dh(&mut self) -> Result<DirHandleId, ParseError> {
         self.expect("(DH")?;
-        let n = self.int()?;
+        let n = self.int_as::<i32>("directory handle")?;
         self.expect(")")?;
-        Ok(DirHandleId(n as i32))
+        Ok(DirHandleId(n))
     }
 
     /// A `[FLAG;FLAG;…]` list.
@@ -228,15 +274,22 @@ impl<'a> Cursor<'a> {
 
 /// Parse a single command line (without any process prefix).
 pub fn parse_command(text: &str, line: usize) -> Result<OsCommand, ParseError> {
-    let mut c = Cursor::new(text, line);
+    parse_command_at(text, line, 0)
+}
+
+/// Parse a command line whose text starts `col_base` columns into the raw
+/// source line (after a `[pN]` prefix or a trace call tag), so error columns
+/// point into the line as written.
+fn parse_command_at(text: &str, line: usize, col_base: usize) -> Result<OsCommand, ParseError> {
+    let mut c = Cursor::with_col_base(text, line, col_base);
     let name = c.word()?.to_string();
     let cmd = match name.as_str() {
         "chdir" => OsCommand::Chdir(c.quoted()?.into()),
         "chmod" => OsCommand::Chmod(c.quoted()?.into(), c.mode()?),
         "chown" => {
             let p = c.quoted()?;
-            let uid = c.int()? as u32;
-            let gid = c.int()? as u32;
+            let uid = c.int_as::<u32>("uid")?;
+            let gid = c.int_as::<u32>("gid")?;
             OsCommand::Chown(p.into(), Uid(uid), Gid(gid))
         }
         "close" => OsCommand::Close(c.fd()?),
@@ -261,7 +314,7 @@ pub fn parse_command(text: &str, line: usize) -> Result<OsCommand, ParseError> {
         "opendir" => OsCommand::Opendir(c.quoted()?.into()),
         "pread" => {
             let fd = c.fd()?;
-            let count = c.int()? as usize;
+            let count = c.int_as::<usize>("count")?;
             let off = c.int()?;
             OsCommand::Pread(fd, count, off)
         }
@@ -271,7 +324,7 @@ pub fn parse_command(text: &str, line: usize) -> Result<OsCommand, ParseError> {
             let off = c.int()?;
             OsCommand::Pwrite(fd, data, off)
         }
-        "read" => OsCommand::Read(c.fd()?, c.int()? as usize),
+        "read" => OsCommand::Read(c.fd()?, c.int_as::<usize>("count")?),
         "readdir" => OsCommand::Readdir(c.dh()?),
         "readlink" => OsCommand::Readlink(c.quoted()?.into()),
         "rename" => OsCommand::Rename(c.quoted()?.into(), c.quoted()?.into()),
@@ -284,8 +337,8 @@ pub fn parse_command(text: &str, line: usize) -> Result<OsCommand, ParseError> {
         "unlink" => OsCommand::Unlink(c.quoted()?.into()),
         "write" => OsCommand::Write(c.fd()?, c.quoted()?.into_bytes()),
         "add_user_to_group" => {
-            let uid = c.int()? as u32;
-            let gid = c.int()? as u32;
+            let uid = c.int_as::<u32>("uid")?;
+            let gid = c.int_as::<u32>("gid")?;
             OsCommand::AddUserToGroup(Uid(uid), Gid(gid))
         }
         other => return Err(c.err(format!("unknown command {other:?}"))),
@@ -298,11 +351,19 @@ pub fn parse_command(text: &str, line: usize) -> Result<OsCommand, ParseError> {
 
 /// Parse a return-value line: an errno name or an `RV_*` form.
 pub fn parse_return(text: &str, line: usize) -> Result<ErrorOrValue, ParseError> {
-    let trimmed = text.trim();
+    parse_return_at(text, line, 0)
+}
+
+/// Like [`parse_return`] but with the column offset of `text` within the raw
+/// source line, so error columns point into the line as written.
+fn parse_return_at(text: &str, line: usize, col_base: usize) -> Result<ErrorOrValue, ParseError> {
+    let trimmed = text.trim_start();
+    let col_base = col_base + (text.len() - trimmed.len());
+    let trimmed = trimmed.trim_end();
     if let Ok(e) = Errno::from_str(trimmed) {
         return Ok(ErrorOrValue::Error(e));
     }
-    let mut c = Cursor::new(trimmed, line);
+    let mut c = Cursor::with_col_base(trimmed, line, col_base);
     let head = c.word()?;
     let value = match head {
         "RV_none" => RetValue::None,
@@ -314,15 +375,15 @@ pub fn parse_return(text: &str, line: usize) -> Result<ErrorOrValue, ParseError>
         }
         "RV_fd" => {
             c.expect("(")?;
-            let n = c.int()?;
+            let n = c.int_as::<i32>("file descriptor")?;
             c.expect(")")?;
-            RetValue::Fd(Fd(n as i32))
+            RetValue::Fd(Fd(n))
         }
         "RV_dh" => {
             c.expect("(")?;
-            let n = c.int()?;
+            let n = c.int_as::<i32>("directory handle")?;
             c.expect(")")?;
-            RetValue::DirHandle(DirHandleId(n as i32))
+            RetValue::DirHandle(DirHandleId(n))
         }
         "RV_bytes" => {
             c.expect("(")?;
@@ -355,19 +416,19 @@ pub fn parse_return(text: &str, line: usize) -> Result<ErrorOrValue, ParseError>
             };
             c.expect(";")?;
             c.expect("size=")?;
-            let size = c.int()? as u64;
+            let size = c.int_as::<u64>("size")?;
             c.expect(";")?;
             c.expect("nlink=")?;
-            let nlink = c.int()? as u32;
+            let nlink = c.int_as::<u32>("nlink")?;
             c.expect(";")?;
             c.expect("mode=")?;
             let mode = c.mode()?;
             c.expect(";")?;
             c.expect("uid=")?;
-            let uid = c.int()? as u32;
+            let uid = c.int_as::<u32>("uid")?;
             c.expect(";")?;
             c.expect("gid=")?;
-            let gid = c.int()? as u32;
+            let gid = c.int_as::<u32>("gid")?;
             c.expect("}")?;
             RetValue::Stat(Box::new(Stat { kind, size, nlink, mode, uid: Uid(uid), gid: Gid(gid) }))
         }
@@ -459,8 +520,9 @@ pub fn parse_script_spanned(text: &str) -> Result<(Script, Vec<usize>), ParseErr
             }
             continue;
         }
+        let leading = raw.len() - raw.trim_start().len();
         let (pid, rest) = parse_pid_prefix(line);
-        let cmd = parse_command(rest, lineno)?;
+        let cmd = parse_command_at(rest, lineno, leading + (line.len() - rest.len()))?;
         script.steps.push(ScriptStep::Call { pid, cmd });
         linenos.push(lineno);
     }
@@ -511,12 +573,13 @@ pub fn parse_trace(text: &str) -> Result<Trace, ParseError> {
             }
             continue;
         }
+        let leading = raw.len() - raw.trim_start().len();
         // A call line starts with "<n>:"; a return line is anything else.
         if let Some(colon) = line.find(':') {
             if line[..colon].chars().all(|ch| ch.is_ascii_digit()) && !line[..colon].is_empty() {
                 let rest = &line[colon + 1..];
                 let (pid, rest) = parse_pid_prefix(rest);
-                let cmd = parse_command(rest, lineno)?;
+                let cmd = parse_command_at(rest, lineno, leading + (line.len() - rest.len()))?;
                 trace.push_label(sibylfs_core::commands::OsLabel::Call(pid, cmd));
                 pending_call = Some(pid);
                 continue;
@@ -526,7 +589,7 @@ pub fn parse_trace(text: &str) -> Result<Trace, ParseError> {
         let pid = pending_call.take().ok_or_else(|| {
             ParseError::new(lineno, "return value without a preceding call")
         })?;
-        let ret = parse_return(line, lineno)?;
+        let ret = parse_return_at(line, lineno, leading)?;
         trace.push_label(sibylfs_core::commands::OsLabel::Return(pid, ret));
     }
     if !seen_type {
@@ -698,5 +761,74 @@ add_user_to_group 1000 1000
     fn missing_header_is_rejected() {
         assert!(parse_script("mkdir \"/d\" 0o777\n").is_err());
         assert!(parse_trace("1: mkdir \"/d\" 0o777\nRV_none\n").is_err());
+    }
+
+    #[test]
+    fn out_of_range_integers_are_rejected() {
+        // Each of these used to truncate silently through a bare `as` cast.
+        for (text, what) in [
+            ("read (FD 3) -1", "count"),
+            ("pread (FD 3) -1 0", "count"),
+            (r#"chown "/f" -1 0"#, "uid"),
+            (r#"chown "/f" 0 -1"#, "gid"),
+            (r#"chown "/f" 4294967296 0"#, "uid"),
+            ("close (FD 4294967296)", "file descriptor"),
+            ("closedir (DH -4294967296)", "directory handle"),
+            ("add_user_to_group -1 0", "uid"),
+            ("add_user_to_group 0 99999999999", "gid"),
+        ] {
+            let err = parse_command(text, 1)
+                .expect_err(&format!("{text:?} should be out of range"));
+            assert!(
+                err.message.contains("out of range") && err.message.contains(what),
+                "case {text:?}: {err}"
+            );
+        }
+        for (text, what) in [
+            ("RV_fd(4294967296)", "file descriptor"),
+            ("RV_dh(-4294967296)", "directory handle"),
+            ("RV_stat {kind=FILE; size=-1; nlink=1; mode=0o644; uid=0; gid=0}", "size"),
+            ("RV_stat {kind=FILE; size=0; nlink=-1; mode=0o644; uid=0; gid=0}", "nlink"),
+            ("RV_stat {kind=FILE; size=0; nlink=1; mode=0o644; uid=-1; gid=0}", "uid"),
+            ("RV_stat {kind=FILE; size=0; nlink=1; mode=0o644; uid=0; gid=-1}", "gid"),
+        ] {
+            let err = parse_return(text, 1)
+                .expect_err(&format!("{text:?} should be out of range"));
+            assert!(
+                err.message.contains("out of range") && err.message.contains(what),
+                "case {text:?}: {err}"
+            );
+        }
+        // In-range extremes still parse.
+        assert!(parse_command("read (FD 3) 0", 1).is_ok());
+        assert!(parse_command(r#"chown "/f" 4294967295 0"#, 1).is_ok());
+        assert!(parse_command("lseek (FD 3) -10 SEEK_END", 1).is_ok(), "signed offsets stay legal");
+        assert!(parse_return("RV_fd(-1)", 1).is_ok(), "RV_fd(-1) is a legal sentinel");
+    }
+
+    #[test]
+    fn errors_carry_columns() {
+        // Column points at the offending token in the raw source line,
+        // counting the `[pN]` prefix and leading indentation.
+        let text = "@type script\n# Test t\n[p2] chown \"/f\" -5 0\n";
+        let err = parse_script(text).unwrap_err();
+        assert_eq!(err.line, 3);
+        let raw_line = text.lines().nth(2).unwrap();
+        assert_eq!(&raw_line[err.col - 1..err.col + 1], "-5", "col {} in {raw_line:?}", err.col);
+        assert!(err.to_string().starts_with("line 3:"), "{err}");
+
+        // Same through the trace parser, with the call-tag prefix.
+        let trace = "@type trace\n# Test t\n1: read (FD 3) -1\nRV_none\n";
+        let err = parse_trace(trace).unwrap_err();
+        assert_eq!(err.line, 3);
+        let raw_line = trace.lines().nth(2).unwrap();
+        assert_eq!(&raw_line[err.col - 1..err.col + 1], "-1", "col {} in {raw_line:?}", err.col);
+
+        // Return lines too.
+        let trace = "@type trace\n# Test t\n1: stat \"/f\"\n  RV_stat {kind=FILE; size=-1; nlink=1; mode=0o644; uid=0; gid=0}\n";
+        let err = parse_trace(trace).unwrap_err();
+        assert_eq!(err.line, 4);
+        let raw_line = trace.lines().nth(3).unwrap();
+        assert_eq!(&raw_line[err.col - 1..err.col + 1], "-1", "col {} in {raw_line:?}", err.col);
     }
 }

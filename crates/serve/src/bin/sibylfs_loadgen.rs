@@ -1,0 +1,376 @@
+//! Load generator for the oracle server.
+//!
+//! Builds a deterministic trace corpus (testgen's loadgen families executed
+//! on the simulated ext4 backend), then drives a server with N concurrent
+//! pipelined clients and reports checked-traces/sec plus latency percentiles
+//! per client count. With `--verify`, every server verdict is compared
+//! byte-for-byte against local batch checking — the CI smoke job runs this at
+//! high client counts to pin "the server is the same oracle as the CLI".
+//!
+//! Results go to stdout, to `SIBYLFS_BENCH_JSON` (same record grammar as the
+//! bench harness, so `sibylfs bench-diff` gates the `serve_loadgen/…` family),
+//! and optionally to a summary JSON via `--out`.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sibylfs_check::{check_trace, render_checked_trace, CheckOptions};
+use sibylfs_exec::{execute_script, ExecOptions};
+use sibylfs_fsimpl::configs;
+use sibylfs_script::print::render_trace;
+use sibylfs_serve::protocol::parse_spec_config;
+use sibylfs_serve::{BlockingClient, Response, ServeOptions};
+use sibylfs_testgen::{loadgen_scripts, LoadgenOptions};
+
+const USAGE: &str = "\
+usage: sibylfs_loadgen [options]
+
+Drive a sibylfs oracle server with concurrent pipelined clients.
+
+options:
+  --addr HOST:PORT   target server (default: start an in-process server)
+  --clients LIST     comma-separated client counts to sweep (default 1,2,4,8,16,32)
+  --requests N       checks per client per run (default 50)
+  --config NAME      model config, SpecConfig syntax (default linux)
+  --scripts N        corpus size (default 64)
+  --window W         per-client pipelining window (default 8)
+  --workers N        checker workers for the in-process server (default 4)
+  --verify           compare every verdict against local batch checking
+  --out FILE         write a JSON summary of the sweep
+  -h, --help         show this help
+";
+
+struct Args {
+    addr: Option<String>,
+    clients: Vec<usize>,
+    requests: usize,
+    config: String,
+    scripts: usize,
+    window: usize,
+    workers: usize,
+    verify: bool,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: None,
+        clients: vec![1, 2, 4, 8, 16, 32],
+        requests: 50,
+        config: "linux".to_string(),
+        scripts: 64,
+        window: 8,
+        workers: 4,
+        verify: false,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => args.addr = Some(value("--addr")?),
+            "--clients" => {
+                args.clients = value("--clients")?
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>().map_err(|e| format!("bad client count {s:?}: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if args.clients.is_empty() || args.clients.contains(&0) {
+                    return Err("--clients needs positive counts".to_string());
+                }
+            }
+            "--requests" => args.requests = value("--requests")?.parse().map_err(|e| format!("bad --requests: {e}"))?,
+            "--config" => args.config = value("--config")?,
+            "--scripts" => args.scripts = value("--scripts")?.parse().map_err(|e| format!("bad --scripts: {e}"))?,
+            "--window" => args.window = value("--window")?.parse().map_err(|e| format!("bad --window: {e}"))?,
+            "--workers" => args.workers = value("--workers")?.parse().map_err(|e| format!("bad --workers: {e}"))?,
+            "--verify" => args.verify = true,
+            "--out" => args.out = Some(value("--out")?),
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if args.requests == 0 || args.window == 0 {
+        return Err("--requests and --window must be positive".to_string());
+    }
+    Ok(args)
+}
+
+/// Per-run measurements for one client count.
+struct RunResult {
+    clients: usize,
+    total_requests: usize,
+    elapsed: Duration,
+    p50_ns: u128,
+    p95_ns: u128,
+    p99_ns: u128,
+}
+
+impl RunResult {
+    fn throughput(&self) -> f64 {
+        self.total_requests as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+fn percentile(sorted: &[u128], p: f64) -> u128 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// One client's work: `requests` checks over the corpus, pipelined `window`
+/// deep, returning per-request latencies.
+fn run_client(
+    addr: &str,
+    config: &str,
+    corpus: &[String],
+    requests: usize,
+    window: usize,
+    start_at: usize,
+) -> Result<Vec<u128>, String> {
+    let mut client =
+        BlockingClient::connect_tcp(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut latencies = Vec::with_capacity(requests);
+    let mut sent_at = std::collections::VecDeque::with_capacity(window);
+    let mut sent = 0;
+    let mut received = 0;
+    while received < requests {
+        while sent < requests && sent - received < window {
+            let text = &corpus[(start_at + sent) % corpus.len()];
+            client.send_check(config, text).map_err(|e| format!("send: {e}"))?;
+            sent_at.push_back(Instant::now());
+            sent += 1;
+        }
+        let resp = client.recv().map_err(|e| format!("recv: {e}"))?;
+        let t0: Instant = sent_at.pop_front().ok_or("response without a request")?;
+        latencies.push(t0.elapsed().as_nanos());
+        match resp {
+            Response::Verdict(_) => {}
+            Response::Error { line, col, message } => {
+                return Err(format!("server error at {line}:{col}: {message}"));
+            }
+            Response::StatsLine(_) => return Err("unexpected stats response".to_string()),
+        }
+        received += 1;
+    }
+    Ok(latencies)
+}
+
+fn run_sweep_step(
+    addr: &str,
+    config: &str,
+    corpus: &Arc<Vec<String>>,
+    clients: usize,
+    requests: usize,
+    window: usize,
+) -> Result<RunResult, String> {
+    let started = Instant::now();
+    let failures = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::with_capacity(clients);
+    for c in 0..clients {
+        let corpus = Arc::clone(corpus);
+        let addr = addr.to_string();
+        let config = config.to_string();
+        let failures = Arc::clone(&failures);
+        handles.push(std::thread::spawn(move || {
+            match run_client(&addr, &config, &corpus, requests, window, c * 7) {
+                Ok(lat) => lat,
+                Err(e) => {
+                    eprintln!("client {c}: {e}");
+                    failures.fetch_add(1, Ordering::SeqCst);
+                    Vec::new()
+                }
+            }
+        }));
+    }
+    let mut all: Vec<u128> = Vec::with_capacity(clients * requests);
+    for h in handles {
+        all.extend(h.join().map_err(|_| "client thread panicked".to_string())?);
+    }
+    if failures.load(Ordering::SeqCst) > 0 {
+        return Err(format!("{} client(s) failed", failures.load(Ordering::SeqCst)));
+    }
+    let elapsed = started.elapsed();
+    all.sort_unstable();
+    Ok(RunResult {
+        clients,
+        total_requests: clients * requests,
+        elapsed,
+        p50_ns: percentile(&all, 0.50),
+        p95_ns: percentile(&all, 0.95),
+        p99_ns: percentile(&all, 0.99),
+    })
+}
+
+/// Append records to the `SIBYLFS_BENCH_JSON` file using the same grammar as
+/// the bench harness (a single JSON array; read-strip-rewrite append).
+fn emit_bench_record(name: &str, ns_per_iter: u128, iters: usize, elems_per_sec: f64) {
+    let Ok(path) = std::env::var("SIBYLFS_BENCH_JSON") else { return };
+    if path.is_empty() {
+        return;
+    }
+    let record = format!(
+        "  {{\"name\": {name:?}, \"ns_per_iter\": {ns_per_iter}, \"iters\": {iters}, \
+         \"elems_per_sec\": {elems_per_sec:.1}, \"mode\": \"timed\"}}"
+    );
+    let existing = std::fs::read_to_string(&path).unwrap_or_default();
+    let body = existing.trim();
+    let new_text = if let Some(inner) = body.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+        let inner = inner.trim_end();
+        if inner.is_empty() {
+            format!("[\n{record}\n]\n")
+        } else {
+            format!("[{inner},\n{record}\n]\n")
+        }
+    } else {
+        format!("[\n{record}\n]\n")
+    };
+    if let Err(e) = std::fs::write(&path, new_text) {
+        eprintln!("warning: cannot write {path}: {e}");
+    }
+}
+
+fn verify_against_batch(
+    addr: &str,
+    config: &str,
+    corpus: &[String],
+) -> Result<(), String> {
+    let cfg = parse_spec_config(config)?;
+    let mut client =
+        BlockingClient::connect_tcp(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    for (i, text) in corpus.iter().enumerate() {
+        let resp = client.check(config, text).map_err(|e| format!("check: {e}"))?;
+        let Response::Verdict(remote) = resp else {
+            return Err(format!("corpus[{i}]: expected a verdict, got {resp:?}"));
+        };
+        let trace = sibylfs_script::parse_trace(text)
+            .map_err(|e| format!("corpus[{i}] does not reparse: {e}"))?;
+        let local = render_checked_trace(&check_trace(&cfg, &trace, CheckOptions::default()));
+        if remote != local {
+            return Err(format!(
+                "corpus[{i}]: server verdict differs from batch checking\n--- local ---\n{local}\n--- server ---\n{remote}"
+            ));
+        }
+    }
+    println!("verify: {} verdicts bit-identical to batch checking", corpus.len());
+    Ok(())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    // Build the corpus: deterministic scripts, executed on simulated ext4 so
+    // every trace checks cleanly and any load-test deviation is a real bug.
+    let profile = match configs::by_name("linux/ext4") {
+        Some(p) => p,
+        None => {
+            eprintln!("error: linux/ext4 behaviour profile missing");
+            std::process::exit(2);
+        }
+    };
+    let scripts = loadgen_scripts(LoadgenOptions { scripts: args.scripts, ..Default::default() });
+    let corpus: Arc<Vec<String>> = Arc::new(
+        scripts
+            .iter()
+            .map(|s| render_trace(&execute_script(&profile, s, ExecOptions::default())))
+            .collect(),
+    );
+    println!(
+        "corpus: {} traces, {} bytes total",
+        corpus.len(),
+        corpus.iter().map(String::len).sum::<usize>()
+    );
+
+    // Start an in-process server unless one was pointed at.
+    let (_server, addr) = match &args.addr {
+        Some(a) => (None, a.clone()),
+        None => {
+            let opts = ServeOptions { workers: args.workers, ..Default::default() };
+            match sibylfs_serve::start(opts) {
+                Ok(h) => {
+                    let addr = h.addr().to_string();
+                    println!("in-process server on {addr} ({} workers)", args.workers);
+                    (Some(h), addr)
+                }
+                Err(e) => {
+                    eprintln!("error: cannot start server: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    };
+
+    if args.verify {
+        if let Err(e) = verify_against_batch(&addr, &args.config, &corpus) {
+            eprintln!("VERIFY FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let mut results = Vec::new();
+    for &clients in &args.clients {
+        match run_sweep_step(&addr, &args.config, &corpus, clients, args.requests, args.window) {
+            Ok(r) => {
+                println!(
+                    "clients={:<3} {:>8.0} checks/s  p50={:>8.2}ms p95={:>8.2}ms p99={:>8.2}ms  ({} checks in {:.2?})",
+                    r.clients,
+                    r.throughput(),
+                    r.p50_ns as f64 / 1e6,
+                    r.p95_ns as f64 / 1e6,
+                    r.p99_ns as f64 / 1e6,
+                    r.total_requests,
+                    r.elapsed,
+                );
+                emit_bench_record(
+                    &format!("serve_loadgen/throughput/{clients}_clients"),
+                    r.p50_ns,
+                    r.total_requests,
+                    r.throughput(),
+                );
+                results.push(r);
+            }
+            Err(e) => {
+                eprintln!("error: sweep at {clients} clients: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(path) = &args.out {
+        let mut body = String::from("[\n");
+        for (i, r) in results.iter().enumerate() {
+            body.push_str(&format!(
+                "  {{\"clients\": {}, \"checks_per_sec\": {:.1}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"requests\": {}}}{}\n",
+                r.clients,
+                r.throughput(),
+                r.p50_ns as f64 / 1e6,
+                r.p95_ns as f64 / 1e6,
+                r.p99_ns as f64 / 1e6,
+                r.total_requests,
+                if i + 1 == results.len() { "" } else { "," },
+            ));
+        }
+        body.push_str("]\n");
+        match std::fs::File::create(path).and_then(|mut f| f.write_all(body.as_bytes())) {
+            Ok(()) => println!("summary written to {path}"),
+            Err(e) => {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

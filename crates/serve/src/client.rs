@@ -1,0 +1,68 @@
+//! A blocking client for the oracle wire protocol.
+//!
+//! Mirrors the shape of FxRPC-style blocking file-ops clients: connect once,
+//! then either lock-step (`check`, `stats`) or pipeline explicitly with
+//! `send_check` + `recv` — the server answers strictly in request order, so a
+//! pipelined caller matches the Nth response to the Nth request.
+
+use std::io::{self, BufReader, BufWriter, Write as _};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{
+    decode_response, encode_request, read_frame, write_frame, Request, Response,
+};
+
+/// A blocking connection to a `sibylfs serve` instance.
+pub struct BlockingClient {
+    writer: BufWriter<TcpStream>,
+    reader: BufReader<TcpStream>,
+}
+
+impl BlockingClient {
+    /// Connect over TCP.
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> io::Result<BlockingClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(BlockingClient { writer: BufWriter::new(stream), reader })
+    }
+
+    /// Queue a Check request without waiting for the response (pipelining).
+    pub fn send_check(&mut self, config: &str, trace_text: &str) -> io::Result<()> {
+        let payload = encode_request(&Request::Check {
+            config: config.to_string(),
+            trace_text: trace_text.to_string(),
+        });
+        write_frame(&mut self.writer, &payload)?;
+        self.writer.flush()
+    }
+
+    /// Receive the next in-order response. Errors with `UnexpectedEof` if the
+    /// server closed the connection.
+    pub fn recv(&mut self) -> io::Result<Response> {
+        let payload = read_frame(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })?;
+        decode_response(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Check one trace, blocking for the verdict.
+    pub fn check(&mut self, config: &str, trace_text: &str) -> io::Result<Response> {
+        self.send_check(config, trace_text)?;
+        self.recv()
+    }
+
+    /// Fetch the server's one-line stats summary.
+    pub fn stats(&mut self) -> io::Result<String> {
+        write_frame(&mut self.writer, &encode_request(&Request::Stats))?;
+        self.writer.flush()?;
+        match self.recv()? {
+            Response::StatsLine(s) => Ok(s),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected a stats line, got {other:?}"),
+            )),
+        }
+    }
+}

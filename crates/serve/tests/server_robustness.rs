@@ -1,0 +1,248 @@
+//! End-to-end and robustness tests for the oracle server: a live server, real
+//! TCP sessions, hostile framing, and the interner budget. These are the
+//! "long-lived process" guarantees the batch CLI never had to make.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use sibylfs_check::{check_trace, render_checked_trace, CheckOptions};
+use sibylfs_exec::{execute_script, ExecOptions};
+use sibylfs_fsimpl::configs;
+use sibylfs_script::{parse_trace, render_trace};
+use sibylfs_serve::protocol::{
+    encode_request, parse_spec_config, read_frame, write_frame, Request, MAX_FRAME_LEN,
+};
+use sibylfs_serve::{start, BlockingClient, Response, ServeOptions};
+use sibylfs_testgen::{loadgen_scripts, LoadgenOptions};
+
+fn corpus(n: usize) -> Vec<String> {
+    let profile = configs::by_name("linux/ext4").unwrap();
+    loadgen_scripts(LoadgenOptions { scripts: n, ..Default::default() })
+        .iter()
+        .map(|s| render_trace(&execute_script(&profile, s, ExecOptions::default())))
+        .collect()
+}
+
+fn wait_for_no_sessions(server: &sibylfs_serve::ServerHandle) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.active_sessions() > 0 {
+        assert!(Instant::now() < deadline, "sessions leaked: {}", server.active_sessions());
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn verdicts_match_batch_checking_bit_for_bit() {
+    let server = start(ServeOptions::default()).unwrap();
+    let cfg = parse_spec_config("linux").unwrap();
+    let mut client = BlockingClient::connect_tcp(server.addr()).unwrap();
+    for text in corpus(12) {
+        let resp = client.check("linux", &text).unwrap();
+        let Response::Verdict(remote) = resp else { panic!("expected verdict, got {resp:?}") };
+        let local = render_checked_trace(&check_trace(
+            &cfg,
+            &parse_trace(&text).unwrap(),
+            CheckOptions::default(),
+        ));
+        assert_eq!(remote, local);
+        assert!(remote.contains("# Verdict: accepted"), "loadgen corpus must check cleanly");
+    }
+}
+
+#[test]
+fn pipelined_responses_arrive_in_request_order() {
+    let server = start(ServeOptions::default()).unwrap();
+    let texts = corpus(8);
+    let mut client = BlockingClient::connect_tcp(server.addr()).unwrap();
+    for t in &texts {
+        client.send_check("linux", t).unwrap();
+    }
+    for t in &texts {
+        let name_line = t.lines().nth(1).unwrap(); // "# Test <name>"
+        let Response::Verdict(v) = client.recv().unwrap() else { panic!("expected verdict") };
+        assert!(
+            v.contains(name_line),
+            "responses out of order: wanted {name_line:?} in:\n{v}"
+        );
+    }
+}
+
+#[test]
+fn parse_errors_come_back_with_line_and_column() {
+    let server = start(ServeOptions::default()).unwrap();
+    let mut client = BlockingClient::connect_tcp(server.addr()).unwrap();
+    let bad = "@type trace\n# Test t\n1: read (FD 3) -1\nRV_none\n";
+    let resp = client.check("linux", bad).unwrap();
+    let Response::Error { line, col, message } = resp else {
+        panic!("expected an error, got {resp:?}");
+    };
+    assert_eq!(line, 3);
+    assert_eq!(col as usize, bad.lines().nth(2).unwrap().find("-1").unwrap() + 1);
+    assert!(message.contains("count out of range"), "{message}");
+
+    // The session survives the error and still checks the next trace.
+    let good = corpus(1).remove(0);
+    assert!(matches!(client.check("linux", &good).unwrap(), Response::Verdict(_)));
+}
+
+#[test]
+fn bad_config_and_malformed_payloads_get_clean_errors() {
+    let server = start(ServeOptions::default()).unwrap();
+    let mut client = BlockingClient::connect_tcp(server.addr()).unwrap();
+
+    let resp = client.check("plan9", "@type trace\n").unwrap();
+    assert!(matches!(resp, Response::Error { line: 0, col: 0, .. }), "got {resp:?}");
+
+    // Hand-rolled garbage payload: unknown tag. Session answers and survives.
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    write_frame(&mut raw, &[0x7f, 1, 2, 3]).unwrap();
+    let reply = read_frame(&mut raw).unwrap().unwrap();
+    assert_eq!(reply[0], 0x82, "expected an error response");
+    // Same connection still works for a real request afterwards.
+    write_frame(&mut raw, &encode_request(&Request::Stats)).unwrap();
+    let reply = read_frame(&mut raw).unwrap().unwrap();
+    assert_eq!(reply[0], 0x83, "session must survive payload-level garbage");
+}
+
+#[test]
+fn framing_attacks_drop_the_session_not_the_server() {
+    let opts = ServeOptions { max_inflight_per_session: 4, ..Default::default() };
+    let server = start(opts).unwrap();
+
+    // Oversized length prefix.
+    {
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+        raw.write_all(&(MAX_FRAME_LEN + 1).to_be_bytes()).unwrap();
+        raw.write_all(&[0u8; 16]).unwrap();
+        let mut buf = Vec::new();
+        let n = raw.read_to_end(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "server must close without a response after frame desync");
+    }
+    // Truncated frame: promise 100 bytes, send 3, disconnect.
+    {
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+        raw.write_all(&100u32.to_be_bytes()).unwrap();
+        raw.write_all(b"abc").unwrap();
+        drop(raw);
+    }
+    // Mid-session disconnect with requests in flight.
+    {
+        let texts = corpus(4);
+        let mut client = BlockingClient::connect_tcp(server.addr()).unwrap();
+        for t in &texts {
+            client.send_check("linux", t).unwrap();
+        }
+        drop(client);
+    }
+
+    wait_for_no_sessions(&server);
+
+    // The server is still fully alive for a fresh client.
+    let mut client = BlockingClient::connect_tcp(server.addr()).unwrap();
+    let good = corpus(1).remove(0);
+    assert!(matches!(client.check("linux", &good).unwrap(), Response::Verdict(_)));
+}
+
+#[test]
+fn oversized_names_are_rejected_at_the_boundary() {
+    let opts = ServeOptions { max_name_len: 64, ..Default::default() };
+    let server = start(opts).unwrap();
+    let mut client = BlockingClient::connect_tcp(server.addr()).unwrap();
+    let big = "x".repeat(65);
+    let text = format!("@type trace\n# Test t\n1: mkdir \"{big}\" 0o755\nRV_none\n");
+    let resp = client.check("linux", &text).unwrap();
+    let Response::Error { message, .. } = resp else { panic!("expected error, got {resp:?}") };
+    assert!(message.contains("65 bytes exceeds the 64-byte limit"), "{message}");
+}
+
+#[test]
+fn hostile_client_cannot_balloon_the_interner() {
+    let opts = ServeOptions {
+        max_name_len: 64,
+        intern_budget_bytes: Some(4 << 10),
+        ..Default::default()
+    };
+    let server = start(opts).unwrap();
+    let mut client = BlockingClient::connect_tcp(server.addr()).unwrap();
+
+    // Stream unique path components until the budget trips. Each name is
+    // under the per-name limit, so only the budget can stop the growth.
+    let mut rejected = false;
+    for i in 0..10_000 {
+        let text = format!(
+            "@type trace\n# Test hostile_{i}\n1: mkdir \"uniq_{i:05}_{}\" 0o755\nRV_none\n",
+            "p".repeat(40)
+        );
+        match client.check("linux", &text).unwrap() {
+            Response::Verdict(_) => {}
+            Response::Error { message, .. } => {
+                assert!(message.contains("interner budget"), "{message}");
+                rejected = true;
+                break;
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert!(rejected, "the interner budget never tripped after 10k unique names");
+
+    // Stats still answer, and report the growth the attack caused.
+    let stats = client.stats().unwrap();
+    assert!(stats.contains("intern_growth_bytes="), "{stats}");
+    let growth: usize = stats
+        .split_whitespace()
+        .find_map(|kv| kv.strip_prefix("intern_growth_bytes="))
+        .unwrap()
+        .parse()
+        .unwrap();
+    // The budget bounds growth up to one in-flight request's worth of slack.
+    assert!(growth < (4 << 10) + 4096, "growth {growth} not bounded by the budget");
+}
+
+#[test]
+fn stats_line_reports_sessions_and_intern_state() {
+    let server = start(ServeOptions::default()).unwrap();
+    let mut client = BlockingClient::connect_tcp(server.addr()).unwrap();
+    let good = corpus(1).remove(0);
+    client.check("linux", &good).unwrap();
+    let stats = client.stats().unwrap();
+    for key in [
+        "sessions=",
+        "sessions_total=",
+        "checked=",
+        "errors=",
+        "queued=",
+        "workers=",
+        "intern_count=",
+        "intern_bytes=",
+        "intern_growth_bytes=",
+    ] {
+        assert!(stats.contains(key), "missing {key} in {stats:?}");
+    }
+    assert_eq!(server.stats_line().split(' ').count(), stats.split(' ').count());
+}
+
+#[test]
+fn concurrent_sessions_all_get_correct_verdicts() {
+    let server = start(ServeOptions { workers: 4, ..Default::default() }).unwrap();
+    let texts = std::sync::Arc::new(corpus(16));
+    let addr = server.addr();
+    let handles: Vec<_> = (0..8)
+        .map(|k| {
+            let texts = std::sync::Arc::clone(&texts);
+            std::thread::spawn(move || {
+                let mut client = BlockingClient::connect_tcp(addr).unwrap();
+                for t in texts.iter().skip(k % 4) {
+                    let Response::Verdict(v) = client.check("linux", t).unwrap() else {
+                        panic!("expected verdict")
+                    };
+                    assert!(v.contains("# Verdict: accepted"));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    wait_for_no_sessions(&server);
+}

@@ -1,0 +1,200 @@
+//! Deterministic script families for driving the oracle server under load.
+//!
+//! The serve load generator wants a stream of scripts that (a) check cleanly
+//! against the model when executed on a well-behaved backend, so a verdict
+//! mismatch in a load test always means a real bug and never a flaky input,
+//! (b) exercise the expensive checker paths (path resolution, fd tables,
+//! multiprocess τ-closure), and (c) draw path components from a small fixed
+//! pool so a steady-state load run does not grow the process-wide interner.
+//!
+//! Families are indexed, not random: `loadgen_scripts` with the same options
+//! always returns byte-identical scripts, which is what lets the CI smoke job
+//! assert server verdicts are bit-identical to batch checking.
+
+use sibylfs_core::commands::OsCommand;
+use sibylfs_core::flags::{FileMode, OpenFlags, SeekWhence};
+use sibylfs_core::types::{Fd, Gid, Pid, Uid};
+use sibylfs_script::Script;
+
+use crate::contention::{self, ContentionOptions};
+
+/// Options for [`loadgen_scripts`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadgenOptions {
+    /// Total number of scripts to generate (families are cycled).
+    pub scripts: usize,
+    /// Rough per-script operation count knob (chain lengths scale with it).
+    pub ops_per_script: usize,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> Self {
+        LoadgenOptions { scripts: 64, ops_per_script: 8 }
+    }
+}
+
+const FD3: Fd = Fd(3);
+
+fn mode(bits: u32) -> FileMode {
+    FileMode::new(bits)
+}
+
+/// A metadata-churn script: mkdir/stat/chmod/rmdir over a fixed directory set.
+fn metadata_churn(i: usize, ops: usize) -> Script {
+    let mut sc = Script::new(format!("loadgen___meta_churn_{i}"), "loadgen");
+    let dirs = ["wa", "wb", "wc", "wd"];
+    for k in 0..ops {
+        let d = dirs[(i + k) % dirs.len()];
+        sc.call(OsCommand::Mkdir(d.into(), mode(0o755)))
+            .call(OsCommand::Stat(d.into()))
+            .call(OsCommand::Chmod(d.into(), mode(0o700)))
+            .call(OsCommand::Rmdir(d.into()));
+    }
+    sc
+}
+
+/// A descriptor I/O script: create, write, seek, read back, truncate, unlink.
+fn io_roundtrip(i: usize, ops: usize) -> Script {
+    let mut sc = Script::new(format!("loadgen___io_roundtrip_{i}"), "loadgen");
+    sc.call(OsCommand::Open(
+        "io".into(),
+        OpenFlags::O_CREAT | OpenFlags::O_RDWR,
+        Some(mode(0o644)),
+    ));
+    for k in 0..ops {
+        let chunk = [b'a' + ((i + k) % 26) as u8; 16].to_vec();
+        sc.call(OsCommand::Write(FD3, chunk))
+            .call(OsCommand::Pread(FD3, 8, (k * 4) as i64));
+    }
+    sc.call(OsCommand::Lseek(FD3, 0, SeekWhence::Set))
+        .call(OsCommand::Read(FD3, 64))
+        .call(OsCommand::Close(FD3))
+        .call(OsCommand::Truncate("io".into(), 4))
+        .call(OsCommand::Unlink("io".into()));
+    sc
+}
+
+/// A rename-chain script: one file pushed through a cycle of names.
+fn rename_chain(i: usize, ops: usize) -> Script {
+    let mut sc = Script::new(format!("loadgen___rename_chain_{i}"), "loadgen");
+    let names = ["ra", "rb", "rc"];
+    sc.call(OsCommand::Open(
+        names[i % names.len()].into(),
+        OpenFlags::O_CREAT | OpenFlags::O_WRONLY,
+        Some(mode(0o644)),
+    ))
+    .call(OsCommand::Close(FD3));
+    for k in 0..ops {
+        let from = names[(i + k) % names.len()];
+        let to = names[(i + k + 1) % names.len()];
+        sc.call(OsCommand::Rename(from.into(), to.into()))
+            .call(OsCommand::Stat(to.into()));
+    }
+    sc.call(OsCommand::Unlink(names[(i + ops) % names.len()].into()));
+    sc
+}
+
+/// A symlink-walk script: stat and open through a two-link chain.
+fn symlink_walk(i: usize, ops: usize) -> Script {
+    let mut sc = Script::new(format!("loadgen___symlink_walk_{i}"), "loadgen");
+    sc.call(OsCommand::Mkdir("sd".into(), mode(0o755)))
+        .call(OsCommand::Open(
+            "sd/target".into(),
+            OpenFlags::O_CREAT | OpenFlags::O_WRONLY,
+            Some(mode(0o644)),
+        ))
+        .call(OsCommand::Close(FD3))
+        .call(OsCommand::Symlink("sd/target".into(), "l1".into()))
+        .call(OsCommand::Symlink("l1".into(), "l2".into()));
+    for _ in 0..ops {
+        sc.call(OsCommand::Stat("l2".into()))
+            .call(OsCommand::Lstat("l1".into()))
+            .call(OsCommand::Readlink("l2".into()));
+    }
+    sc
+}
+
+/// A deep-path script: nested mkdir, then stats through the whole chain.
+fn deep_paths(i: usize, ops: usize) -> Script {
+    let mut sc = Script::new(format!("loadgen___deep_paths_{i}"), "loadgen");
+    let depth = 2 + (ops % 4);
+    let mut path = String::from("d0");
+    sc.call(OsCommand::Mkdir(path.as_str().into(), mode(0o755)));
+    for level in 1..depth {
+        path.push_str(&format!("/d{level}"));
+        sc.call(OsCommand::Mkdir(path.as_str().into(), mode(0o755)));
+    }
+    for _ in 0..ops {
+        sc.call(OsCommand::Stat(path.as_str().into()));
+    }
+    sc
+}
+
+/// A multiprocess permissions script: a second unprivileged process probing a
+/// root-owned tree, forcing the checker through its per-process machinery.
+fn multiproc_probe(i: usize, ops: usize) -> Script {
+    let mut sc = Script::new(format!("loadgen___multiproc_probe_{i}"), "loadgen");
+    sc.call(OsCommand::AddUserToGroup(Uid(1000), Gid(1000)))
+        .call(OsCommand::Mkdir("shared".into(), mode(0o755)))
+        .create_process(Pid(2), Uid(1000), Gid(1000));
+    for k in 0..ops {
+        if (i + k).is_multiple_of(2) {
+            sc.call_as(Pid(2), OsCommand::Stat("shared".into()));
+        } else {
+            sc.call_as(Pid(2), OsCommand::Mkdir("shared/p2".into(), mode(0o755)))
+                .call_as(Pid(2), OsCommand::Rmdir("shared/p2".into()));
+        }
+    }
+    sc.destroy_process(Pid(2));
+    sc
+}
+
+/// Generate a deterministic load-generation suite, cycling the families.
+pub fn loadgen_scripts(opts: LoadgenOptions) -> Vec<Script> {
+    let builders: &[fn(usize, usize) -> Script] = &[
+        metadata_churn,
+        io_roundtrip,
+        rename_chain,
+        symlink_walk,
+        deep_paths,
+        multiproc_probe,
+    ];
+    let ops = opts.ops_per_script.max(1);
+    let mut out = Vec::with_capacity(opts.scripts);
+    for i in 0..opts.scripts {
+        out.push(builders[i % builders.len()](i / builders.len(), ops));
+    }
+    // Sprinkle in the fxmark-style contention families so server load also
+    // exercises the POR-reduced concurrent τ-closure.
+    if opts.scripts >= builders.len() {
+        out.extend(contention::contention_scripts(ContentionOptions::new(3, 2)));
+        out.truncate(opts.scripts);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loadgen_suite_is_deterministic_and_sized() {
+        let a = loadgen_scripts(LoadgenOptions::default());
+        let b = loadgen_scripts(LoadgenOptions::default());
+        assert_eq!(a, b);
+        assert_eq!(a.len(), LoadgenOptions::default().scripts);
+        let names: std::collections::BTreeSet<_> = a.iter().map(|s| &s.name).collect();
+        assert_eq!(names.len(), a.len(), "script names must be unique");
+    }
+
+    #[test]
+    fn families_are_all_represented() {
+        let suite = loadgen_scripts(LoadgenOptions { scripts: 12, ops_per_script: 3 });
+        for family in ["meta_churn", "io_roundtrip", "rename_chain", "symlink_walk", "deep_paths", "multiproc_probe"] {
+            assert!(
+                suite.iter().any(|s| s.name.contains(family)),
+                "family {family} missing"
+            );
+        }
+    }
+}
