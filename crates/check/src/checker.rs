@@ -6,6 +6,7 @@ use sibylfs_core::commands::{ErrorOrValue, OsCommand, OsLabel};
 use sibylfs_core::coverage::{self, CoverageKey, CoverageMap};
 use sibylfs_core::flavor::SpecConfig;
 use sibylfs_core::footprint::return_effect_of;
+use sibylfs_core::obs;
 use sibylfs_core::os::state_set::StateSet;
 use sibylfs_core::os::trans::{
     allowed_returns, default_completion, os_trans_into, tau_close_with_sleeps, SleepSet,
@@ -170,6 +171,11 @@ impl CheckedTrace {
 
 /// Check a single trace against the model configured by `cfg`.
 pub fn check_trace(cfg: &SpecConfig, trace: &Trace, opts: CheckOptions) -> CheckedTrace {
+    let _span = obs::span("check", "check_trace");
+    let started = std::time::Instant::now();
+    // Dedup hits are tallied locally per trace and flushed once below: the
+    // insert path is too hot for shared atomics (see `StateSet::take_dedup_hits`).
+    let mut dedup_hits: u64 = 0;
     let init_cfg = SpecConfig { root_user: opts.root_user, ..*cfg };
     let mut states =
         StateSet::singleton(OsState::initial_with_process(&init_cfg, INITIAL_PID));
@@ -214,6 +220,7 @@ pub fn check_trace(cfg: &SpecConfig, trace: &Trace, opts: CheckOptions) -> Check
         }
         states = next;
         sleeps = next_sleeps;
+        dedup_hits += states.take_dedup_hits();
         max_states = max_states.max(states.len());
         steps.push(CheckedStep {
             lineno: step.lineno,
@@ -226,6 +233,7 @@ pub fn check_trace(cfg: &SpecConfig, trace: &Trace, opts: CheckOptions) -> Check
             // The remainder of the check is lossy: record it loudly so the
             // trace is never reported clean.
             let tracked = states.len();
+            obs::m::CHECK_TRUNCATIONS_TOTAL.inc();
             states.truncate(opts.max_states);
             sleeps.truncate(opts.max_states);
             // Truncation may have dropped the sibling states that justified a
@@ -259,6 +267,11 @@ pub fn check_trace(cfg: &SpecConfig, trace: &Trace, opts: CheckOptions) -> Check
             sleeps = vec![SleepSet::new()];
         }
     }
+
+    obs::m::CHECK_TRACES_TOTAL.inc();
+    obs::m::CHECK_DEVIATIONS_TOTAL.add(deviations.len() as u64);
+    obs::m::STATE_DEDUP_HITS_TOTAL.add(dedup_hits);
+    obs::m::CHECK_TRACE_NS.record_duration(started.elapsed());
 
     CheckedTrace {
         name: trace.name.clone(),

@@ -14,8 +14,10 @@
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use sibylfs_core::flavor::SpecConfig;
+use sibylfs_core::obs;
 use sibylfs_script::Trace;
 
 use crate::checker::{check_trace, CheckOptions, CheckedTrace};
@@ -26,6 +28,8 @@ struct Job {
     trace: Trace,
     opts: CheckOptions,
     done: Box<dyn FnOnce(CheckedTrace) + Send>,
+    /// When the job entered the queue; queue wait = pickup − this.
+    submitted_at: Instant,
 }
 
 struct PoolState {
@@ -61,6 +65,7 @@ impl CheckerPool {
             })
             .collect::<Result<Vec<_>, _>>()
             .unwrap_or_else(|e| panic!("failed to spawn checker worker: {e}"));
+        obs::m::POOL_WORKERS.add(handles.len() as i64);
         CheckerPool { inner, workers: handles }
     }
 
@@ -84,8 +89,17 @@ impl CheckerPool {
         opts: CheckOptions,
         done: impl FnOnce(CheckedTrace) + Send + 'static,
     ) {
+        let job = Job {
+            cfg,
+            trace,
+            opts,
+            done: Box::new(done),
+            submitted_at: Instant::now(),
+        };
         let mut st = lock(&self.inner.state);
-        st.queue.push_back(Job { cfg, trace, opts, done: Box::new(done) });
+        st.queue.push_back(job);
+        obs::m::POOL_JOBS_TOTAL.inc();
+        obs::m::POOL_QUEUE_DEPTH.inc();
         drop(st);
         self.inner.work_ready.notify_one();
     }
@@ -130,11 +144,13 @@ impl CheckerPool {
 
 impl Drop for CheckerPool {
     fn drop(&mut self) {
+        let workers = self.workers.len() as i64;
         lock(&self.inner.state).shutdown = true;
         self.inner.work_ready.notify_all();
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        obs::m::POOL_WORKERS.add(-workers);
     }
 }
 
@@ -153,11 +169,25 @@ fn worker_loop(inner: &PoolInner) {
             }
         };
         let Some(job) = job else { return };
-        let checked = check_trace(&job.cfg, &job.trace, job.opts);
-        // A panicking callback must not take the worker down with it: the
-        // pool outlives any one session's bugs.
-        let done = std::panic::AssertUnwindSafe(move || (job.done)(checked));
-        let _ = std::panic::catch_unwind(done);
+        obs::m::POOL_QUEUE_DEPTH.dec();
+        obs::m::POOL_JOB_WAIT_NS.record_duration(job.submitted_at.elapsed());
+        let run_started = Instant::now();
+        // A panicking job — whether the check itself or its callback — must
+        // not take the worker down with it: the pool outlives any one
+        // session's bugs. Metrics are relaxed atomics, so the unwinding path
+        // cannot poison them; the panic is tallied and the worker moves on.
+        let run = std::panic::AssertUnwindSafe(move || {
+            let _span = obs::span("pool", "pool_job");
+            let checked = check_trace(&job.cfg, &job.trace, job.opts);
+            (job.done)(checked);
+        });
+        let outcome = std::panic::catch_unwind(run);
+        let busy = run_started.elapsed();
+        obs::m::POOL_JOB_RUN_NS.record_duration(busy);
+        obs::m::POOL_BUSY_NS_TOTAL.add(u64::try_from(busy.as_nanos()).unwrap_or(u64::MAX));
+        if outcome.is_err() {
+            obs::m::POOL_JOBS_PANICKED.inc();
+        }
     }
 }
 
@@ -223,6 +253,7 @@ mod tests {
     fn pool_survives_a_panicking_callback() {
         let cfg = SpecConfig::standard(Flavor::Linux);
         let traces = quick_traces();
+        let panicked0 = obs::m::POOL_JOBS_PANICKED.get();
         let pool = CheckerPool::new(2);
         let first = traces[0].clone();
         pool.submit(cfg, first, CheckOptions::default(), |_| {
@@ -231,5 +262,78 @@ mod tests {
         // Subsequent batches still complete even though one worker died mid-job.
         let pooled = pool.check_batch(&cfg, traces, CheckOptions::default());
         assert!(!pooled.is_empty());
+        // The panic is tallied, and the metrics registry is not poisoned by
+        // the unwinding path: a snapshot still renders.
+        assert!(
+            obs::m::POOL_JOBS_PANICKED.get() > panicked0,
+            "a panicking job must increment sibylfs_pool_jobs_panicked"
+        );
+        let snap = obs::snapshot();
+        assert!(snap.counter("sibylfs_pool_jobs_panicked").unwrap() > panicked0);
+        assert!(snap.render().contains("sibylfs_pool_jobs_panicked"));
+    }
+
+    /// Load test for the pool's observability: stack jobs behind a blocked
+    /// worker so the queue-depth gauge must rise, release it, and verify the
+    /// queue drains and both latency histograms saw every job. All assertions
+    /// are on deltas or monotone values — the registry is process-global and
+    /// the other pool tests run concurrently in this binary.
+    #[test]
+    fn pool_load_populates_queue_gauge_and_latency_histograms() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::mpsc;
+
+        let cfg = SpecConfig::standard(Flavor::Linux);
+        let traces = quick_traces();
+        let stacked = traces.len().min(16);
+        let total = stacked + 1;
+
+        let jobs0 = obs::m::POOL_JOBS_TOTAL.get();
+        let wait0 = obs::m::POOL_JOB_WAIT_NS.count();
+        let run0 = obs::m::POOL_JOB_RUN_NS.count();
+        let busy0 = obs::m::POOL_BUSY_NS_TOTAL.get();
+
+        // One worker, so every job after the first must queue behind it.
+        let pool = CheckerPool::new(1);
+        let fired = Arc::new(AtomicUsize::new(0));
+        let (release, blocked) = mpsc::channel::<()>();
+        {
+            let fired = Arc::clone(&fired);
+            pool.submit(cfg, traces[0].clone(), CheckOptions::default(), move |_| {
+                blocked.recv().expect("release signal");
+                fired.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        for t in traces.into_iter().skip(1).take(stacked) {
+            let fired = Arc::clone(&fired);
+            pool.submit(cfg, t, CheckOptions::default(), move |_| {
+                fired.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert!(
+            obs::m::POOL_QUEUE_DEPTH.high_water() >= stacked as i64,
+            "queue gauge high-water {} after stacking {stacked} jobs behind a blocked worker",
+            obs::m::POOL_QUEUE_DEPTH.high_water()
+        );
+        assert_eq!(obs::m::POOL_JOBS_TOTAL.get() - jobs0, total as u64);
+
+        release.send(()).expect("worker is waiting");
+        while fired.load(Ordering::SeqCst) < total {
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.queued(), 0, "the queue must drain once the worker is released");
+        drop(pool);
+
+        assert!(
+            obs::m::POOL_JOB_WAIT_NS.count() - wait0 >= total as u64,
+            "every job records a queue-wait sample"
+        );
+        assert!(
+            obs::m::POOL_JOB_RUN_NS.count() - run0 >= total as u64,
+            "every job records a run-time sample"
+        );
+        assert!(obs::m::POOL_BUSY_NS_TOTAL.get() > busy0, "busy time must accumulate");
+        let stat = obs::m::POOL_JOB_WAIT_NS.stat();
+        assert!(stat.p50 <= stat.p95 && stat.p95 <= stat.p99, "quantiles are ordered");
     }
 }

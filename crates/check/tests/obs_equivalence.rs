@@ -1,0 +1,62 @@
+//! Pin: observability is passive. Turning span tracing and metrics on must
+//! not change a single verdict byte — the checker's instrumentation reads
+//! clocks and bumps relaxed counters, but never participates in the search.
+//!
+//! The whole quick suite plus the model-gap scripts (the inputs known to
+//! reach the hardest states) are executed once, then checked twice — tracing
+//! off, tracing on — and every rendered verdict is compared byte for byte.
+
+use sibylfs_check::{check_trace, render_checked_trace, CheckOptions};
+use sibylfs_core::flavor::{Flavor, SpecConfig};
+use sibylfs_core::obs;
+use sibylfs_exec::{execute_script, ExecOptions};
+use sibylfs_fsimpl::configs;
+use sibylfs_testgen::{generate_suite, sequences, SuiteOptions};
+
+#[test]
+fn verdicts_are_byte_identical_with_tracing_on() {
+    let profile = configs::by_name("linux/ext4").expect("registered config");
+    let cfg = SpecConfig::standard(Flavor::Linux);
+    let mut scripts = generate_suite(SuiteOptions::quick());
+    scripts.extend(sequences::model_gap_scripts().into_iter().map(|(s, _)| s));
+    let traces: Vec<_> = scripts
+        .iter()
+        .map(|s| execute_script(&profile, s, ExecOptions::default()))
+        .collect();
+
+    let render_all = || -> Vec<String> {
+        traces
+            .iter()
+            .map(|t| render_checked_trace(&check_trace(&cfg, t, CheckOptions::default())))
+            .collect()
+    };
+
+    assert!(!obs::tracing_enabled(), "tracing must default to off");
+    let off = render_all();
+    obs::set_tracing(true);
+    let on = render_all();
+    obs::set_tracing(false);
+
+    assert_eq!(off.len(), on.len());
+    for (name, (a, b)) in scripts.iter().map(|s| &s.name).zip(off.iter().zip(&on)) {
+        assert_eq!(a, b, "verdict for {name} changed when tracing was switched on");
+    }
+
+    // The traced pass must actually have recorded something — a vacuous
+    // equivalence (tracing silently broken) proves nothing.
+    let spans = obs::drain_spans();
+    assert!(
+        spans.iter().filter(|s| s.name == "check_trace").count() >= traces.len(),
+        "the traced pass recorded only {} check_trace span(s) for {} traces",
+        spans.iter().filter(|s| s.name == "check_trace").count(),
+        traces.len()
+    );
+    // And the metrics side saw the work too.
+    let snap = obs::snapshot();
+    let checked = snap.counter("sibylfs_check_traces_total").expect("counter registered");
+    assert!(
+        checked >= 2 * traces.len() as u64,
+        "check_traces_total={checked} after two passes over {} traces",
+        traces.len()
+    );
+}

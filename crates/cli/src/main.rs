@@ -31,6 +31,12 @@ USAGE:
     sibylfs bench-diff OLD NEW [--max-regression N]  gate on bench-result regressions
     sibylfs configs                                  list registered configurations
 
+OBSERVABILITY (check, exec, explore, serve):
+    --trace-out FILE         record spans and write a Chrome trace-event JSON
+                             file (open in Perfetto / chrome://tracing)
+    --timings                (check only) print an `@type metrics-v1` table of
+                             the run's counters and latency histograms
+
 EXPLORE OPTIONS:
     --backend sim|host       executor (default sim; host = differential mode)
     --flavor FLAVOR          model flavour to check against (default: linux)
@@ -48,6 +54,7 @@ SERVE OPTIONS:
     --max-name-len BYTES     reject quoted names longer than this (default 512)
     --intern-budget BYTES    refuse new names once the interner has grown this much
     --stats-every SECS       print the stats line to stderr every SECS (default 10, 0 = off)
+    --metrics-addr HOST:PORT also serve `@type metrics-v1` text over HTTP GET /metrics
 
 AUDIT OPTIONS:
     --baseline FILE          suppress findings listed in FILE; exit 1 only on new ones
@@ -138,6 +145,26 @@ fn por_from(args: &[String]) -> sibylfs_core::flavor::PorMode {
     }
 }
 
+/// `--trace-out FILE`: switch span tracing on now (so the command's work is
+/// recorded) and hand the path back for the end-of-command write.
+fn trace_out_from(args: &[String]) -> Option<PathBuf> {
+    let path = opt_value(args, "--trace-out").map(PathBuf::from);
+    if path.is_some() {
+        sibylfs_core::obs::set_tracing(true);
+    }
+    path
+}
+
+fn write_trace_or_exit(path: &std::path::Path) {
+    match sibylfs_core::obs::write_chrome_trace(path) {
+        Ok(n) => eprintln!("trace: wrote {n} span(s) to {}", path.display()),
+        Err(e) => {
+            eprintln!("cannot write trace to {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Read and parse a file, exiting with a diagnostic (not a panic) on failure.
 fn read_or_exit(file: &str) -> String {
     fs::read_to_string(file).unwrap_or_else(|e| {
@@ -204,8 +231,14 @@ fn cmd_check(args: &[String]) {
     let flavor = flavor_from(args);
     let cfg = sibylfs_core::flavor::SpecConfig::standard(flavor).with_por(por_from(args));
     let remote = opt_value(args, "--remote");
-    let flag_values =
-        [opt_value(args, "--flavor"), opt_value(args, "--por"), remote.clone()];
+    let trace_out = trace_out_from(args);
+    let timings = args.iter().any(|a| a == "--timings");
+    let flag_values = [
+        opt_value(args, "--flavor"),
+        opt_value(args, "--por"),
+        remote.clone(),
+        opt_value(args, "--trace-out"),
+    ];
     let files: Vec<&String> = args
         .iter()
         .filter(|a| {
@@ -233,6 +266,14 @@ fn cmd_check(args: &[String]) {
         }
         print!("{}", render_checked_trace(&checked));
         println!();
+    }
+    if timings {
+        let mut snap = sibylfs_core::obs::snapshot();
+        snap.retain_nonzero();
+        print!("{}", snap.render());
+    }
+    if let Some(path) = &trace_out {
+        write_trace_or_exit(path);
     }
     if failing > 0 {
         std::process::exit(1);
@@ -309,20 +350,36 @@ fn cmd_serve(args: &[String]) {
         opts.max_name_len = n;
     }
     opts.intern_budget_bytes = num::<usize>(args, "--intern-budget");
+    opts.metrics_addr = opt_value(args, "--metrics-addr");
     let stats_every = num::<u64>(args, "--stats-every").unwrap_or(10);
+    let trace_out = trace_out_from(args);
 
     let server = sibylfs_serve::start(opts).unwrap_or_else(|e| {
         eprintln!("cannot start server: {e}");
         std::process::exit(2);
     });
     // The line below is a contract with scripts that spawn the server and
-    // need the bound address (CI smoke uses port 0).
+    // need the bound address (CI smoke uses port 0); everything else a
+    // running server says goes to stderr.
     println!("listening on {}", server.addr());
+    if let Some(addr) = server.metrics_addr() {
+        eprintln!("metrics on http://{addr}/metrics");
+    }
     eprintln!("{}", server.stats_line());
+    // A server has no natural end of command, so the trace file is rewritten
+    // in place on every tick: kill the process whenever, the file is valid.
+    let mut spans: Vec<sibylfs_core::obs::SpanEvent> = Vec::new();
     loop {
         std::thread::sleep(std::time::Duration::from_secs(stats_every.max(1)));
         if stats_every > 0 {
             eprintln!("{}", server.stats_line());
+        }
+        if let Some(path) = &trace_out {
+            spans.extend(sibylfs_core::obs::drain_spans());
+            let json = sibylfs_core::obs::render_chrome_trace(&spans);
+            if let Err(e) = fs::write(path, json) {
+                eprintln!("cannot write trace to {}: {e}", path.display());
+            }
         }
     }
 }
@@ -333,9 +390,13 @@ fn cmd_exec(args: &[String]) {
         sibylfs_cli::config_or_exit(&name);
         unreachable!("config_or_exit exits for unknown names");
     };
+    let trace_out = trace_out_from(args);
+    let flag_values = [opt_value(args, "--config"), opt_value(args, "--trace-out")];
     let files: Vec<&String> = args
         .iter()
-        .filter(|a| !a.starts_with("--") && opt_value(args, "--config").as_ref() != Some(a))
+        .filter(|a| {
+            !a.starts_with("--") && !flag_values.iter().any(|v| v.as_deref() == Some(a.as_str()))
+        })
         .collect();
     for file in files {
         let text = read_or_exit(file);
@@ -349,6 +410,9 @@ fn cmd_exec(args: &[String]) {
             .unwrap_or_else(|e| exec_error_exit(e));
         print!("{}", render_trace(&trace));
         println!();
+    }
+    if let Some(path) = &trace_out {
+        write_trace_or_exit(path);
     }
 }
 
@@ -396,6 +460,7 @@ fn cmd_explore(args: &[String]) {
     // be discovered only after the whole exploration run has been paid for.
     let min_coverage = num::<f64>(args, "--min-coverage");
     let require_gain = args.iter().any(|a| a == "--require-gain");
+    let trace_out = trace_out_from(args);
 
     // The explored configuration is always a *simulated* one (in differential
     // mode the host runs alongside it); unknown names get the standard
@@ -406,6 +471,9 @@ fn cmd_explore(args: &[String]) {
         std::process::exit(2);
     });
     print!("{}", outcome.render_markdown());
+    if let Some(path) = &trace_out {
+        write_trace_or_exit(path);
+    }
 
     let (base_pct, final_pct) = outcome.coverage_percents();
     let mut failed = false;

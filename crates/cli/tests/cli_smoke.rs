@@ -310,3 +310,103 @@ fn remote_check_with_no_server_exits_2() {
     assert!(stderr(&out).contains("cannot connect"), "{}", stderr(&out));
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn check_timings_prints_a_versioned_metrics_table() {
+    let dir = temp_dir("timings");
+    let script_path = dir.join("t.script");
+    write(&script_path, "@type script\n# Test timings___smoke\nmkdir \"d\" 0o755\nstat \"d\"\n");
+    let out = run(&["exec", "--config", "linux/ext4", script_path.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "stderr: {}", stderr(&out));
+    let trace_path = dir.join("t.trace");
+    write(&trace_path, &stdout(&out));
+
+    let out = run(&["check", "--flavor", "linux", "--timings", trace_path.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("@type metrics-v1"), "versioned header missing:\n{text}");
+    assert!(text.contains("counter sibylfs_check_traces_total 1"), "{text}");
+    assert!(text.contains("histogram sibylfs_check_trace_ns count=1"), "{text}");
+    // The table is filtered to what the run exercised: no serve metrics.
+    assert!(!text.contains("sibylfs_serve_"), "zero-valued metrics must be dropped:\n{text}");
+
+    // Without the flag, no metrics text reaches stdout.
+    let out = run(&["check", "--flavor", "linux", trace_path.to_str().unwrap()]);
+    assert!(!stdout(&out).contains("metrics-v1"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn check_trace_out_writes_chrome_trace_json() {
+    let dir = temp_dir("trace-out");
+    let script_path = dir.join("t.script");
+    write(&script_path, "@type script\n# Test traceout___smoke\nmkdir \"d\" 0o755\nrmdir \"d\"\n");
+    let out = run(&["exec", "--config", "linux/ext4", script_path.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "stderr: {}", stderr(&out));
+    let trace_path = dir.join("t.trace");
+    write(&trace_path, &stdout(&out));
+
+    let json_path = dir.join("spans.json");
+    let out = run(&[
+        "check",
+        "--flavor",
+        "linux",
+        "--trace-out",
+        json_path.to_str().unwrap(),
+        trace_path.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "stderr: {}", stderr(&out));
+    let json = std::fs::read_to_string(&json_path).expect("trace file written");
+    assert!(json.starts_with("{\"traceEvents\":["), "not a Chrome trace:\n{json}");
+    assert!(json.trim_end().ends_with("]}"), "unterminated JSON:\n{json}");
+    assert!(json.contains("\"name\":\"check_trace\""), "{json}");
+    assert!(json.contains("\"ph\":\"X\""), "complete events only:\n{json}");
+
+    // An unwritable path is a clean exit 2, after the verdicts.
+    let out = run(&[
+        "check",
+        "--flavor",
+        "linux",
+        "--trace-out",
+        dir.join("no/such/dir/x.json").to_str().unwrap(),
+        trace_path.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 2);
+    assert!(stderr(&out).contains("cannot write trace"), "{}", stderr(&out));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite contract: under `--stats-every`, stdout stays machine-readable —
+/// exactly the one "listening on ADDR" line — while the periodic stats go to
+/// stderr. Scripts that spawn the server and parse stdout must never race a
+/// stats line.
+#[test]
+fn serve_stdout_carries_only_the_contract_line() {
+    use std::io::{BufRead, BufReader, Read};
+
+    let mut server = Command::new(bin())
+        .args(["serve", "--addr", "127.0.0.1:0", "--stats-every", "1"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn server");
+    let mut stdout_reader = BufReader::new(server.stdout.take().expect("server stdout"));
+    let mut line = String::new();
+    stdout_reader.read_line(&mut line).expect("read contract line");
+    assert!(line.starts_with("listening on "), "bad contract line {line:?}");
+
+    // Give the 1-second stats ticker time to fire at least twice.
+    std::thread::sleep(std::time::Duration::from_millis(2500));
+    let _ = server.kill();
+    let _ = server.wait();
+
+    let mut rest = String::new();
+    stdout_reader.read_to_string(&mut rest).expect("drain stdout");
+    assert!(rest.is_empty(), "stdout must stay silent after the contract line, got {rest:?}");
+    let mut err = String::new();
+    server.stderr.take().expect("server stderr").read_to_string(&mut err).expect("drain stderr");
+    assert!(
+        err.matches("sessions=").count() >= 2,
+        "expected periodic stats lines on stderr:\n{err}"
+    );
+}

@@ -59,6 +59,7 @@ pub mod fs_ops;
 pub mod fxhash;
 pub mod intern;
 pub mod monad;
+pub mod obs;
 pub mod os;
 pub mod path;
 pub mod perms;

@@ -35,6 +35,11 @@ type FingerprintIndex = HashMap<u64, Vec<u32>, BuildHasherDefault<FxHasher64>>;
 pub struct StateSet {
     states: Vec<OsState>,
     index: FingerprintIndex,
+    // Inserts that found an equal state already present. A plain (non-atomic)
+    // local tally: the insert path is too hot for shared atomics, so the
+    // checker drains this into the global registry once per step via
+    // `take_dedup_hits`.
+    dedup_hits: u64,
 }
 
 impl StateSet {
@@ -63,6 +68,7 @@ impl StateSet {
         let fp = st.fingerprint();
         let slot = self.index.entry(fp).or_default();
         if let Some(&i) = slot.iter().find(|&&i| self.states[i as usize] == st) {
+            self.dedup_hits += 1;
             return (i as usize, false);
         }
         let idx = self.states.len();
@@ -126,6 +132,13 @@ impl StateSet {
     /// Consume the set, yielding the states in insertion order.
     pub fn into_states(self) -> Vec<OsState> {
         self.states
+    }
+
+    /// Take (and reset) the count of inserts deduplicated against an
+    /// already-present equal state since the last call. The checker flushes
+    /// this into `obs::m::STATE_DEDUP_HITS_TOTAL` at step granularity.
+    pub fn take_dedup_hits(&mut self) -> u64 {
+        std::mem::take(&mut self.dedup_hits)
     }
 }
 

@@ -17,6 +17,7 @@ use crate::intern::Name;
 use crate::errno::Errno;
 use crate::flavor::{PorMode, SpecConfig};
 use crate::fs_ops;
+use crate::obs;
 use crate::os::state_set::StateSet;
 use crate::os::{FidTarget, OsState, Pending, PerProcessState, ProcRunState, WriteAt};
 use crate::types::{DirHandleId, Fd, Pid};
@@ -216,12 +217,19 @@ fn closure_is_sequential(states: &StateSet, sleeps: &[SleepSet]) -> bool {
 /// deduplicating [`StateSet`] remains the exact safety net: POR only prunes
 /// τ orderings, never invents states.
 pub fn tau_close_with_sleeps(cfg: &SpecConfig, states: &mut StateSet, sleeps: &mut Vec<SleepSet>) {
+    // Expansion/pruning tallies are kept in locals and flushed to the global
+    // registry once per closure call: the loop below is the checker's hottest
+    // path, and per-insert shared atomics would ping-pong cache lines across
+    // pool workers.
+    let len_before = states.len();
     sleeps.resize(states.len(), SleepSet::new());
     if !por_active(cfg) || closure_is_sequential(states, sleeps) {
         tau_close_sweep(cfg, states);
         sleeps.resize(states.len(), SleepSet::new());
+        obs::m::TAU_STATES_EXPANDED_TOTAL.add((states.len() - len_before) as u64);
         return;
     }
+    let mut sleep_pruned: u64 = 0;
 
     // `known[i]` caches footprints of calls in flight in `states[i]`: when a
     // step with footprint `f` produces a successor, the cached footprints of
@@ -234,15 +242,23 @@ pub fn tau_close_with_sleeps(cfg: &SpecConfig, states: &mut StateSet, sleeps: &m
         let Some(st) = states.get(i as usize) else { continue };
         let st = st.clone();
         let cur_sleep = sleeps[i as usize].clone();
+        let mut in_flight: u64 = 0;
         let awake: Vec<Pid> = st
             .procs
             .iter()
             .filter(|(pid, p)| {
-                matches!(p.run_state, ProcRunState::InCall(_))
-                    && !cur_sleep.iter().any(|(q, _)| q == *pid)
+                let in_call = matches!(p.run_state, ProcRunState::InCall(_));
+                if in_call {
+                    in_flight += 1;
+                }
+                in_call && !cur_sleep.iter().any(|(q, _)| q == *pid)
             })
             .map(|(pid, _)| *pid)
             .collect();
+        // Each in-flight call skipped here is an expansion the sleep set
+        // saved us (the interleaving running it first was explored from a
+        // sibling).
+        sleep_pruned += in_flight - awake.len() as u64;
         if awake.is_empty() {
             continue;
         }
@@ -312,6 +328,8 @@ pub fn tau_close_with_sleeps(cfg: &SpecConfig, states: &mut StateSet, sleeps: &m
             }
         }
     }
+    obs::m::TAU_STATES_EXPANDED_TOTAL.add((states.len() - len_before) as u64);
+    obs::m::TAU_SLEEP_PRUNED_TOTAL.add(sleep_pruned);
 }
 
 /// The τ-closure of a slice of states. Thin wrapper over [`tau_close`] for

@@ -1,0 +1,85 @@
+//! Golden fixture for the `@type metrics-v1` text exposition.
+//!
+//! The exposition format is a wire contract three ways at once: the serve
+//! wire protocol carries it, the HTTP `/metrics` endpoint serves it, and
+//! `sibylfs_loadgen` parses it back. A literal snapshot (no process-global
+//! registry state, so the rendering is deterministic) is rendered and pinned;
+//! regenerate after an intentional format change with:
+//!
+//! ```text
+//! SIBYLFS_REGEN_GOLDEN=1 cargo test -p sibylfs_core --test golden_metrics
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use sibylfs_core::obs::{MetricEntry, MetricsSnapshot, METRICS_V1_HEADER};
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/metrics_v1.expected")
+}
+
+/// A snapshot exercising every entry kind and the edge values the parser has
+/// to keep exact (zero, negative gauges, u64::MAX saturation).
+fn sample() -> MetricsSnapshot {
+    MetricsSnapshot {
+        entries: vec![
+            MetricEntry::Counter { name: "sibylfs_check_traces_total".to_string(), value: 400 },
+            MetricEntry::Counter { name: "sibylfs_obs_spans_dropped_total".to_string(), value: 0 },
+            MetricEntry::Gauge {
+                name: "sibylfs_pool_queue_depth".to_string(),
+                value: 0,
+                high_water: 17,
+            },
+            MetricEntry::Gauge {
+                name: "sibylfs_serve_inflight".to_string(),
+                value: -1,
+                high_water: 9,
+            },
+            MetricEntry::Histogram {
+                name: "sibylfs_check_trace_ns".to_string(),
+                count: 400,
+                sum: 52_131_009,
+                p50: 65_535,
+                p95: 131_071,
+                p99: u64::MAX,
+            },
+        ],
+    }
+}
+
+#[test]
+fn exposition_matches_golden_and_round_trips() {
+    let snap = sample();
+    let rendered = snap.render();
+    assert!(rendered.starts_with(METRICS_V1_HEADER), "missing version header:\n{rendered}");
+
+    if std::env::var_os("SIBYLFS_REGEN_GOLDEN").is_some() {
+        fs::create_dir_all(fixture_path().parent().unwrap()).expect("create golden dir");
+        fs::write(fixture_path(), &rendered).expect("write golden fixture");
+    } else {
+        let expected = fs::read_to_string(fixture_path()).unwrap_or_else(|e| {
+            panic!(
+                "missing golden {}: {e}\nregenerate with SIBYLFS_REGEN_GOLDEN=1",
+                fixture_path().display()
+            )
+        });
+        assert_eq!(
+            rendered, expected,
+            "metrics-v1 exposition drifted from its golden file; this format is a wire \
+             contract (serve protocol, /metrics HTTP, loadgen scraping) — regenerate with \
+             SIBYLFS_REGEN_GOLDEN=1 only if every consumer moves with it"
+        );
+    }
+
+    // parse() is the exact inverse of render() — what loadgen relies on.
+    let parsed = MetricsSnapshot::parse(&rendered).expect("golden text parses");
+    assert_eq!(parsed, snap, "render → parse must round-trip exactly");
+}
+
+#[test]
+fn parse_rejects_unversioned_and_malformed_text() {
+    assert!(MetricsSnapshot::parse("counter x 1\n").is_err(), "missing header must fail");
+    let bad_kind = format!("{METRICS_V1_HEADER}\nthermometer x 1\n");
+    assert!(MetricsSnapshot::parse(&bad_kind).is_err(), "unknown kind must fail");
+}

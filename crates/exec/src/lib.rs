@@ -26,6 +26,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use sibylfs_core::commands::OsLabel;
+use sibylfs_core::obs;
 use sibylfs_core::types::{Gid, Uid, INITIAL_PID};
 use sibylfs_fsimpl::{BehaviorProfile, SimOs};
 use sibylfs_script::{Script, ScriptStep, Trace};
@@ -155,6 +156,8 @@ impl Executor for SimExecutor {
 /// Execute a single script against a fresh instance of the given simulated
 /// configuration, producing the observed trace.
 pub fn execute_script(profile: &BehaviorProfile, script: &Script, opts: ExecOptions) -> Trace {
+    let _span = obs::span("exec", "execute_script");
+    let started = std::time::Instant::now();
     let mut sim = SimOs::new(profile.clone());
     let (uid, gid) = if opts.root_user { (Uid(0), Gid(0)) } else { (Uid(1000), Gid(1000)) };
     sim.create_process(INITIAL_PID, uid, gid);
@@ -176,6 +179,8 @@ pub fn execute_script(profile: &BehaviorProfile, script: &Script, opts: ExecOpti
             }
         }
     }
+    obs::m::EXEC_SCRIPTS_TOTAL.inc();
+    obs::m::EXEC_SCRIPT_NS.record_duration(started.elapsed());
     trace
 }
 

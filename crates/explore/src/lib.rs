@@ -46,6 +46,7 @@ use rand::SeedableRng;
 use sibylfs_check::{check_trace_with_coverage, CheckOptions, CheckedTrace, Deviation};
 use sibylfs_core::coverage::{CoverageKey, CoverageMap};
 use sibylfs_core::flavor::{Flavor, SpecConfig};
+use sibylfs_core::obs;
 use sibylfs_exec::{ExecError, ExecOptions, Executor, SimExecutor};
 use sibylfs_fsimpl::configs;
 use sibylfs_report::render_coverage_map_markdown;
@@ -381,6 +382,7 @@ pub fn explore(opts: &ExploreOptions) -> Result<ExploreOutcome, ExploreError> {
     if opts.baseline == BaselineMode::SeedsOnly {
         baseline = global0.clone();
     }
+    obs::m::EXPLORE_CORPUS_SIZE.set(corpus0.len() as i64);
 
     let shared = Shared {
         corpus: Mutex::new(corpus0),
@@ -488,6 +490,8 @@ fn worker_loop(
         } else {
             shared.iterations.fetch_add(1, Ordering::SeqCst);
         }
+        obs::m::EXPLORE_ITERATIONS_TOTAL.inc();
+        let _span = obs::span("explore", "explore_iter");
         if let Some(b) = budget {
             if start.elapsed() >= b {
                 shared.stop.store(true, Ordering::Relaxed);
@@ -519,10 +523,12 @@ fn worker_loop(
             sibylfs_analyze::RepairOutcome::Clean => child,
             sibylfs_analyze::RepairOutcome::Repaired(repaired, _dropped) => {
                 shared.lint_repaired.fetch_add(1, Ordering::Relaxed);
+                obs::m::EXPLORE_LINT_REPAIRED_TOTAL.inc();
                 repaired
             }
             sibylfs_analyze::RepairOutcome::Rejected => {
                 shared.lint_rejected.fetch_add(1, Ordering::Relaxed);
+                obs::m::EXPLORE_LINT_REJECTED_TOTAL.inc();
                 continue;
             }
         };
@@ -531,6 +537,7 @@ fn worker_loop(
             Ok(e) => e,
             Err(_) => {
                 shared.exec_errors.fetch_add(1, Ordering::Relaxed);
+                obs::m::EXPLORE_EXEC_ERRORS_TOTAL.inc();
                 continue;
             }
         };
@@ -548,6 +555,7 @@ fn worker_loop(
                 }
                 Err(_) => {
                     shared.exec_errors.fetch_add(1, Ordering::Relaxed);
+                    obs::m::EXPLORE_EXEC_ERRORS_TOTAL.inc();
                 }
             }
         }
@@ -598,6 +606,7 @@ fn worker_loop(
         };
         save_entry(entry, opts, shared);
         shared.novel_entries.fetch_add(1, Ordering::Relaxed);
+        obs::m::EXPLORE_NOVEL_TOTAL.inc();
     }
 }
 
@@ -645,6 +654,7 @@ fn handle_divergence(
     };
     save_entry(entry, opts, shared);
     shared.divergences.fetch_add(1, Ordering::Relaxed);
+    obs::m::EXPLORE_DIVERGENCES_TOTAL.inc();
 }
 
 /// The payload-free shape of an observed value: `RV_bytes("zzz")` and
@@ -703,6 +713,7 @@ fn handle_sim_deviation(
     };
     save_entry(entry, opts, shared);
     shared.divergences.fetch_add(1, Ordering::Relaxed);
+    obs::m::EXPLORE_DIVERGENCES_TOTAL.inc();
 }
 
 fn save_entry(entry: CorpusEntry, opts: &ExploreOptions, shared: &Shared) {
@@ -711,6 +722,7 @@ fn save_entry(entry: CorpusEntry, opts: &ExploreOptions, shared: &Shared) {
         return;
     }
     let entry = corpus.entries().last().expect("just inserted").clone();
+    obs::m::EXPLORE_CORPUS_SIZE.set(corpus.len() as i64);
     drop(corpus);
     if let Some(dir) = &opts.corpus_dir {
         match corpus::persist_entry(dir, &entry) {

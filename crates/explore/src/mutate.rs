@@ -19,6 +19,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 
 use sibylfs_core::commands::OsCommand;
+use sibylfs_core::obs;
 use sibylfs_core::flags::{FileMode, OpenFlags, SeekWhence};
 use sibylfs_core::types::{DirHandleId, Fd, Gid, Pid, Uid, INITIAL_PID};
 use sibylfs_script::{Script, ScriptStep};
@@ -67,14 +68,35 @@ impl Mutator {
         let rounds = rng.gen_range(1..=3);
         for _ in 0..rounds {
             match rng.gen_range(0..8) {
-                0 => self.insert_random_call(&mut steps, rng),
-                1 => self.splice(&mut steps, rng),
-                2 => self.perturb(&mut steps, rng),
-                3 => self.perturb(&mut steps, rng), // perturbation pulls double weight
-                4 => self.delete(&mut steps, rng),
-                5 => self.duplicate(&mut steps, rng),
-                6 => self.swap(&mut steps, rng),
-                _ => self.interleave(&mut steps, rng),
+                0 => {
+                    obs::m::MUT_INSERT_TOTAL.inc();
+                    self.insert_random_call(&mut steps, rng);
+                }
+                1 => {
+                    obs::m::MUT_SPLICE_TOTAL.inc();
+                    self.splice(&mut steps, rng);
+                }
+                // Perturbation pulls double weight in the op distribution.
+                2 | 3 => {
+                    obs::m::MUT_PERTURB_TOTAL.inc();
+                    self.perturb(&mut steps, rng);
+                }
+                4 => {
+                    obs::m::MUT_DELETE_TOTAL.inc();
+                    self.delete(&mut steps, rng);
+                }
+                5 => {
+                    obs::m::MUT_DUPLICATE_TOTAL.inc();
+                    self.duplicate(&mut steps, rng);
+                }
+                6 => {
+                    obs::m::MUT_SWAP_TOTAL.inc();
+                    self.swap(&mut steps, rng);
+                }
+                _ => {
+                    obs::m::MUT_INTERLEAVE_TOTAL.inc();
+                    self.interleave(&mut steps, rng);
+                }
             }
         }
         sanitize(&mut steps, self.max_steps);

@@ -17,6 +17,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sibylfs_check::{check_trace, render_checked_trace, CheckOptions};
+use sibylfs_core::obs;
 use sibylfs_exec::{execute_script, ExecOptions};
 use sibylfs_fsimpl::configs;
 use sibylfs_script::print::render_trace;
@@ -39,7 +40,12 @@ options:
   --workers N        checker workers for the in-process server (default 4)
   --verify           compare every verdict against local batch checking
   --out FILE         write a JSON summary of the sweep
+  --trace-out FILE   record spans and write Chrome trace-event JSON
   -h, --help         show this help
+
+After each sweep step the server's metrics snapshot is scraped; pool
+utilization and the reorder-buffer high-water mark are embedded in the
+SIBYLFS_BENCH_JSON records.
 ";
 
 struct Args {
@@ -52,6 +58,7 @@ struct Args {
     workers: usize,
     verify: bool,
     out: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -65,6 +72,7 @@ fn parse_args() -> Result<Args, String> {
         workers: 4,
         verify: false,
         out: None,
+        trace_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -89,6 +97,7 @@ fn parse_args() -> Result<Args, String> {
             "--workers" => args.workers = value("--workers")?.parse().map_err(|e| format!("bad --workers: {e}"))?,
             "--verify" => args.verify = true,
             "--out" => args.out = Some(value("--out")?),
+            "--trace-out" => args.trace_out = Some(value("--trace-out")?),
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -157,7 +166,9 @@ fn run_client(
             Response::Error { line, col, message } => {
                 return Err(format!("server error at {line}:{col}: {message}"));
             }
-            Response::StatsLine(_) => return Err("unexpected stats response".to_string()),
+            Response::StatsLine(_) | Response::Metrics(_) => {
+                return Err("unexpected non-verdict response".to_string())
+            }
         }
         received += 1;
     }
@@ -210,16 +221,40 @@ fn run_sweep_step(
     })
 }
 
+/// One scrape of the server-side pool/reorder metrics, taken via the wire
+/// protocol's Metrics request. Counters are cumulative since server start,
+/// so per-sweep figures are deltas between two scrapes.
+struct PoolScrape {
+    busy_ns: u64,
+    workers: i64,
+    reorder_hwm: i64,
+    queue_hwm: i64,
+}
+
+fn scrape_pool(addr: &str) -> Result<PoolScrape, String> {
+    let mut client =
+        BlockingClient::connect_tcp(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let snap = client.metrics().map_err(|e| format!("metrics: {e}"))?;
+    Ok(PoolScrape {
+        busy_ns: snap.counter("sibylfs_pool_busy_ns_total").unwrap_or(0),
+        workers: snap.gauge("sibylfs_pool_workers").map(|(v, _)| v).unwrap_or(0),
+        reorder_hwm: snap.gauge("sibylfs_serve_reorder_depth").map(|(_, h)| h).unwrap_or(0),
+        queue_hwm: snap.gauge("sibylfs_pool_queue_depth").map(|(_, h)| h).unwrap_or(0),
+    })
+}
+
 /// Append records to the `SIBYLFS_BENCH_JSON` file using the same grammar as
 /// the bench harness (a single JSON array; read-strip-rewrite append).
-fn emit_bench_record(name: &str, ns_per_iter: u128, iters: usize, elems_per_sec: f64) {
+/// `extra` is a preformatted `, "key": value` JSON fragment (bench-diff's
+/// parser skips keys it does not know, so records stay gate-compatible).
+fn emit_bench_record(name: &str, ns_per_iter: u128, iters: usize, elems_per_sec: f64, extra: &str) {
     let Ok(path) = std::env::var("SIBYLFS_BENCH_JSON") else { return };
     if path.is_empty() {
         return;
     }
     let record = format!(
         "  {{\"name\": {name:?}, \"ns_per_iter\": {ns_per_iter}, \"iters\": {iters}, \
-         \"elems_per_sec\": {elems_per_sec:.1}, \"mode\": \"timed\"}}"
+         \"elems_per_sec\": {elems_per_sec:.1}{extra}, \"mode\": \"timed\"}}"
     );
     let existing = std::fs::read_to_string(&path).unwrap_or_default();
     let body = existing.trim();
@@ -273,6 +308,13 @@ fn main() {
         }
     };
 
+    // Tracing must be on before the corpus build and the verify pass: the
+    // client-side spans (local exec/check work, per-sweep brackets) are the
+    // whole point of `--trace-out` here — the server records its own file.
+    if args.trace_out.is_some() {
+        obs::set_tracing(true);
+    }
+
     // Build the corpus: deterministic scripts, executed on simulated ext4 so
     // every trace checks cleanly and any load-test deviation is a real bug.
     let profile = match configs::by_name("linux/ext4") {
@@ -322,8 +364,15 @@ fn main() {
     }
 
     let mut results = Vec::new();
+    let mut scrape = scrape_pool(&addr)
+        .map_err(|e| eprintln!("warning: metrics scrape unavailable: {e}"))
+        .ok();
     for &clients in &args.clients {
-        match run_sweep_step(&addr, &args.config, &corpus, clients, args.requests, args.window) {
+        let sweep = {
+            let _span = obs::span("loadgen", "sweep");
+            run_sweep_step(&addr, &args.config, &corpus, clients, args.requests, args.window)
+        };
+        match sweep {
             Ok(r) => {
                 println!(
                     "clients={:<3} {:>8.0} checks/s  p50={:>8.2}ms p95={:>8.2}ms p99={:>8.2}ms  ({} checks in {:.2?})",
@@ -335,16 +384,50 @@ fn main() {
                     r.total_requests,
                     r.elapsed,
                 );
+                // Scrape the server's metrics and attribute this sweep's
+                // pool-busy delta to it: utilization = busy worker-time over
+                // available worker-time.
+                let mut extra = String::new();
+                let after = scrape.as_ref().and_then(|_| scrape_pool(&addr).ok());
+                if let (Some(before), Some(after)) = (&scrape, &after) {
+                    let workers = after.workers.max(1) as f64;
+                    let util = after.busy_ns.saturating_sub(before.busy_ns) as f64
+                        / (r.elapsed.as_nanos() as f64 * workers);
+                    println!(
+                        "            pool: utilization={:>5.1}%  queue_hwm={}  reorder_hwm={}",
+                        util * 100.0,
+                        after.queue_hwm,
+                        after.reorder_hwm,
+                    );
+                    extra = format!(
+                        ", \"pool_utilization\": {util:.3}, \"reorder_depth_hwm\": {}, \"queue_depth_hwm\": {}",
+                        after.reorder_hwm, after.queue_hwm,
+                    );
+                }
+                if after.is_some() {
+                    scrape = after;
+                }
                 emit_bench_record(
                     &format!("serve_loadgen/throughput/{clients}_clients"),
                     r.p50_ns,
                     r.total_requests,
                     r.throughput(),
+                    &extra,
                 );
                 results.push(r);
             }
             Err(e) => {
                 eprintln!("error: sweep at {clients} clients: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(path) = &args.trace_out {
+        match obs::write_chrome_trace(std::path::Path::new(path)) {
+            Ok(n) => println!("trace: {n} spans written to {path}"),
+            Err(e) => {
+                eprintln!("error: cannot write {path}: {e}");
                 std::process::exit(1);
             }
         }

@@ -8,6 +8,8 @@
 use std::io::{self, BufReader, BufWriter, Write as _};
 use std::net::{TcpStream, ToSocketAddrs};
 
+use sibylfs_core::obs::MetricsSnapshot;
+
 use crate::protocol::{
     decode_response, encode_request, read_frame, write_frame, Request, Response,
 };
@@ -62,6 +64,21 @@ impl BlockingClient {
             other => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("expected a stats line, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Fetch a structured metrics snapshot (transported as `@type metrics-v1`
+    /// text and parsed on this side).
+    pub fn metrics(&mut self) -> io::Result<MetricsSnapshot> {
+        write_frame(&mut self.writer, &encode_request(&Request::Metrics))?;
+        self.writer.flush()?;
+        match self.recv()? {
+            Response::Metrics(text) => MetricsSnapshot::parse(&text)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected a metrics snapshot, got {other:?}"),
             )),
         }
     }

@@ -10,9 +10,11 @@
 //! frame    := u32_be(len) payload[len]            len <= MAX_FRAME_LEN
 //! request  := 0x01 u16_be(cfg_len) cfg trace      check `trace` against `cfg`
 //!           | 0x02                                server stats line
+//!           | 0x03                                metrics snapshot
 //! response := 0x81 verdict-text                   rendered checked trace
 //!           | 0x82 u32_be(line) u32_be(col) msg   error (0,0 = no location)
 //!           | 0x83 stats-text                     one stats line
+//!           | 0x84 metrics-v1-text                full metrics exposition
 //! ```
 //!
 //! `cfg` is a [`SpecConfig`] in its `Display` syntax (`linux`, `posix,no-por`,
@@ -35,9 +37,11 @@ pub const DEFAULT_MAX_NAME_LEN: usize = 512;
 /// Message type tags.
 pub const TAG_CHECK: u8 = 0x01;
 pub const TAG_STATS: u8 = 0x02;
+pub const TAG_METRICS: u8 = 0x03;
 pub const TAG_VERDICT: u8 = 0x81;
 pub const TAG_ERROR: u8 = 0x82;
 pub const TAG_STATS_RESP: u8 = 0x83;
+pub const TAG_METRICS_RESP: u8 = 0x84;
 
 /// A client→server request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,6 +50,8 @@ pub enum Request {
     Check { config: String, trace_text: String },
     /// Ask for the server's one-line stats summary.
     Stats,
+    /// Ask for a full metrics snapshot (`@type metrics-v1` text).
+    Metrics,
 }
 
 /// A server→client response.
@@ -57,6 +63,10 @@ pub enum Response {
     Error { line: u32, col: u32, message: String },
     /// The stats line for a Stats request.
     StatsLine(String),
+    /// The metrics exposition for a Metrics request: `@type metrics-v1` text,
+    /// parseable back into a structured snapshot with
+    /// [`sibylfs_core::obs::MetricsSnapshot::parse`].
+    Metrics(String),
 }
 
 /// A framing or payload decoding failure. Framing errors are fatal to the
@@ -132,6 +142,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             out
         }
         Request::Stats => vec![TAG_STATS],
+        Request::Metrics => vec![TAG_METRICS],
     }
 }
 
@@ -162,6 +173,12 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
             }
             Ok(Request::Stats)
         }
+        Some(TAG_METRICS) => {
+            if payload.len() != 1 {
+                return Err(ProtocolError::Malformed("metrics request carries a body"));
+            }
+            Ok(Request::Metrics)
+        }
         other => Err(ProtocolError::BadTag(other)),
     }
 }
@@ -186,6 +203,12 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         Response::StatsLine(text) => {
             let mut out = Vec::with_capacity(1 + text.len());
             out.push(TAG_STATS_RESP);
+            out.extend_from_slice(text.as_bytes());
+            out
+        }
+        Response::Metrics(text) => {
+            let mut out = Vec::with_capacity(1 + text.len());
+            out.push(TAG_METRICS_RESP);
             out.extend_from_slice(text.as_bytes());
             out
         }
@@ -216,6 +239,11 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
             let text = std::str::from_utf8(&payload[1..])
                 .map_err(|_| ProtocolError::Malformed("stats line is not UTF-8"))?;
             Ok(Response::StatsLine(text.to_string()))
+        }
+        Some(TAG_METRICS_RESP) => {
+            let text = std::str::from_utf8(&payload[1..])
+                .map_err(|_| ProtocolError::Malformed("metrics text is not UTF-8"))?;
+            Ok(Response::Metrics(text.to_string()))
         }
         other => Err(ProtocolError::BadTag(other)),
     }
@@ -282,6 +310,7 @@ mod tests {
             Request::Check { config: "linux".into(), trace_text: "@type trace\n".into() },
             Request::Check { config: "posix,no-por".into(), trace_text: String::new() },
             Request::Stats,
+            Request::Metrics,
         ] {
             assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
         }
@@ -294,6 +323,7 @@ mod tests {
             Response::Error { line: 3, col: 17, message: "uid out of range: -5".into() },
             Response::Error { line: 0, col: 0, message: "interner budget exceeded".into() },
             Response::StatsLine("sessions=1 checked=2".into()),
+            Response::Metrics("@type metrics-v1\ncounter sibylfs_pool_jobs_total 5\n".into()),
         ] {
             assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
         }
@@ -307,6 +337,7 @@ mod tests {
         assert!(decode_request(&[TAG_CHECK, 0xff, 0xff, b'x']).is_err());
         assert!(decode_request(&[TAG_CHECK, 0, 1, 0xff, 0xfe]).is_err());
         assert!(decode_request(&[TAG_STATS, 0]).is_err());
+        assert!(decode_request(&[TAG_METRICS, 0]).is_err());
         assert!(decode_response(&[]).is_err());
         assert!(decode_response(&[TAG_ERROR, 0, 0]).is_err());
         assert!(decode_response(&[TAG_VERDICT, 0xff, 0xfe]).is_err());

@@ -29,9 +29,11 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use sibylfs_check::{render_checked_trace, CheckOptions, CheckerPool};
 use sibylfs_core::intern;
+use sibylfs_core::obs;
 use sibylfs_script::parse_trace;
 
 use crate::protocol::{
@@ -54,6 +56,10 @@ pub struct ServeOptions {
     /// Cap on process-wide interner growth (bytes) since server start;
     /// `None` disables the budget.
     pub intern_budget_bytes: Option<usize>,
+    /// Optional bind address for the Prometheus-style metrics endpoint: a
+    /// minimal HTTP server answering `GET /metrics` with the `@type
+    /// metrics-v1` text exposition. `None` disables the endpoint.
+    pub metrics_addr: Option<String>,
     /// Options passed to every check.
     pub check: CheckOptions,
 }
@@ -66,6 +72,7 @@ impl Default for ServeOptions {
             max_inflight_per_session: 64,
             max_name_len: DEFAULT_MAX_NAME_LEN,
             intern_budget_bytes: None,
+            metrics_addr: None,
             check: CheckOptions::default(),
         }
     }
@@ -114,12 +121,19 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     addr: SocketAddr,
     accept_thread: Option<JoinHandle<()>>,
+    metrics_addr: Option<SocketAddr>,
+    metrics_thread: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
     /// The address the server actually bound.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The address the metrics HTTP endpoint bound, if enabled.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// Sessions currently connected.
@@ -136,9 +150,15 @@ impl ServerHandle {
     /// sessions wind down as their clients disconnect.
     pub fn shutdown(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a throwaway connection.
+        // Unblock the accept loops with throwaway connections.
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        if let Some(addr) = self.metrics_addr {
+            let _ = TcpStream::connect(addr);
+        }
+        if let Some(h) = self.metrics_thread.take() {
             let _ = h.join();
         }
     }
@@ -155,6 +175,10 @@ impl Drop for ServerHandle {
 pub fn start(opts: ServeOptions) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&opts.addr)?;
     let addr = listener.local_addr()?;
+    let metrics_listener = match &opts.metrics_addr {
+        Some(maddr) => Some(TcpListener::bind(maddr)?),
+        None => None,
+    };
     let shared = Arc::new(Shared {
         pool: CheckerPool::new(opts.workers),
         intern_baseline_bytes: intern::stats().bytes,
@@ -169,7 +193,65 @@ pub fn start(opts: ServeOptions) -> io::Result<ServerHandle> {
     let accept_thread = std::thread::Builder::new()
         .name("sibylfs-accept".to_string())
         .spawn(move || accept_loop(&listener, &accept_shared))?;
-    Ok(ServerHandle { shared, addr, accept_thread: Some(accept_thread) })
+    let (metrics_addr, metrics_thread) = match metrics_listener {
+        Some(l) => {
+            let maddr = l.local_addr()?;
+            let http_shared = Arc::clone(&shared);
+            let h = std::thread::Builder::new()
+                .name("sibylfs-metrics-http".to_string())
+                .spawn(move || metrics_http_loop(&l, &http_shared))?;
+            (Some(maddr), Some(h))
+        }
+        None => (None, None),
+    };
+    Ok(ServerHandle { shared, addr, accept_thread: Some(accept_thread), metrics_addr, metrics_thread })
+}
+
+/// The minimal HTTP front end for Prometheus-style scraping: answers
+/// `GET /metrics` (or `GET /`) with the `@type metrics-v1` exposition and
+/// closes the connection. One request per connection, handled inline on the
+/// accept thread — a scrape is a few hundred bytes, so there is nothing to
+/// pipeline.
+fn metrics_http_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = conn else { continue };
+        let _ = serve_one_metrics_request(stream);
+    }
+}
+
+fn serve_one_metrics_request(stream: TcpStream) -> io::Result<()> {
+    use std::io::BufRead as _;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers up to the blank line so well-behaved clients are not cut
+    // off mid-send (we answer and close regardless).
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, body) = if method != "GET" {
+        ("405 Method Not Allowed", "only GET is supported\n".to_string())
+    } else if path == "/metrics" || path == "/" {
+        ("200 OK", obs::snapshot().render())
+    } else {
+        ("404 Not Found", "try GET /metrics\n".to_string())
+    };
+    let mut out = BufWriter::new(stream);
+    write!(
+        out,
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    )?;
+    out.flush()
 }
 
 fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
@@ -213,7 +295,9 @@ impl Session {
         let payload = encode_response(resp);
         let mut st = self.lock();
         st.ready.insert(seq, payload);
+        obs::m::SERVE_REORDER_DEPTH.set(st.ready.len() as i64);
         drop(st);
+        obs::m::SERVE_INFLIGHT.dec();
         self.progress.notify_all();
     }
 }
@@ -224,12 +308,16 @@ struct SessionGauge<'a>(&'a Shared);
 impl Drop for SessionGauge<'_> {
     fn drop(&mut self) {
         self.0.active_sessions.fetch_sub(1, Ordering::SeqCst);
+        // Every session ends through this drop — clean EOF, framing error,
+        // or panic — so "killed" counts all torn-down sessions.
+        obs::m::SERVE_SESSIONS_KILLED_TOTAL.inc();
     }
 }
 
 fn run_session(stream: TcpStream, shared: &Arc<Shared>) {
     shared.active_sessions.fetch_add(1, Ordering::SeqCst);
     shared.sessions_total.fetch_add(1, Ordering::SeqCst);
+    obs::m::SERVE_SESSIONS_OPENED_TOTAL.inc();
     let _gauge = SessionGauge(shared);
 
     let Ok(write_stream) = stream.try_clone() else { return };
@@ -277,6 +365,7 @@ fn writer_loop(stream: TcpStream, session: &Session) {
             }
         };
         session.progress.notify_all(); // free a backpressure slot
+        obs::m::SERVE_BYTES_OUT_TOTAL.add(4 + payload.len() as u64);
         if write_frame(&mut out, &payload).and_then(|()| out.flush()).is_err() {
             // The client went away mid-reply; drain silently so the reader's
             // in-flight checks still complete and the session can unwind.
@@ -303,6 +392,9 @@ fn reader_loop(stream: TcpStream, shared: &Arc<Shared>, session: &Arc<Session>) 
             // prefix): stop reading. Nothing more can be decoded reliably.
             Ok(None) | Err(_) => return,
         };
+        let started = Instant::now();
+        obs::m::SERVE_BYTES_IN_TOTAL.add(4 + frame.len() as u64);
+        obs::m::SERVE_REQUESTS_TOTAL.inc();
 
         // Backpressure: wait for an in-flight slot before accepting work.
         let seq = {
@@ -316,12 +408,15 @@ fn reader_loop(stream: TcpStream, shared: &Arc<Shared>, session: &Arc<Session>) 
             st.assigned += 1;
             seq
         };
+        obs::m::SERVE_INFLIGHT.inc();
 
         match decode_request(&frame) {
             Err(e @ ProtocolError::BadTag(_)) | Err(e @ ProtocolError::Malformed(_)) => {
                 // Payload-level garbage: answer in order and keep the
                 // session; framing is still intact.
                 shared.errors_total.fetch_add(1, Ordering::Relaxed);
+                obs::m::SERVE_ERRORS_TOTAL.inc();
+                obs::m::SERVE_REQUEST_NS.record_duration(started.elapsed());
                 session.complete(seq, &Response::Error {
                     line: 0,
                     col: 0,
@@ -330,6 +425,8 @@ fn reader_loop(stream: TcpStream, shared: &Arc<Shared>, session: &Arc<Session>) 
             }
             Err(e) => {
                 shared.errors_total.fetch_add(1, Ordering::Relaxed);
+                obs::m::SERVE_ERRORS_TOTAL.inc();
+                obs::m::SERVE_REQUEST_NS.record_duration(started.elapsed());
                 session.complete(seq, &Response::Error {
                     line: 0,
                     col: 0,
@@ -338,10 +435,15 @@ fn reader_loop(stream: TcpStream, shared: &Arc<Shared>, session: &Arc<Session>) 
                 return;
             }
             Ok(Request::Stats) => {
+                obs::m::SERVE_REQUEST_NS.record_duration(started.elapsed());
                 session.complete(seq, &Response::StatsLine(shared.stats_line()));
             }
+            Ok(Request::Metrics) => {
+                obs::m::SERVE_REQUEST_NS.record_duration(started.elapsed());
+                session.complete(seq, &Response::Metrics(obs::snapshot().render()));
+            }
             Ok(Request::Check { config, trace_text }) => {
-                handle_check(shared, session, seq, &config, &trace_text);
+                handle_check(shared, session, seq, started, &config, &trace_text);
             }
         }
     }
@@ -351,11 +453,14 @@ fn handle_check(
     shared: &Arc<Shared>,
     session: &Arc<Session>,
     seq: u64,
+    started: Instant,
     config: &str,
     trace_text: &str,
 ) {
     let reject = |message: String, line: u32, col: u32| {
         shared.errors_total.fetch_add(1, Ordering::Relaxed);
+        obs::m::SERVE_ERRORS_TOTAL.inc();
+        obs::m::SERVE_REQUEST_NS.record_duration(started.elapsed());
         session.complete(seq, &Response::Error { line, col, message });
     };
 
@@ -397,6 +502,7 @@ fn handle_check(
     let done_session = Arc::clone(session);
     shared.pool.submit(cfg, trace, shared.opts.check, move |checked| {
         done_shared.checked_total.fetch_add(1, Ordering::Relaxed);
+        obs::m::SERVE_REQUEST_NS.record_duration(started.elapsed());
         done_session.complete(seq, &Response::Verdict(render_checked_trace(&checked)));
     });
 }

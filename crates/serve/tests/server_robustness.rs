@@ -246,3 +246,58 @@ fn concurrent_sessions_all_get_correct_verdicts() {
     }
     wait_for_no_sessions(&server);
 }
+
+#[test]
+fn metrics_request_returns_a_parsed_snapshot_over_the_wire() {
+    let server = start(ServeOptions::default()).unwrap();
+    let mut client = BlockingClient::connect_tcp(server.addr()).unwrap();
+    let before = client.metrics().unwrap();
+    let req0 = before.counter("sibylfs_serve_requests_total").unwrap();
+    for text in corpus(3) {
+        assert!(matches!(client.check("linux", &text).unwrap(), Response::Verdict(_)));
+    }
+    let after = client.metrics().unwrap();
+    // 3 checks + the first metrics request itself happened in between.
+    let req1 = after.counter("sibylfs_serve_requests_total").unwrap();
+    assert!(req1 >= req0 + 4, "requests_total went {req0} -> {req1}");
+    assert!(after.counter("sibylfs_serve_bytes_in_total").unwrap() > 0);
+    assert!(after.counter("sibylfs_serve_bytes_out_total").unwrap() > 0);
+    assert!(after.counter("sibylfs_serve_sessions_opened_total").unwrap() >= 1);
+    let lat = after.histogram("sibylfs_serve_request_ns").unwrap();
+    assert!(lat.count >= 4, "latency histogram saw {} samples", lat.count);
+    assert!(lat.p50 <= lat.p99);
+}
+
+/// The minimal HTTP exposition endpoint: GET /metrics answers metrics-v1
+/// text, unknown paths 404, non-GET methods 405, and the verdict path is
+/// untouched by scrapes.
+#[test]
+fn metrics_addr_serves_http_get() {
+    let opts =
+        ServeOptions { metrics_addr: Some("127.0.0.1:0".to_string()), ..Default::default() };
+    let server = start(opts).unwrap();
+    let maddr = server.metrics_addr().expect("metrics listener bound");
+
+    let http = |request: &str| -> String {
+        let mut s = TcpStream::connect(maddr).unwrap();
+        s.write_all(request.as_bytes()).unwrap();
+        let mut buf = String::new();
+        s.read_to_string(&mut buf).unwrap();
+        buf
+    };
+
+    let ok = http("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert!(ok.starts_with("HTTP/1.1 200 OK"), "{ok}");
+    assert!(ok.contains("@type metrics-v1"), "{ok}");
+    assert!(ok.contains("counter sibylfs_serve_requests_total"), "{ok}");
+
+    let missing = http("GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+    let bad_method = http("POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert!(bad_method.starts_with("HTTP/1.1 405"), "{bad_method}");
+
+    // Scraping must not disturb the oracle path.
+    let mut client = BlockingClient::connect_tcp(server.addr()).unwrap();
+    let good = corpus(1).remove(0);
+    assert!(matches!(client.check("linux", &good).unwrap(), Response::Verdict(_)));
+}
