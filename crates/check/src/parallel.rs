@@ -33,7 +33,14 @@ pub struct SuiteCheckStats {
 }
 
 impl SuiteCheckStats {
-    fn from_results(results: &[CheckedTrace], elapsed: Duration, workers: usize) -> SuiteCheckStats {
+    /// Aggregate a result set checked over `elapsed` wall-clock time. Public
+    /// so pipelined callers (which drive a [`CheckerPool`](crate::CheckerPool)
+    /// themselves) can report the same statistics.
+    pub fn from_results(
+        results: &[CheckedTrace],
+        elapsed: Duration,
+        workers: usize,
+    ) -> SuiteCheckStats {
         let traces = results.len();
         let accepted = results.iter().filter(|r| r.accepted).count();
         let deviations = results.iter().map(|r| r.deviations.len()).sum();

@@ -195,6 +195,7 @@ pub fn is_gated(name: &str) -> bool {
     name.starts_with("check_throughput")
         || name.starts_with("tau_closure_")
         || name.starts_with("serve_loadgen/")
+        || name.starts_with("exec_pipeline/")
 }
 
 /// One compared bench in a [`DiffReport`].

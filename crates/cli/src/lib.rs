@@ -3,12 +3,13 @@
 
 pub mod bench_diff;
 
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
-use sibylfs_check::{check_traces_parallel, CheckOptions, CheckedTrace, SuiteCheckStats};
+use sibylfs_check::{CheckOptions, CheckedTrace, CheckerPool, SuiteCheckStats};
 use sibylfs_core::flavor::{Flavor, SpecConfig};
 use sibylfs_exec::{
-    execute_suite_on, ExecError, ExecOptions, ExecStats, Executor, SimExecutor, HOST_CONFIG_NAME,
+    ExecError, ExecOptions, ExecPipeline, ExecStats, Executor, SimExecutor, HOST_CONFIG_NAME,
 };
 use sibylfs_fsimpl::{configs, BehaviorProfile};
 use sibylfs_report::{summarize_run_for_backend, RunSummary};
@@ -53,24 +54,40 @@ pub struct ConfigRun {
     pub summary: RunSummary,
 }
 
+/// A shareable executor, as the execution pipeline's worker threads need it.
+pub type SharedExecutor = Arc<dyn Executor + Send + Sync>;
+
 /// Resolve a `--config` name to an executor plus the flavour its platform is
 /// checked against by default. `host/linux` (on Linux) resolves to the
-/// real-host backend; every other name is looked up in the simulated
-/// configuration registry. `None` means the name is unknown here.
-pub fn executor_for_config(name: &str) -> Option<(Box<dyn Executor>, Flavor)> {
+/// real-host backend with a pool of [`DEFAULT_WORKERS`] persistent pre-jailed
+/// workers; every other name is looked up in the simulated configuration
+/// registry. `None` means the name is unknown here.
+pub fn executor_for_config(name: &str) -> Option<(SharedExecutor, Flavor)> {
+    executor_for_config_with(name, DEFAULT_WORKERS)
+}
+
+/// [`executor_for_config`] with an explicit host worker-pool size
+/// (`--exec-workers`). Simulated configurations ignore the knob — the sim is
+/// a pure function, so pipeline threads share one executor freely.
+pub fn executor_for_config_with(
+    name: &str,
+    exec_workers: usize,
+) -> Option<(SharedExecutor, Flavor)> {
     if name == HOST_CONFIG_NAME {
         #[cfg(all(target_os = "linux", target_pointer_width = "64"))]
         {
-            return Some((Box::new(sibylfs_exec::HostFs::new()), Flavor::Linux));
+            let host = sibylfs_exec::HostFs::pooled(exec_workers);
+            return Some((Arc::new(host), Flavor::Linux));
         }
         #[cfg(not(all(target_os = "linux", target_pointer_width = "64")))]
         {
+            let _ = exec_workers;
             return None;
         }
     }
     let profile = configs::by_name(name)?;
     let flavor = profile.platform;
-    Some((Box::new(SimExecutor::new(profile)) as Box<dyn Executor>, flavor))
+    Some((Arc::new(SimExecutor::new(profile)) as SharedExecutor, flavor))
 }
 
 /// The descriptive pseudo-profile used to report host-backend runs.
@@ -82,12 +99,18 @@ pub fn host_profile() -> BehaviorProfile {
 /// Execute the suite on any backend and check the traces against the given
 /// flavour of the specification.
 ///
+/// Execution and checking are *pipelined*: scripts stream through an
+/// [`ExecPipeline`] of `workers` executor threads, and every trace is handed
+/// to a [`CheckerPool`] the moment it is delivered, while later scripts are
+/// still executing. Results keep suite order, and are byte-identical to the
+/// old execute-everything-then-check-everything sequence.
+///
 /// `ConfigRun::profile` is resolved from the executor's configuration name
 /// (registry lookup, or the host pseudo-profile); callers that already hold
 /// the exact profile should use [`run_config`], which threads it through
 /// unchanged.
 pub fn run_executor(
-    exec: &dyn Executor,
+    exec: SharedExecutor,
     flavor: Flavor,
     suite: &[Script],
     workers: usize,
@@ -96,30 +119,70 @@ pub fn run_executor(
 }
 
 fn run_executor_with_profile(
-    exec: &dyn Executor,
+    exec: SharedExecutor,
     profile: Option<BehaviorProfile>,
     flavor: Flavor,
     suite: &[Script],
     workers: usize,
 ) -> Result<ConfigRun, ExecError> {
-    let start = Instant::now();
-    let traces = execute_suite_on(exec, suite, ExecOptions::default())?;
-    let exec_secs = start.elapsed().as_secs_f64();
-    let exec_stats = ExecStats {
-        scripts: traces.len(),
-        calls: traces.iter().map(|t| t.call_count()).sum(),
-        trace_bytes: 0,
-    };
-    let cfg = SpecConfig::standard(flavor);
-    let (checked, check_stats) =
-        check_traces_parallel(&cfg, &traces, CheckOptions::default(), workers);
     let config_name = exec.config_name();
-    let summary = summarize_run_for_backend(
-        &config_name,
-        flavor.name(),
-        exec.backend_name(),
-        &checked,
-    );
+    let backend_name = exec.backend_name();
+    let cfg = SpecConfig::standard(flavor);
+
+    let start = Instant::now();
+    let pipeline = ExecPipeline::new(exec, workers);
+    let checkers = CheckerPool::new(workers);
+    // Checked results land here by suite index, however the two pools
+    // interleave; the counter tells the tail wait when everything arrived.
+    type Slots = (Mutex<(Vec<Option<CheckedTrace>>, usize)>, Condvar);
+    let slots: Arc<Slots> = Arc::new((Mutex::new((vec![None; suite.len()], 0)), Condvar::new()));
+
+    let mut first_err: Option<ExecError> = None;
+    let mut submitted = 0usize;
+    let mut calls = 0usize;
+    let mut exec_secs = 0.0f64;
+    pipeline.execute_ordered(suite, ExecOptions::default(), |idx, res| {
+        exec_secs = start.elapsed().as_secs_f64();
+        match res {
+            Ok(trace) if first_err.is_none() => {
+                calls += trace.call_count();
+                submitted += 1;
+                let slots = Arc::clone(&slots);
+                checkers.submit(cfg, trace, CheckOptions::default(), move |checked| {
+                    let (lock, done) = &*slots;
+                    let mut g = lock.lock().unwrap_or_else(|e| e.into_inner());
+                    g.0[idx] = Some(checked);
+                    g.1 += 1;
+                    done.notify_all();
+                });
+            }
+            // After the first error the run's fate is sealed: drain the
+            // pipeline but stop feeding the checkers.
+            Ok(_) => {}
+            Err(e) => first_err = Some(first_err.take().unwrap_or(e)),
+        }
+    });
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    let exec_stats = ExecStats { scripts: submitted, calls, trace_bytes: 0 };
+
+    let checked: Vec<CheckedTrace> = {
+        let (lock, done) = &*slots;
+        let mut g = lock.lock().unwrap_or_else(|e| e.into_inner());
+        while g.1 < submitted {
+            g = done.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        std::mem::take(&mut g.0)
+            .into_iter()
+            .map(|s| s.expect("every submitted trace is checked exactly once"))
+            .collect()
+    };
+    // Checking overlaps execution, so its wall clock is the whole pipeline's:
+    // start of the first script to the last verdict.
+    let check_stats = SuiteCheckStats::from_results(&checked, start.elapsed(), workers);
+
+    let summary = summarize_run_for_backend(&config_name, flavor.name(), backend_name, &checked);
     let profile = profile.unwrap_or_else(|| {
         configs::by_name(&config_name).unwrap_or_else(host_profile)
     });
@@ -134,8 +197,8 @@ pub fn run_config(
     suite: &[Script],
     workers: usize,
 ) -> ConfigRun {
-    let exec = SimExecutor::new(profile.clone());
-    run_executor_with_profile(&exec, Some(profile.clone()), flavor, suite, workers)
+    let exec = Arc::new(SimExecutor::new(profile.clone()));
+    run_executor_with_profile(exec, Some(profile.clone()), flavor, suite, workers)
         .expect("the simulation is infallible")
 }
 
@@ -235,7 +298,7 @@ mod tests {
         let suite: Vec<Script> =
             generate_suite(SuiteOptions::quick()).into_iter().take(10).collect();
         let (exec, flavor) = executor_for_config(HOST_CONFIG_NAME).unwrap();
-        let run = run_executor(exec.as_ref(), flavor, &suite, 2).unwrap();
+        let run = run_executor(exec, flavor, &suite, 2).unwrap();
         assert_eq!(run.summary.backend, "host");
         assert_eq!(run.summary.config, HOST_CONFIG_NAME);
         assert_eq!(run.summary.traces, 10);

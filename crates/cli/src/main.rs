@@ -7,7 +7,9 @@ use std::fs;
 use std::path::PathBuf;
 
 use sibylfs_check::{check_trace, render_checked_trace, render_parse_error, CheckOptions};
-use sibylfs_cli::{executor_for_config, run_executor, suite_from_args, DEFAULT_WORKERS};
+use sibylfs_cli::{
+    executor_for_config, executor_for_config_with, run_executor, suite_from_args, DEFAULT_WORKERS,
+};
 use sibylfs_core::flavor::Flavor;
 use sibylfs_exec::{host_backend_available, ExecError, ExecOptions, HOST_CONFIG_NAME};
 use sibylfs_fsimpl::configs;
@@ -20,9 +22,11 @@ const USAGE: &str = "sibylfs — oracle-based testing for POSIX and real-world f
 USAGE:
     sibylfs gen   [--full|--quick] [--out DIR]       generate the test suite
     sibylfs run   --config NAME [--full] [--out DIR] execute the suite on a configuration
+                  [--exec-workers N]                 (pipelined; execution overlaps checking)
     sibylfs check --flavor FLAVOR [--por MODE] FILE. check recorded traces against the model
     sibylfs check --remote ADDR FILE...              check traces on a remote oracle server
-    sibylfs exec  --config NAME SCRIPT...            execute script files and print traces
+    sibylfs exec  --config NAME [--exec-workers N] SCRIPT...
+                                                     execute script files and print traces
     sibylfs serve [OPTIONS]                          run the oracle as a long-lived TCP server
     sibylfs survey [--full] [--flavor FLAVOR]        run and check every registered configuration
     sibylfs explore --config NAME [OPTIONS]          coverage-guided exploration of the model
@@ -34,8 +38,15 @@ USAGE:
 OBSERVABILITY (check, exec, explore, serve):
     --trace-out FILE         record spans and write a Chrome trace-event JSON
                              file (open in Perfetto / chrome://tracing)
-    --timings                (check only) print an `@type metrics-v1` table of
-                             the run's counters and latency histograms
+    --timings                (run, check, exec) print an `@type metrics-v1`
+                             table of the run's counters, pipeline gauges, and
+                             latency histograms
+
+EXECUTION PIPELINE (run, exec):
+    --exec-workers N         executor threads (default 4). On host/linux each
+                             thread drives a persistent pre-jailed worker
+                             process whose jail is reset between scripts
+                             instead of re-forking.
 
 EXPLORE OPTIONS:
     --backend sim|host       executor (default sim; host = differential mode)
@@ -45,6 +56,8 @@ EXPLORE OPTIONS:
     --corpus-dir DIR         persist minimized corpus entries under DIR
     --seed N                 base seed; every derived seed is recorded (default 42)
     --workers N              worker threads (default: up to 4)
+    --batch N                mutants per worker pipeline batch (default 8; 1 =
+                             sequential evaluation)
     --min-coverage PCT       exit 1 if final branch coverage is below PCT
     --require-gain           exit 1 unless exploration beat the static quick suite
 
@@ -196,17 +209,41 @@ fn cmd_gen(args: &[String]) {
     }
 }
 
+/// `--exec-workers N`: how many executor threads (and, on the host backend,
+/// pooled worker processes) drive the execution pipeline.
+fn exec_workers_from(args: &[String]) -> usize {
+    match opt_value(args, "--exec-workers") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("flag --exec-workers requires a positive number, got {v:?}");
+                std::process::exit(2);
+            }
+        },
+        None => DEFAULT_WORKERS,
+    }
+}
+
+fn print_timings_if_asked(args: &[String]) {
+    if args.iter().any(|a| a == "--timings") {
+        let mut snap = sibylfs_core::obs::snapshot();
+        snap.retain_nonzero();
+        print!("{}", snap.render());
+    }
+}
+
 fn cmd_run(args: &[String]) {
     let name = opt_value(args, "--config").unwrap_or_else(|| {
         eprintln!("--config NAME is required (see `sibylfs configs`)");
         std::process::exit(2);
     });
-    let Some((executor, flavor)) = executor_for_config(&name) else {
+    let exec_workers = exec_workers_from(args);
+    let Some((executor, flavor)) = executor_for_config_with(&name, exec_workers) else {
         sibylfs_cli::config_or_exit(&name);
         unreachable!("config_or_exit exits for unknown names");
     };
     let suite = suite_from_args(args);
-    let run = run_executor(executor.as_ref(), flavor, &suite, DEFAULT_WORKERS)
+    let run = run_executor(executor, flavor, &suite, exec_workers)
         .unwrap_or_else(|e| exec_error_exit(e));
     if let Some(dir) = opt_value(args, "--out") {
         let dir = PathBuf::from(dir);
@@ -218,13 +255,16 @@ fn cmd_run(args: &[String]) {
     }
     print!("{}", render_run_markdown(&run.summary));
     println!(
-        "execution: {:.2}s ({} backend)   checking: {:.2}s ({:.0} traces/s, {} workers)",
+        "pipeline: execution {:.2}s ({} backend, {} workers)   checking {:.2}s overlapped \
+         ({:.0} traces/s, {} workers)",
         run.exec_secs,
         run.summary.backend,
+        exec_workers,
         run.check_stats.elapsed_secs,
         run.check_stats.traces_per_sec,
         run.check_stats.workers
     );
+    print_timings_if_asked(args);
 }
 
 fn cmd_check(args: &[String]) {
@@ -386,31 +426,43 @@ fn cmd_serve(args: &[String]) {
 
 fn cmd_exec(args: &[String]) {
     let name = opt_value(args, "--config").unwrap_or_else(|| "linux/tmpfs".to_string());
-    let Some((executor, _flavor)) = executor_for_config(&name) else {
+    let exec_workers = exec_workers_from(args);
+    let Some((executor, _flavor)) = executor_for_config_with(&name, exec_workers) else {
         sibylfs_cli::config_or_exit(&name);
         unreachable!("config_or_exit exits for unknown names");
     };
     let trace_out = trace_out_from(args);
-    let flag_values = [opt_value(args, "--config"), opt_value(args, "--trace-out")];
+    let flag_values = [
+        opt_value(args, "--config"),
+        opt_value(args, "--trace-out"),
+        opt_value(args, "--exec-workers"),
+    ];
     let files: Vec<&String> = args
         .iter()
         .filter(|a| {
             !a.starts_with("--") && !flag_values.iter().any(|v| v.as_deref() == Some(a.as_str()))
         })
         .collect();
-    for file in files {
-        let text = read_or_exit(file);
-        let script = parse_script(&text).unwrap_or_else(|e| {
-            eprintln!("cannot parse {file}: {e}");
-            eprint!("{}", render_parse_error(file, &e));
-            std::process::exit(2);
-        });
-        let trace = executor
-            .execute_script(&script, ExecOptions::default())
-            .unwrap_or_else(|e| exec_error_exit(e));
+    let scripts: Vec<sibylfs_script::Script> = files
+        .iter()
+        .map(|file| {
+            let text = read_or_exit(file);
+            parse_script(&text).unwrap_or_else(|e| {
+                eprintln!("cannot parse {file}: {e}");
+                eprint!("{}", render_parse_error(file, &e));
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    // All scripts execute through the pipeline concurrently; traces print in
+    // file order, stopping at the first failure like the sequential loop did.
+    let pipeline = sibylfs_exec::ExecPipeline::new(executor, exec_workers);
+    for result in pipeline.execute_batch(&scripts, ExecOptions::default()) {
+        let trace = result.unwrap_or_else(|e| exec_error_exit(e));
         print!("{}", render_trace(&trace));
         println!();
     }
+    print_timings_if_asked(args);
     if let Some(path) = &trace_out {
         write_trace_or_exit(path);
     }
@@ -453,6 +505,9 @@ fn cmd_explore(args: &[String]) {
     }
     if let Some(workers) = num::<usize>(args, "--workers") {
         opts.workers = workers.max(1);
+    }
+    if let Some(batch) = num::<usize>(args, "--batch") {
+        opts.batch = batch.max(1);
     }
     opts.corpus_dir = opt_value(args, "--corpus-dir").map(PathBuf::from);
     opts.progress = true;
@@ -605,8 +660,8 @@ fn cmd_survey(args: &[String]) {
     let mut summaries = Vec::new();
     for profile in configs::all_configs() {
         let flavor = explicit_flavor.unwrap_or(profile.platform);
-        let exec = sibylfs_exec::SimExecutor::new(profile.clone());
-        let run = run_executor(&exec, flavor, &suite, DEFAULT_WORKERS)
+        let exec = std::sync::Arc::new(sibylfs_exec::SimExecutor::new(profile.clone()));
+        let run = run_executor(exec, flavor, &suite, DEFAULT_WORKERS)
             .expect("the simulation is infallible");
         eprintln!(
             "checked {:40} {:5}/{:5} accepted",
@@ -618,7 +673,7 @@ fn cmd_survey(args: &[String]) {
     if host_backend_available() {
         if let Some((executor, default_flavor)) = executor_for_config(HOST_CONFIG_NAME) {
             let flavor = explicit_flavor.unwrap_or(default_flavor);
-            match run_executor(executor.as_ref(), flavor, &suite, DEFAULT_WORKERS) {
+            match run_executor(executor, flavor, &suite, DEFAULT_WORKERS) {
                 Ok(run) => {
                     eprintln!(
                         "checked {:40} {:5}/{:5} accepted [host backend]",

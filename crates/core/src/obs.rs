@@ -212,6 +212,29 @@ impl Histogram {
     pub fn count(&self) -> u64 {
         self.buckets.iter().map(|b| b.load(Relaxed)).sum()
     }
+
+    /// Sparse `(bucket index, count)` pairs for every non-empty bucket, in
+    /// index order. This is the raw log2 distribution behind the `buckets=`
+    /// field of the metrics-v1 exposition: external tooling can recompute
+    /// arbitrary quantiles or draw latency heatmaps from it. Subject to the
+    /// same benign tearing as [`Histogram::stat`].
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Relaxed);
+                (c != 0).then_some((i, c))
+            })
+            .collect()
+    }
+
+    /// Inclusive upper bound of log2 bucket `i` (the quantile estimate for
+    /// samples landing there). Exposed so bucket-export consumers can map
+    /// indices back to value ranges.
+    pub fn bucket_bound(i: usize) -> u64 {
+        Self::bucket_upper(i)
+    }
 }
 
 impl Default for Histogram {
@@ -259,6 +282,7 @@ impl MetricRef {
                     p50: s.p50,
                     p95: s.p95,
                     p99: s.p99,
+                    buckets: h.nonzero_buckets(),
                 }
             }
         }
@@ -331,6 +355,16 @@ registry! {
     Counter EXEC_SCRIPTS_TOTAL => "sibylfs_exec_scripts_total";
     Histogram EXEC_SCRIPT_NS => "sibylfs_exec_script_ns";
 
+    // Execution pipeline (ExecPipeline + pooled host workers).
+    Gauge EXEC_PIPE_QUEUE_DEPTH => "sibylfs_exec_pipe_queue_depth";
+    Gauge EXEC_PIPE_REORDER_DEPTH => "sibylfs_exec_pipe_reorder_depth";
+    Gauge EXEC_PIPE_WORKERS => "sibylfs_exec_pipe_workers";
+    Counter EXEC_PIPE_SCRIPTS_TOTAL => "sibylfs_exec_pipe_scripts_total";
+    Counter EXEC_PIPE_BUSY_NS_TOTAL => "sibylfs_exec_pipe_busy_ns_total";
+    Counter EXEC_JAIL_RESETS_TOTAL => "sibylfs_exec_jail_resets_total";
+    Counter EXEC_COLD_FORKS_TOTAL => "sibylfs_exec_cold_forks_total";
+    Counter EXEC_WORKER_RESPAWNS_TOTAL => "sibylfs_exec_worker_respawns_total";
+
     // Observability itself.
     Counter OBS_SPANS_DROPPED_TOTAL => "sibylfs_obs_spans_dropped_total";
 }
@@ -356,7 +390,18 @@ pub const METRICS_V1_HEADER: &str = "@type metrics-v1";
 pub enum MetricEntry {
     Counter { name: String, value: u64 },
     Gauge { name: String, value: i64, high_water: i64 },
-    Histogram { name: String, count: u64, sum: u64, p50: u64, p95: u64, p99: u64 },
+    Histogram {
+        name: String,
+        count: u64,
+        sum: u64,
+        p50: u64,
+        p95: u64,
+        p99: u64,
+        /// Sparse `(log2 bucket index, count)` pairs, index-ascending.
+        /// Optional on the wire (`buckets=`): older producers omit it, and
+        /// a parse without the field yields an empty vec.
+        buckets: Vec<(usize, u64)>,
+    },
 }
 
 impl MetricEntry {
@@ -408,8 +453,19 @@ impl MetricsSnapshot {
 
     pub fn histogram(&self, name: &str) -> Option<HistStat> {
         self.entries.iter().find_map(|e| match e {
-            MetricEntry::Histogram { name: n, count, sum, p50, p95, p99 } if n == name => {
+            MetricEntry::Histogram { name: n, count, sum, p50, p95, p99, .. } if n == name => {
                 Some(HistStat { count: *count, sum: *sum, p50: *p50, p95: *p95, p99: *p99 })
+            }
+            _ => None,
+        })
+    }
+
+    /// Raw log2 bucket pairs for a histogram, if the exposition carried the
+    /// optional `buckets=` field (empty vec otherwise).
+    pub fn histogram_buckets(&self, name: &str) -> Option<&[(usize, u64)]> {
+        self.entries.iter().find_map(|e| match e {
+            MetricEntry::Histogram { name: n, buckets, .. } if n == name => {
+                Some(buckets.as_slice())
             }
             _ => None,
         })
@@ -438,10 +494,22 @@ impl MetricsSnapshot {
                 MetricEntry::Gauge { name, value, high_water } => {
                     out.push_str(&format!("gauge {name} {value} hwm={high_water}\n"));
                 }
-                MetricEntry::Histogram { name, count, sum, p50, p95, p99 } => {
+                MetricEntry::Histogram { name, count, sum, p50, p95, p99, buckets } => {
                     out.push_str(&format!(
-                        "histogram {name} count={count} sum={sum} p50={p50} p95={p95} p99={p99}\n"
+                        "histogram {name} count={count} sum={sum} p50={p50} p95={p95} p99={p99}"
                     ));
+                    // Raw log2 distribution, sparse `index:count` pairs. The
+                    // field is optional so pre-bucket consumers keep parsing.
+                    if !buckets.is_empty() {
+                        out.push_str(" buckets=");
+                        for (j, (i, c)) in buckets.iter().enumerate() {
+                            if j > 0 {
+                                out.push(',');
+                            }
+                            out.push_str(&format!("{i}:{c}"));
+                        }
+                    }
+                    out.push('\n');
                 }
             }
         }
@@ -505,14 +573,49 @@ impl MetricsSnapshot {
                         .map_err(|e| format!("metrics-v1 line {}: bad hwm: {e}", i + 2))?;
                     MetricEntry::Gauge { name, value, high_water }
                 }
-                "histogram" => MetricEntry::Histogram {
-                    count: field("count")?,
-                    sum: field("sum")?,
-                    p50: field("p50")?,
-                    p95: field("p95")?,
-                    p99: field("p99")?,
-                    name,
-                },
+                "histogram" => {
+                    // `buckets=` is optional (sparse `index:count` pairs);
+                    // absence parses as an empty distribution.
+                    let buckets = match fields
+                        .iter()
+                        .find_map(|f| f.strip_prefix("buckets="))
+                    {
+                        None | Some("") => Vec::new(),
+                        Some(spec) => spec
+                            .split(',')
+                            .map(|pair| {
+                                let (idx, cnt) = pair.split_once(':').ok_or_else(|| {
+                                    format!(
+                                        "metrics-v1 line {}: bad buckets pair {pair:?}",
+                                        i + 2
+                                    )
+                                })?;
+                                let idx = idx.parse::<usize>().map_err(|e| {
+                                    format!("metrics-v1 line {}: bad bucket index: {e}", i + 2)
+                                })?;
+                                if idx >= HIST_BUCKETS {
+                                    return Err(format!(
+                                        "metrics-v1 line {}: bucket index {idx} out of range",
+                                        i + 2
+                                    ));
+                                }
+                                let cnt = cnt.parse::<u64>().map_err(|e| {
+                                    format!("metrics-v1 line {}: bad bucket count: {e}", i + 2)
+                                })?;
+                                Ok((idx, cnt))
+                            })
+                            .collect::<Result<Vec<_>, String>>()?,
+                    };
+                    MetricEntry::Histogram {
+                        count: field("count")?,
+                        sum: field("sum")?,
+                        p50: field("p50")?,
+                        p95: field("p95")?,
+                        p99: field("p99")?,
+                        buckets,
+                        name,
+                    }
+                }
                 other => {
                     return Err(format!("metrics-v1 line {}: unknown kind {other:?}", i + 2))
                 }
@@ -749,16 +852,40 @@ mod tests {
                     p50: 65_535,
                     p95: 131_071,
                     p99: 262_143,
+                    buckets: vec![(16, 390), (18, 10)],
                 },
             ],
         };
         let text = snap.render();
         assert!(text.starts_with("@type metrics-v1\n"), "versioned header first: {text}");
+        assert!(text.contains(" buckets=16:390,18:10"), "sparse bucket export: {text}");
         let back = MetricsSnapshot::parse(&text).unwrap();
         assert_eq!(back, snap);
         assert_eq!(back.counter("sibylfs_check_traces_total"), Some(400));
         assert_eq!(back.gauge("sibylfs_pool_queue_depth"), Some((0, 17)));
         assert_eq!(back.histogram("sibylfs_check_trace_ns").unwrap().p95, 131_071);
+        assert_eq!(
+            back.histogram_buckets("sibylfs_check_trace_ns"),
+            Some(&[(16usize, 390u64), (18, 10)][..])
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_field_is_optional_and_validated() {
+        // A line without buckets= parses to an empty distribution, and an
+        // empty distribution renders without the field — exact round-trip
+        // with pre-bucket producers.
+        let old = "@type metrics-v1\nhistogram h count=1 sum=2 p50=3 p95=3 p99=3\n";
+        let parsed = MetricsSnapshot::parse(old).unwrap();
+        assert_eq!(parsed.histogram_buckets("h"), Some(&[][..]));
+        assert_eq!(parsed.render(), old);
+
+        // Malformed pairs and out-of-range indices are rejected, not dropped.
+        for bad in ["buckets=7", "buckets=a:1", "buckets=7:x", "buckets=64:1"] {
+            let line =
+                format!("@type metrics-v1\nhistogram h count=1 sum=2 p50=3 p95=3 p99=3 {bad}\n");
+            assert!(MetricsSnapshot::parse(&line).is_err(), "must reject {bad}");
+        }
     }
 
     #[test]

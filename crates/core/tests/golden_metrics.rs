@@ -43,6 +43,19 @@ fn sample() -> MetricsSnapshot {
                 p50: 65_535,
                 p95: 131_071,
                 p99: u64::MAX,
+                buckets: vec![(0, 3), (16, 387), (63, 10)],
+            },
+            // No buckets= field: the optional raw-distribution export must
+            // stay absent (not render as an empty `buckets=`) so pre-bucket
+            // producers round-trip byte-identically.
+            MetricEntry::Histogram {
+                name: "sibylfs_exec_script_ns".to_string(),
+                count: 0,
+                sum: 0,
+                p50: 0,
+                p95: 0,
+                p99: 0,
+                buckets: vec![],
             },
         ],
     }

@@ -44,7 +44,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
@@ -55,6 +55,20 @@ use sibylfs_core::types::{DirHandleId, Fd, FileKind, Gid, Pid, Uid, INITIAL_PID}
 use sibylfs_script::{parse_trace, render_trace, Script, ScriptStep, Trace};
 
 use crate::{ExecError, ExecOptions, Executor};
+
+// The backend is split across three modules:
+//
+// * this one — the raw libc bindings, the jail-side `HostWorld` call
+//   dispatcher, and the original cold-fork execution path (one fork+chroot
+//   per script, also the pool's fallback);
+// * [`protocol`] — the length-prefixed pipe frames a persistent worker
+//   speaks to its parent;
+// * [`pool`] — the persistent pre-jailed worker pool: fork+chroot once per
+//   worker, reset the jail between scripts.
+mod pool;
+mod protocol;
+
+pub use pool::WorkerPool;
 
 /// Raw libc bindings. The workspace is offline (no `libc` crate), so the
 /// handful of symbols the backend needs are declared inline; all are part of
@@ -147,9 +161,13 @@ mod raw {
     #[cfg(target_arch = "aarch64")]
     pub const O_NOFOLLOW: c_int = 0o100000;
 
+    /// `SIGKILL`, for force-reaping a misbehaving pool worker.
+    pub const SIGKILL: c_int = 9;
+
     extern "C" {
         pub fn fork() -> c_int;
         pub fn waitpid(pid: c_int, status: *mut c_int, options: c_int) -> c_int;
+        pub fn kill(pid: c_int, sig: c_int) -> c_int;
         pub fn pipe(fds: *mut c_int) -> c_int;
         pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
         pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
@@ -316,11 +334,20 @@ struct HostWorld {
     procs: BTreeMap<u32, VProc>,
     /// gid → member uids.
     groups: BTreeMap<u32, BTreeSet<u32>>,
+    /// Which virtual process the worker's kernel context (cwd, umask,
+    /// credentials, supplementary groups) currently belongs to. Consecutive
+    /// calls from the same process skip the seven context syscalls of
+    /// [`enter`](HostWorld::enter) — the dominant fixed cost per call on the
+    /// pooled path. `Chdir`/`Umask` keep the kernel in sync as they mutate
+    /// the process, so they do not invalidate; anything that touches
+    /// credentials or group membership behind the kernel's back sets this to
+    /// `None`.
+    entered: Option<u32>,
 }
 
 impl HostWorld {
     fn new() -> HostWorld {
-        HostWorld { procs: BTreeMap::new(), groups: BTreeMap::new() }
+        HostWorld { procs: BTreeMap::new(), groups: BTreeMap::new(), entered: None }
     }
 
     fn create_process(&mut self, pid: Pid, uid: Uid, gid: Gid) {
@@ -333,6 +360,7 @@ impl HostWorld {
             raw::seteuid(0);
             raw::setegid(0);
         }
+        self.entered = None;
         let root = c_path("/").expect("static path");
         // SAFETY: `root` is a live, NUL-terminated buffer for the duration of
         // the call; `open` does not retain the pointer.
@@ -359,6 +387,7 @@ impl HostWorld {
     }
 
     fn destroy_process(&mut self, pid: Pid) {
+        self.entered = None;
         if let Some(proc) = self.procs.remove(&pid.0) {
             // SAFETY: every fd in `proc.fds` and `proc.cwd_fd` is a real
             // descriptor this process opened and still owns (virtual fds are
@@ -413,9 +442,10 @@ impl HostWorld {
             // reaches the kernel.
             return ErrorOrValue::Error(Errno::EINVAL);
         }
-        {
+        if self.entered != Some(pid.0) {
             let proc = &self.procs[&pid.0];
             self.enter(proc);
+            self.entered = Some(pid.0);
         }
         match cmd {
             OsCommand::Mkdir(path, mode) => {
@@ -455,6 +485,11 @@ impl HostWorld {
                     // replaced below, so it is closed exactly once.
                     unsafe { raw::close(proc.cwd_fd) };
                     proc.cwd_fd = new_cwd;
+                } else {
+                    // The kernel cwd moved but the snapshot fd could not be
+                    // taken: the cached context no longer matches `cwd_fd`,
+                    // so force a full re-enter on the next call.
+                    self.entered = None;
                 }
                 ErrorOrValue::Value(RetValue::None)
             }
@@ -561,6 +596,9 @@ impl HostWorld {
             }
             OsCommand::AddUserToGroup(uid, gid) => {
                 self.groups.entry(gid.0).or_default().insert(uid.0);
+                // The entered process's supplementary groups may now be
+                // stale; rebuild the kernel context on the next call.
+                self.entered = None;
                 ErrorOrValue::Value(RetValue::None)
             }
             OsCommand::Opendir(path) => {
@@ -743,6 +781,41 @@ unsafe fn c_str_bytes(name: &[std::os::raw::c_char; 256]) -> &[u8] {
 const EXIT_OK: i32 = 0;
 const EXIT_SANDBOX: i32 = 3;
 
+/// Execute every step of `script` inside the already-chrooted jail and
+/// return the observed trace. All virtual processes are destroyed before
+/// returning, so every descriptor and `DIR*` the script opened is closed —
+/// a persistent pool worker relies on this as the first half of its
+/// between-scripts hygiene (the second half is the jail reset in
+/// [`pool`]).
+fn run_script_in_jail(script: &Script, opts: ExecOptions) -> Trace {
+    let mut world = HostWorld::new();
+    let (uid, gid) = if opts.root_user { (Uid(0), Gid(0)) } else { (Uid(1000), Gid(1000)) };
+    world.create_process(INITIAL_PID, uid, gid);
+
+    let mut trace = Trace::new(script.name.clone(), script.group.clone());
+    for step in &script.steps {
+        match step {
+            ScriptStep::Call { pid, cmd } => {
+                let ret = world.call(*pid, cmd);
+                trace.push_call_return(*pid, cmd.clone(), ret);
+            }
+            ScriptStep::CreateProcess { pid, uid, gid } => {
+                world.create_process(*pid, *uid, *gid);
+                trace.push_label(OsLabel::Create(*pid, *uid, *gid));
+            }
+            ScriptStep::DestroyProcess { pid } => {
+                world.destroy_process(*pid);
+                trace.push_label(OsLabel::Destroy(*pid));
+            }
+        }
+    }
+    let pids: Vec<u32> = world.procs.keys().copied().collect();
+    for pid in pids {
+        world.destroy_process(Pid(pid));
+    }
+    trace
+}
+
 /// Run the script inside the already-forked worker: build the jail, execute
 /// every step, stream the rendered trace to `out_fd`, and `_exit`. Never
 /// returns.
@@ -773,28 +846,7 @@ fn worker_main(root: &[u8], script: &Script, opts: ExecOptions, out_fd: i32) -> 
         raw::umask(0o022);
     }
 
-    let mut world = HostWorld::new();
-    let (uid, gid) = if opts.root_user { (Uid(0), Gid(0)) } else { (Uid(1000), Gid(1000)) };
-    world.create_process(INITIAL_PID, uid, gid);
-
-    let mut trace = Trace::new(script.name.clone(), script.group.clone());
-    for step in &script.steps {
-        match step {
-            ScriptStep::Call { pid, cmd } => {
-                let ret = world.call(*pid, cmd);
-                trace.push_call_return(*pid, cmd.clone(), ret);
-            }
-            ScriptStep::CreateProcess { pid, uid, gid } => {
-                world.create_process(*pid, *uid, *gid);
-                trace.push_label(OsLabel::Create(*pid, *uid, *gid));
-            }
-            ScriptStep::DestroyProcess { pid } => {
-                world.destroy_process(*pid);
-                trace.push_label(OsLabel::Destroy(*pid));
-            }
-        }
-    }
-
+    let trace = run_script_in_jail(script, opts);
     let rendered = render_trace(&trace);
     write_all(out_fd, rendered.as_bytes());
     // SAFETY: terminating the worker without unwinding into the parent's
@@ -861,9 +913,29 @@ fn exit_code(status: i32) -> Option<i32> {
 
 static SANDBOX_SEQ: AtomicU64 = AtomicU64::new(0);
 
+/// Where jail roots are built: `$TMPDIR` when the user set one, otherwise
+/// `/dev/shm` when it is a writable directory (on most distributions the only
+/// guaranteed tmpfs mount), otherwise the platform default (`/tmp`).
+///
+/// Preferring tmpfs is a measured throughput choice, not a nicety: the
+/// paper's suite executions run on tmpfs, and on hosts where `/tmp` is
+/// disk-backed every syscall a script makes inside the jail pays journalled-
+/// filesystem latency — which dominates pooled per-script cost once the
+/// fork+chroot setup is amortized away.
+fn sandbox_base_dir() -> PathBuf {
+    if std::env::var_os("TMPDIR").is_some() {
+        return std::env::temp_dir();
+    }
+    let shm = Path::new("/dev/shm");
+    if shm.is_dir() && !shm.metadata().map(|m| m.permissions().readonly()).unwrap_or(true) {
+        return shm.to_path_buf();
+    }
+    std::env::temp_dir()
+}
+
 /// A fresh, empty directory to use as a jail root.
 fn fresh_sandbox_dir() -> std::io::Result<PathBuf> {
-    let dir = std::env::temp_dir().join(format!(
+    let dir = sandbox_base_dir().join(format!(
         "sibylfs-host-{}-{}",
         std::process::id(),
         SANDBOX_SEQ.fetch_add(1, Ordering::Relaxed)
@@ -875,18 +947,45 @@ fn fresh_sandbox_dir() -> std::io::Result<PathBuf> {
     Ok(dir)
 }
 
-/// The real-host executor.
+/// The real-host executor, in one of two modes:
 ///
-/// Stateless: every [`Executor::execute_script`] call builds a fresh jail.
+/// * **cold-fork** ([`HostFs::new`]) — stateless; every
+///   [`Executor::execute_script`] call forks a fresh worker and builds a
+///   fresh chroot jail (the original, and the baseline the `exec_pipeline`
+///   bench measures against);
+/// * **pooled** ([`HostFs::pooled`]) — a shared [`WorkerPool`] of persistent
+///   pre-jailed workers; each script is one round-trip over a pipe to an
+///   already-chrooted worker that resets its jail between scripts. Workers
+///   are spawned lazily, and a dead or corrupt worker triggers a cold-fork
+///   fallback for that script plus a respawn for the next.
+///
+/// Cloning shares the pool, so a pooled `HostFs` can be handed to an
+/// [`ExecPipeline`](crate::ExecPipeline) whose executor threads each check
+/// out their own worker process concurrently.
 #[derive(Debug, Clone, Default)]
 pub struct HostFs {
-    _private: (),
+    pool: Option<std::sync::Arc<WorkerPool>>,
 }
 
 impl HostFs {
-    /// Create the host backend handle.
+    /// Create the cold-fork host backend handle (fresh fork+chroot per
+    /// script).
     pub fn new() -> HostFs {
         HostFs::default()
+    }
+
+    /// Create a host backend over a pool of `workers` persistent pre-jailed
+    /// worker processes (clamped to at least 1). Workers are spawned on
+    /// first use, so construction succeeds even where the sandbox is
+    /// unavailable — the first execution reports
+    /// [`ExecError::SandboxUnavailable`] just like the cold-fork mode.
+    pub fn pooled(workers: usize) -> HostFs {
+        HostFs { pool: Some(std::sync::Arc::new(WorkerPool::new(workers))) }
+    }
+
+    /// Whether this handle runs on the persistent worker pool.
+    pub fn is_pooled(&self) -> bool {
+        self.pool.is_some()
     }
 
     /// Whether this backend can run here (see [`sandbox_available`]).
@@ -905,89 +1004,106 @@ impl Executor for HostFs {
     }
 
     fn execute_script(&self, script: &Script, opts: ExecOptions) -> Result<Trace, ExecError> {
-        let backend_err = |message: String| ExecError::Backend {
-            script: script.name.clone(),
-            message,
+        let started = std::time::Instant::now();
+        let res = match &self.pool {
+            Some(pool) => pool.execute(script, opts),
+            None => cold_execute(script, opts),
         };
-        let dir = fresh_sandbox_dir().map_err(|e| backend_err(format!("sandbox dir: {e}")))?;
-        let mut root = dir.as_os_str().as_encoded_bytes().to_vec();
-        root.push(0);
-
-        let mut pipe_fds = [0i32; 2];
-        // SAFETY: `pipe_fds` is a live array of exactly the two c_ints the
-        // kernel writes.
-        if unsafe { raw::pipe(pipe_fds.as_mut_ptr()) } != 0 {
-            let _ = std::fs::remove_dir_all(&dir);
-            return Err(backend_err(format!("pipe: errno {}", errno_raw())));
+        if res.is_ok() {
+            sibylfs_core::obs::m::EXEC_SCRIPTS_TOTAL.inc();
+            sibylfs_core::obs::m::EXEC_SCRIPT_NS.record_duration(started.elapsed());
         }
-        let (rd, wr) = (pipe_fds[0], pipe_fds[1]);
-
-        // SAFETY: integer-only FFI call; the child branch immediately enters
-        // `worker_main`, which uses only fork-safe operations before `_exit`.
-        let child = unsafe { raw::fork() };
-        if child < 0 {
-            // SAFETY: both pipe ends were just created and are owned here.
-            unsafe {
-                raw::close(rd);
-                raw::close(wr);
-            }
-            let _ = std::fs::remove_dir_all(&dir);
-            return Err(backend_err(format!("fork: errno {}", errno_raw())));
-        }
-        if child == 0 {
-            // SAFETY: the worker owns its copy of the read end; closing it
-            // once here leaves only `wr` for the trace stream.
-            unsafe { raw::close(rd) };
-            worker_main(&root, script, opts, wr);
-        }
-
-        // Parent: collect the rendered trace, reap the worker, tear down the
-        // jail.
-        // SAFETY: the parent owns its copy of the write end and closes it
-        // exactly once, so the pipe reports EOF when the worker exits.
-        unsafe { raw::close(wr) };
-        let mut output = Vec::new();
-        let mut buf = [0u8; 4096];
-        loop {
-            // SAFETY: `buf` is a live array of `buf.len()` writable bytes.
-            let n = unsafe { raw::read(rd, buf.as_mut_ptr().cast(), buf.len()) };
-            if n <= 0 {
-                break;
-            }
-            output.extend_from_slice(&buf[..n as usize]);
-        }
-        // SAFETY: `rd` is owned here and closed exactly once; `waitpid`
-        // writes through a valid `&mut status`.
-        unsafe { raw::close(rd) };
-        let mut status = 0;
-        unsafe { raw::waitpid(child, &mut status, 0) };
-        let _ = std::fs::remove_dir_all(&dir);
-
-        match exit_code(status) {
-            Some(EXIT_OK) => {}
-            Some(EXIT_SANDBOX) => {
-                return Err(ExecError::SandboxUnavailable(format!(
-                    "worker could not chroot ({})",
-                    String::from_utf8_lossy(&output).trim()
-                )));
-            }
-            other => {
-                return Err(backend_err(format!(
-                    "worker died (exit {:?}, wait status {status})",
-                    other
-                )));
-            }
-        }
-
-        let text = String::from_utf8_lossy(&output);
-        let mut trace = parse_trace(&text)
-            .map_err(|e| backend_err(format!("worker trace unparseable: {e}")))?;
-        // The on-disk format re-derives the group from the name; pin both to
-        // the script's own values.
-        trace.name = script.name.clone();
-        trace.group = script.group.clone();
-        Ok(trace)
+        res
     }
+}
+
+/// Execute one script the original way: fork a throwaway worker, build a
+/// fresh chroot jail, stream the trace back, tear everything down. Also the
+/// pool's per-script fallback when a persistent worker dies.
+pub(super) fn cold_execute(script: &Script, opts: ExecOptions) -> Result<Trace, ExecError> {
+    sibylfs_core::obs::m::EXEC_COLD_FORKS_TOTAL.inc();
+    let backend_err = |message: String| ExecError::Backend {
+        script: script.name.clone(),
+        message,
+    };
+    let dir = fresh_sandbox_dir().map_err(|e| backend_err(format!("sandbox dir: {e}")))?;
+    let mut root = dir.as_os_str().as_encoded_bytes().to_vec();
+    root.push(0);
+
+    let mut pipe_fds = [0i32; 2];
+    // SAFETY: `pipe_fds` is a live array of exactly the two c_ints the
+    // kernel writes.
+    if unsafe { raw::pipe(pipe_fds.as_mut_ptr()) } != 0 {
+        let _ = std::fs::remove_dir_all(&dir);
+        return Err(backend_err(format!("pipe: errno {}", errno_raw())));
+    }
+    let (rd, wr) = (pipe_fds[0], pipe_fds[1]);
+
+    // SAFETY: integer-only FFI call; the child branch immediately enters
+    // `worker_main`, which uses only fork-safe operations before `_exit`.
+    let child = unsafe { raw::fork() };
+    if child < 0 {
+        // SAFETY: both pipe ends were just created and are owned here.
+        unsafe {
+            raw::close(rd);
+            raw::close(wr);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        return Err(backend_err(format!("fork: errno {}", errno_raw())));
+    }
+    if child == 0 {
+        // SAFETY: the worker owns its copy of the read end; closing it
+        // once here leaves only `wr` for the trace stream.
+        unsafe { raw::close(rd) };
+        worker_main(&root, script, opts, wr);
+    }
+
+    // Parent: collect the rendered trace, reap the worker, tear down the
+    // jail.
+    // SAFETY: the parent owns its copy of the write end and closes it
+    // exactly once, so the pipe reports EOF when the worker exits.
+    unsafe { raw::close(wr) };
+    let mut output = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        // SAFETY: `buf` is a live array of `buf.len()` writable bytes.
+        let n = unsafe { raw::read(rd, buf.as_mut_ptr().cast(), buf.len()) };
+        if n <= 0 {
+            break;
+        }
+        output.extend_from_slice(&buf[..n as usize]);
+    }
+    // SAFETY: `rd` is owned here and closed exactly once; `waitpid`
+    // writes through a valid `&mut status`.
+    unsafe { raw::close(rd) };
+    let mut status = 0;
+    unsafe { raw::waitpid(child, &mut status, 0) };
+    let _ = std::fs::remove_dir_all(&dir);
+
+    match exit_code(status) {
+        Some(EXIT_OK) => {}
+        Some(EXIT_SANDBOX) => {
+            return Err(ExecError::SandboxUnavailable(format!(
+                "worker could not chroot ({})",
+                String::from_utf8_lossy(&output).trim()
+            )));
+        }
+        other => {
+            return Err(backend_err(format!(
+                "worker died (exit {:?}, wait status {status})",
+                other
+            )));
+        }
+    }
+
+    let text = String::from_utf8_lossy(&output);
+    let mut trace = parse_trace(&text)
+        .map_err(|e| backend_err(format!("worker trace unparseable: {e}")))?;
+    // The on-disk format re-derives the group from the name; pin both to
+    // the script's own values.
+    trace.name = script.name.clone();
+    trace.group = script.group.clone();
+    Ok(trace)
 }
 
 #[cfg(test)]

@@ -41,6 +41,11 @@ pub mod host;
 #[cfg(all(target_os = "linux", target_pointer_width = "64"))]
 pub use host::HostFs;
 
+pub mod pipeline;
+
+pub use pipeline::ExecPipeline;
+use std::sync::Arc;
+
 /// The configuration name under which the host backend appears in the CLI
 /// (`sibylfs run --config host/linux`) and in survey reports.
 pub const HOST_CONFIG_NAME: &str = "host/linux";
@@ -194,6 +199,24 @@ pub fn execute_suite_on(
     opts: ExecOptions,
 ) -> Result<Vec<Trace>, ExecError> {
     scripts.iter().map(|s| exec.execute_script(s, opts)).collect()
+}
+
+/// Execute a whole suite through a temporary [`ExecPipeline`] with `workers`
+/// executor threads, returning traces in input order.
+///
+/// Semantics match [`execute_suite_on`]: the first failing script's error is
+/// returned (by input order, so the choice is deterministic even though later
+/// scripts may already have executed). Traces are byte-identical to the
+/// sequential path — both backends execute every script from a fresh root, so
+/// parallelism is unobservable in the results.
+pub fn execute_suite_pipelined(
+    exec: Arc<dyn Executor + Send + Sync>,
+    scripts: &[Script],
+    opts: ExecOptions,
+    workers: usize,
+) -> Result<Vec<Trace>, ExecError> {
+    let pipe = ExecPipeline::new(exec, workers);
+    pipe.execute_batch(scripts, opts).into_iter().collect()
 }
 
 /// Execute a whole suite of scripts against one simulated configuration.

@@ -1,0 +1,319 @@
+//! A streaming execution pipeline over any [`Executor`].
+//!
+//! [`execute_suite_on`](crate::execute_suite_on) runs one script at a time on
+//! the calling thread — the right shape for a unit test, the wrong shape for
+//! a suite: the host backend's per-script latency (a worker round-trip, even
+//! a pooled one) serializes end-to-end, and downstream checking cannot start
+//! until the whole suite has executed.
+//!
+//! [`ExecPipeline`] owns N executor threads fed from a *bounded* queue
+//! ([`submit`](ExecPipeline::submit) blocks when the queue is full, so a fast
+//! producer cannot buffer an unbounded suite in memory), and
+//! [`execute_ordered`](ExecPipeline::execute_ordered) adds deterministic
+//! order-preserving delivery on top: completed traces park in a reorder
+//! buffer keyed by submission index and a sink receives them strictly in
+//! input order while later scripts are still executing — the same
+//! per-session sequencing idiom as the serve writer loop. This is what lets
+//! the CLI hand trace `i` to the checker pool while scripts `i+1..` are
+//! still running, with results byte-identical to the sequential path.
+//!
+//! The pipeline is backend-agnostic: the executor is shared behind an `Arc`,
+//! so the sim backend (stateless per call) and the pooled host backend
+//! (workers checked out per call internally) both parallelize safely.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use sibylfs_core::obs;
+use sibylfs_script::{Script, Trace};
+
+use crate::{ExecError, ExecOptions, Executor};
+
+/// One unit of work: execute `script` and hand the result to `done`.
+struct Job {
+    script: Script,
+    opts: ExecOptions,
+    done: Box<dyn FnOnce(Result<Trace, ExecError>) + Send>,
+}
+
+struct PipeState {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct PipeInner {
+    state: Mutex<PipeState>,
+    /// Signalled when a job is queued (workers wait on this).
+    work_ready: Condvar,
+    /// Signalled when a job is picked up (blocked submitters wait on this).
+    slot_free: Condvar,
+    /// Queue capacity: submit blocks once this many jobs are waiting.
+    capacity: usize,
+}
+
+/// A fixed-size pool of executor threads with a bounded FIFO queue.
+pub struct ExecPipeline {
+    inner: Arc<PipeInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ExecPipeline {
+    /// Spawn a pipeline with `workers` executor threads (clamped to at least
+    /// 1) and a queue bounded at twice the worker count.
+    pub fn new(exec: Arc<dyn Executor + Send + Sync>, workers: usize) -> ExecPipeline {
+        let workers = workers.max(1);
+        Self::with_capacity(exec, workers, workers * 2)
+    }
+
+    /// Spawn a pipeline with an explicit queue bound (clamped to ≥ 1).
+    pub fn with_capacity(
+        exec: Arc<dyn Executor + Send + Sync>,
+        workers: usize,
+        capacity: usize,
+    ) -> ExecPipeline {
+        let workers = workers.max(1);
+        let inner = Arc::new(PipeInner {
+            state: Mutex::new(PipeState { queue: VecDeque::new(), shutdown: false }),
+            work_ready: Condvar::new(),
+            slot_free: Condvar::new(),
+            capacity: capacity.max(1),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                let exec = Arc::clone(&exec);
+                std::thread::Builder::new()
+                    .name(format!("sibylfs-exec-{i}"))
+                    .spawn(move || worker_loop(&inner, &*exec))
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_or_else(|e| panic!("failed to spawn exec worker: {e}"));
+        obs::m::EXEC_PIPE_WORKERS.add(handles.len() as i64);
+        ExecPipeline { inner, workers: handles }
+    }
+
+    /// Number of executor threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueue one script, blocking while the queue is at capacity
+    /// (backpressure). `done` runs on an executor thread once the trace is
+    /// ready; jobs complete in whatever order workers finish, so callers
+    /// needing ordered results use [`execute_ordered`](Self::execute_ordered)
+    /// or [`execute_batch`](Self::execute_batch).
+    pub fn submit(
+        &self,
+        script: Script,
+        opts: ExecOptions,
+        done: impl FnOnce(Result<Trace, ExecError>) + Send + 'static,
+    ) {
+        let mut st = lock(&self.inner.state);
+        while st.queue.len() >= self.inner.capacity && !st.shutdown {
+            st = self.inner.slot_free.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st.queue.push_back(Job { script, opts, done: Box::new(done) });
+        obs::m::EXEC_PIPE_QUEUE_DEPTH.inc();
+        drop(st);
+        self.inner.work_ready.notify_one();
+    }
+
+    /// Execute `scripts`, delivering `(index, result)` to `sink` strictly in
+    /// input order — index `i` is always delivered before `i+1`, even though
+    /// execution itself is out of order across the workers. Completed traces
+    /// that arrive early wait in a reorder buffer (its depth is visible as
+    /// the `sibylfs_exec_pipe_reorder_depth` gauge). The sink runs on the
+    /// calling thread, interleaved with submission, so it may block (e.g.
+    /// feeding a checker pool) without stalling the executor threads beyond
+    /// the queue bound.
+    pub fn execute_ordered(
+        &self,
+        scripts: &[Script],
+        opts: ExecOptions,
+        mut sink: impl FnMut(usize, Result<Trace, ExecError>),
+    ) {
+        struct Reorder {
+            ready: BTreeMap<usize, Result<Trace, ExecError>>,
+            next: usize,
+        }
+        let reorder: Arc<(Mutex<Reorder>, Condvar)> =
+            Arc::new((Mutex::new(Reorder { ready: BTreeMap::new(), next: 0 }), Condvar::new()));
+
+        // Drain every result that is already deliverable in order; when
+        // `block` is set, wait until at least one more is delivered.
+        let drain = |sink: &mut dyn FnMut(usize, Result<Trace, ExecError>), block: bool| {
+            let (m, cv) = &*reorder;
+            let mut g = lock(m);
+            let mut delivered = Vec::new();
+            loop {
+                loop {
+                    let next = g.next;
+                    let Some(res) = g.ready.remove(&next) else { break };
+                    delivered.push((next, res));
+                    g.next += 1;
+                }
+                if !delivered.is_empty() || !block {
+                    break;
+                }
+                g = cv.wait(g).unwrap_or_else(|e| e.into_inner());
+            }
+            obs::m::EXEC_PIPE_REORDER_DEPTH.set(g.ready.len() as i64);
+            drop(g);
+            // Deliver outside the lock: the sink may block on the checker
+            // pool, and workers must keep inserting completions meanwhile.
+            for (i, res) in delivered {
+                sink(i, res);
+            }
+        };
+
+        for (i, script) in scripts.iter().enumerate() {
+            let reorder = Arc::clone(&reorder);
+            self.submit(script.clone(), opts, move |res| {
+                let (m, cv) = &*reorder;
+                let mut g = lock(m);
+                g.ready.insert(i, res);
+                obs::m::EXEC_PIPE_REORDER_DEPTH.set(g.ready.len() as i64);
+                drop(g);
+                cv.notify_all();
+            });
+            // Opportunistic: hand over whatever is already in order, so the
+            // sink streams while submission continues.
+            drain(&mut sink, false);
+        }
+        while lock(&reorder.0).next < scripts.len() {
+            drain(&mut sink, true);
+        }
+    }
+
+    /// Execute a batch and return per-script results in input order.
+    pub fn execute_batch(
+        &self,
+        scripts: &[Script],
+        opts: ExecOptions,
+    ) -> Vec<Result<Trace, ExecError>> {
+        let mut out = Vec::with_capacity(scripts.len());
+        self.execute_ordered(scripts, opts, |_, res| out.push(res));
+        out
+    }
+}
+
+impl Drop for ExecPipeline {
+    fn drop(&mut self) {
+        let workers = self.workers.len() as i64;
+        lock(&self.inner.state).shutdown = true;
+        self.inner.work_ready.notify_all();
+        self.inner.slot_free.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        obs::m::EXEC_PIPE_WORKERS.add(-workers);
+    }
+}
+
+fn worker_loop(inner: &PipeInner, exec: &(dyn Executor + Send + Sync)) {
+    loop {
+        let job = {
+            let mut st = lock(&inner.state);
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    break Some(job);
+                }
+                if st.shutdown {
+                    break None;
+                }
+                st = inner.work_ready.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let Some(job) = job else { return };
+        obs::m::EXEC_PIPE_QUEUE_DEPTH.dec();
+        inner.slot_free.notify_one();
+        let started = Instant::now();
+        let res = {
+            let _span = obs::span("exec", "pipeline_job");
+            exec.execute_script(&job.script, job.opts)
+        };
+        let busy = started.elapsed();
+        obs::m::EXEC_PIPE_SCRIPTS_TOTAL.inc();
+        obs::m::EXEC_PIPE_BUSY_NS_TOTAL.add(u64::try_from(busy.as_nanos()).unwrap_or(u64::MAX));
+        (job.done)(res);
+    }
+}
+
+/// Lock a mutex, riding through poisoning: a panicking completion callback
+/// must not wedge the remaining jobs.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{execute_suite_on, SimExecutor};
+    use sibylfs_core::commands::OsCommand;
+    use sibylfs_core::flags::FileMode;
+    use sibylfs_fsimpl::configs;
+
+    fn suite(n: usize) -> Vec<Script> {
+        (0..n)
+            .map(|i| {
+                let mut s = Script::new(format!("mkdir___pipe_{i}"), "mkdir");
+                s.call(OsCommand::Mkdir(format!("/d{i}").into(), FileMode::new(0o777)))
+                    .call(OsCommand::Stat(format!("/d{i}").into()));
+                s
+            })
+            .collect()
+    }
+
+    fn sim() -> Arc<dyn Executor + Send + Sync> {
+        Arc::new(SimExecutor::new(configs::by_name("linux/tmpfs").unwrap()))
+    }
+
+    #[test]
+    fn batch_matches_sequential_execution_exactly() {
+        let scripts = suite(37);
+        let exec = SimExecutor::new(configs::by_name("linux/tmpfs").unwrap());
+        let sequential = execute_suite_on(&exec, &scripts, ExecOptions::default()).unwrap();
+        let pipe = ExecPipeline::new(sim(), 4);
+        let piped: Vec<Trace> = pipe
+            .execute_batch(&scripts, ExecOptions::default())
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(piped, sequential, "pipelined traces must be byte-identical, in order");
+    }
+
+    #[test]
+    fn ordered_delivery_is_strictly_in_input_order() {
+        let scripts = suite(64);
+        let pipe = ExecPipeline::with_capacity(sim(), 8, 3);
+        let mut seen = Vec::new();
+        pipe.execute_ordered(&scripts, ExecOptions::default(), |i, res| {
+            assert!(res.is_ok());
+            seen.push(i);
+        });
+        assert_eq!(seen, (0..scripts.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure_but_completes() {
+        // Capacity 1 with a single worker: submission must block and resume
+        // rather than deadlock or drop jobs.
+        let scripts = suite(16);
+        let pipe = ExecPipeline::with_capacity(sim(), 1, 1);
+        let results = pipe.execute_batch(&scripts, ExecOptions::default());
+        assert_eq!(results.len(), 16);
+        assert!(results.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn pipeline_records_throughput_metrics() {
+        let scripts = suite(8);
+        let before = obs::m::EXEC_PIPE_SCRIPTS_TOTAL.get();
+        let pipe = ExecPipeline::new(sim(), 2);
+        let _ = pipe.execute_batch(&scripts, ExecOptions::default());
+        assert!(obs::m::EXEC_PIPE_SCRIPTS_TOTAL.get() >= before + 8);
+        assert!(obs::m::EXEC_PIPE_WORKERS.high_water() >= 2);
+    }
+}

@@ -87,13 +87,39 @@ struct Shared {
     checked_total: AtomicU64,
     errors_total: AtomicU64,
     intern_baseline_bytes: usize,
+    /// The metrics snapshot (and when it was taken) behind the previous
+    /// stats line, so each tick reports *rates over the tick* rather than
+    /// monotonically-growing totals.
+    last_tick: Mutex<(Instant, obs::MetricsSnapshot)>,
 }
 
 impl Shared {
     fn stats_line(&self) -> String {
         let st = intern::stats();
+        // Per-tick rates: the delta between two consecutive snapshots of the
+        // process-wide counters, divided by the tick's wall-clock length.
+        // The first tick rates against server start.
+        let (checked_per_s, req_per_s, in_bps, out_bps) = {
+            let now = Instant::now();
+            let snap = obs::snapshot();
+            let mut prev = self.last_tick.lock().unwrap_or_else(|e| e.into_inner());
+            let dt = now.duration_since(prev.0).as_secs_f64();
+            let rate = |name: &str| {
+                let cur = snap.counter(name).unwrap_or(0);
+                let old = prev.1.counter(name).unwrap_or(0);
+                if dt > 0.0 { cur.saturating_sub(old) as f64 / dt } else { 0.0 }
+            };
+            let rates = (
+                rate("sibylfs_check_traces_total"),
+                rate("sibylfs_serve_requests_total"),
+                rate("sibylfs_serve_bytes_in_total"),
+                rate("sibylfs_serve_bytes_out_total"),
+            );
+            *prev = (now, snap);
+            rates
+        };
         format!(
-            "sessions={} sessions_total={} checked={} errors={} queued={} workers={} intern_count={} intern_bytes={} intern_growth_bytes={}",
+            "sessions={} sessions_total={} checked={} errors={} queued={} workers={} intern_count={} intern_bytes={} intern_growth_bytes={} checked_per_s={checked_per_s:.1} req_per_s={req_per_s:.1} in_Bps={in_bps:.0} out_Bps={out_bps:.0}",
             self.active_sessions.load(Ordering::Relaxed),
             self.sessions_total.load(Ordering::Relaxed),
             self.checked_total.load(Ordering::Relaxed),
@@ -188,6 +214,7 @@ pub fn start(opts: ServeOptions) -> io::Result<ServerHandle> {
         sessions_total: AtomicU64::new(0),
         checked_total: AtomicU64::new(0),
         errors_total: AtomicU64::new(0),
+        last_tick: Mutex::new((Instant::now(), obs::snapshot())),
     });
     let accept_shared = Arc::clone(&shared);
     let accept_thread = std::thread::Builder::new()

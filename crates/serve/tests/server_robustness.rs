@@ -216,6 +216,12 @@ fn stats_line_reports_sessions_and_intern_state() {
         "intern_count=",
         "intern_bytes=",
         "intern_growth_bytes=",
+        // Per-tick rates: deltas between two consecutive metrics snapshots,
+        // so a tail of the stderr log shows load, not lifetime totals.
+        "checked_per_s=",
+        "req_per_s=",
+        "in_Bps=",
+        "out_Bps=",
     ] {
         assert!(stats.contains(key), "missing {key} in {stats:?}");
     }

@@ -662,8 +662,11 @@ pub fn model_gap_scripts() -> Vec<(Script, &'static str)> {
         // above the modelled one) and would dirty the host differential
         // harness, so that spelling is pinned sim-only in
         // `tests/model_gap_regressions.rs`. The offset stays 8 below
-        // i64::MAX so `offset + count` cannot overflow — Linux then answers
-        // the same EFBIG the model requires.
+        // i64::MAX so `offset + count` cannot overflow. On a disk-backed
+        // jail Linux answers the same EFBIG the model requires; on the
+        // tmpfs jails the pooled executor prefers, s_maxbytes is i64::MAX
+        // and the pwrite succeeds — a documented known divergence in
+        // `tests/host_differential.rs`.
         let mut sc = s("gap_pwrite_beyond_file_size_limit", "pwrite");
         sc.call(OsCommand::Open(
             "f".into(),

@@ -52,6 +52,25 @@ const KNOWN_DIVERGENCES: &[KnownDivergence] = &[
               (historically ioctl-only) access mode and returns a descriptor",
     },
     KnownDivergence {
+        function: "pwrite",
+        observed_prefix: "RV_num(",
+        call_contains: "9223372036854775799",
+        why: "pwrite ending 4 bytes short of i64::MAX: the model's EFBIG \
+              maximum-file-size envelope mirrors disk filesystems' \
+              s_maxbytes, but the jails live on tmpfs (see the executor's \
+              sandbox_base_dir), whose s_maxbytes is MAX_LFS_FILESIZE \
+              (i64::MAX) — the kernel creates the sparse tail and reports \
+              the four bytes written",
+    },
+    KnownDivergence {
+        function: "truncate",
+        observed_prefix: "RV_none",
+        call_contains: "9223372036854775807",
+        why: "truncate to i64::MAX: the same tmpfs file-size limit as the \
+              pwrite entry — no data pages are allocated, so tmpfs accepts \
+              a length the model's disk-sized EFBIG envelope rejects",
+    },
+    KnownDivergence {
         function: "lseek",
         observed_prefix: "EINVAL",
         call_contains: "9223372036854775807",
@@ -112,9 +131,13 @@ fn host_quick_suite_checks_clean_modulo_known_divergences() {
         return;
     }
     let suite = quick_suite();
-    let host = HostFs::new();
-    let traces = execute_suite_on(&host, &suite, ExecOptions::default())
-        .expect("host execution of the quick suite");
+    // The suite runs through the streaming pipeline on a pool of persistent
+    // pre-jailed workers — the production host path (equivalence with cold
+    // sequential forks is asserted by `tests/pipeline_equivalence.rs`).
+    let host = std::sync::Arc::new(HostFs::pooled(4));
+    let traces =
+        sibylfs::exec::execute_suite_pipelined(host, &suite, ExecOptions::default(), 4)
+            .expect("host execution of the quick suite");
     assert_eq!(traces.len(), suite.len());
 
     let cfg = SpecConfig::standard(Flavor::Linux);
@@ -150,6 +173,9 @@ fn host_quick_suite_checks_clean_modulo_known_divergences() {
         KNOWN_DIVERGENCES.len()
     );
 
+    for (name, d) in &undocumented {
+        eprintln!("undocumented deviation in {name}: {d:?}");
+    }
     assert!(
         undocumented.is_empty(),
         "real-host traces deviated from the model outside the documented allowlist \
@@ -182,9 +208,10 @@ fn host_and_sim_agree_on_most_traces() {
         return;
     }
     let suite = quick_suite();
-    let host = HostFs::new();
+    let host = std::sync::Arc::new(HostFs::pooled(4));
     let sim = SimExecutor::new(configs::by_name("linux/tmpfs").unwrap());
-    let host_traces = execute_suite_on(&host, &suite, ExecOptions::default()).unwrap();
+    let host_traces =
+        sibylfs::exec::execute_suite_pipelined(host, &suite, ExecOptions::default(), 4).unwrap();
     let sim_traces = execute_suite_on(&sim, &suite, ExecOptions::default()).unwrap();
     let total = suite.len();
     let mut identical = 0usize;
